@@ -1,0 +1,213 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§6), plus micro-benchmarks of the optimizer itself.
+//
+// The figure benchmarks run the experiment harness at a reduced scale so
+// the whole suite completes in minutes; run cmd/mpqbench with -full for
+// paper-scale reproductions. Custom metrics report the quantities the
+// paper plots (virtual ms, network bytes, speedups) so the benchmark
+// output doubles as a summary of the reproduction.
+package mpq_test
+
+import (
+	"testing"
+
+	"mpq"
+	"mpq/internal/core"
+	"mpq/internal/experiments"
+	"mpq/internal/partition"
+	"mpq/internal/sma"
+	"mpq/internal/workload"
+)
+
+// benchCfg is the reduced-scale experiment configuration used by the
+// benchmark harness.
+func benchCfg() experiments.Config {
+	cfg := experiments.Quick()
+	cfg.Queries = 1
+	return cfg
+}
+
+// BenchmarkFig1 regenerates Figure 1 (MPQ vs SMA, time + network,
+// single objective).
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		panels, err := experiments.Fig1(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := panels[0].MPQ.Points[len(panels[0].MPQ.Points)-1]
+		lastSMA := panels[0].SMA.Points[len(panels[0].SMA.Points)-1]
+		b.ReportMetric(last.TimeMs, "mpq-ms")
+		b.ReportMetric(lastSMA.TimeMs, "sma-ms")
+		b.ReportMetric(lastSMA.Bytes/last.Bytes, "net-gap")
+	}
+}
+
+// BenchmarkFig2 regenerates Figure 2 (MPQ scaling: time, W-time,
+// memory, network).
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		panels, err := experiments.Fig2(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := panels[0].Points
+		b.ReportMetric(p[0].TimeMs/p[len(p)-1].TimeMs, "speedup")
+		b.ReportMetric(p[len(p)-1].MemoryRelations, "memo-relations")
+	}
+}
+
+// BenchmarkFig3 regenerates Figure 3 (join-graph structure impact).
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		panels, err := experiments.Fig3(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = panels
+	}
+}
+
+// BenchmarkFig4 regenerates Figure 4 (multi-objective MPQ vs SMA).
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		panels, err := experiments.Fig4(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(panels[0].MedianFrontier, "frontier-plans")
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5 (multi-objective MPQ scaling).
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		panels, err := experiments.Fig5(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := panels[0].Points
+		b.ReportMetric(p[0].WTimeMs/p[len(p)-1].WTimeMs, "wtime-speedup")
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (minimal parallelism to reach
+// precision α within a time budget).
+func BenchmarkTable1(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Queries = 3 // a majority vote needs >1 query
+	opts := experiments.DefaultTable1Options(false)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(cfg, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpeedups regenerates the §6.2 speedup numbers (virtual).
+func BenchmarkSpeedups(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Speedups(cfg, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].Virtual, "virtual-speedup")
+	}
+}
+
+// --- Micro-benchmarks of the optimizer core ---
+
+func benchQuery(b *testing.B, n int) *mpq.Query {
+	b.Helper()
+	return workload.MustGenerate(workload.NewParams(n, workload.Star), 0)
+}
+
+// BenchmarkSerialLinear16 is the classical serial optimizer on a
+// 16-table query (the Figure 2 baseline workload at reduced size).
+func BenchmarkSerialLinear16(b *testing.B) {
+	q := benchQuery(b, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mpq.OptimizeSerial(q, mpq.Linear, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMPQLinear16Workers8 is MPQ with 8 goroutine workers on the
+// same query — real wall-clock parallel speedup on this machine.
+func BenchmarkMPQLinear16Workers8(b *testing.B) {
+	q := benchQuery(b, 16)
+	spec := mpq.JobSpec{Space: mpq.Linear, Workers: 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mpq.Optimize(q, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSerialBushy12 is the serial bushy-space optimizer.
+func BenchmarkSerialBushy12(b *testing.B) {
+	q := benchQuery(b, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mpq.OptimizeSerial(q, mpq.Bushy, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMPQBushy12Workers8 is bushy MPQ with 8 goroutine workers.
+func BenchmarkMPQBushy12Workers8(b *testing.B) {
+	q := benchQuery(b, 12)
+	spec := mpq.JobSpec{Space: mpq.Bushy, Workers: 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mpq.Optimize(q, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkerPartitionLinear18of64 is one worker's share of a
+// 64-way partitioned 18-table query — the per-node cost MPQ actually
+// pays at high parallelism.
+func BenchmarkWorkerPartitionLinear18of64(b *testing.B) {
+	q := benchQuery(b, 18)
+	spec := core.JobSpec{Space: partition.Linear, Workers: 64}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunWorker(q, spec, 17); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultiObjectiveLinear12 is the multi-objective optimizer with
+// the paper's default α=10.
+func BenchmarkMultiObjectiveLinear12(b *testing.B) {
+	q := benchQuery(b, 12)
+	spec := mpq.JobSpec{Space: mpq.Linear, Workers: 8, Objective: mpq.MultiObjective, Alpha: 10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mpq.Optimize(q, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSMALinear10 is the fine-grained baseline on the simulated
+// cluster (Figure 1's competitor).
+func BenchmarkSMALinear10(b *testing.B) {
+	q := benchQuery(b, 10)
+	model := mpq.DefaultClusterModel()
+	spec := core.JobSpec{Space: partition.Linear, Workers: 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sma.Run(model, q, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Command mpqbench regenerates the paper's tables and figures on the
+// simulated shared-nothing cluster.
+//
+// Usage:
+//
+//	mpqbench -experiment fig1|fig2|fig3|fig4|fig5|table1|speedups|all [flags]
+//
+// Flags:
+//
+//	-full        paper-scale query sizes and worker counts (slow)
+//	-queries N   random queries per data point (default 5; paper used 20)
+//	-seed N      base workload seed
+//	-real        also measure real wall-clock speedups (speedups only)
+//	-quiet       suppress progress lines
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpq/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mpqbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	experiment := flag.String("experiment", "all", "which experiment to run (fig1..fig5, table1, speedups, all)")
+	full := flag.Bool("full", false, "paper-scale sizes (slow)")
+	queries := flag.Int("queries", 0, "queries per data point (0 = scale default)")
+	seed := flag.Int64("seed", 0, "base workload seed")
+	real := flag.Bool("real", false, "measure real wall-clock speedups too")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	flag.Parse()
+	emitCSV = *csvOut
+
+	cfg := experiments.Quick()
+	if *full {
+		cfg = experiments.FullScale()
+	}
+	if *queries > 0 {
+		cfg.Queries = *queries
+	}
+	cfg.BaseSeed = *seed
+	if !*quiet {
+		cfg.Progress = os.Stderr
+	}
+
+	runners := map[string]func() error{
+		"fig1": func() error {
+			panels, err := experiments.Fig1(cfg)
+			if err != nil {
+				return err
+			}
+			render(experiments.Fig1Tables(panels))
+			return nil
+		},
+		"fig2": func() error {
+			panels, err := experiments.Fig2(cfg)
+			if err != nil {
+				return err
+			}
+			render(experiments.Fig2Tables(panels))
+			return nil
+		},
+		"fig3": func() error {
+			panels, err := experiments.Fig3(cfg)
+			if err != nil {
+				return err
+			}
+			render(experiments.Fig3Tables(panels))
+			return nil
+		},
+		"fig4": func() error {
+			panels, err := experiments.Fig4(cfg)
+			if err != nil {
+				return err
+			}
+			render(experiments.Fig4Tables(panels))
+			return nil
+		},
+		"fig5": func() error {
+			panels, err := experiments.Fig5(cfg)
+			if err != nil {
+				return err
+			}
+			render(experiments.Fig5Tables(panels))
+			return nil
+		},
+		"table1": func() error {
+			res, err := experiments.Table1(cfg, experiments.DefaultTable1Options(cfg.Full))
+			if err != nil {
+				return err
+			}
+			render([]*experiments.Table{experiments.Table1Table(res)})
+			return nil
+		},
+		"speedups": func() error {
+			rows, err := experiments.Speedups(cfg, *real)
+			if err != nil {
+				return err
+			}
+			render([]*experiments.Table{experiments.SpeedupsTable(rows, *real)})
+			return nil
+		},
+	}
+
+	if *experiment == "all" {
+		for _, name := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "table1", "speedups"} {
+			if err := runners[name](); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	r, ok := runners[*experiment]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+	return r()
+}
+
+var emitCSV bool
+
+func render(tables []*experiments.Table) {
+	for _, t := range tables {
+		if emitCSV {
+			if err := t.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "mpqbench: csv:", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+			continue
+		}
+		t.Render(os.Stdout)
+	}
+}

@@ -1,0 +1,160 @@
+// Command mpqnode runs the distributed MPQ runtime over TCP: start
+// worker processes on your nodes, then point a master at them.
+//
+// Worker:
+//
+//	mpqnode worker -listen :9991
+//
+// Master (optimizes one query across the workers):
+//
+//	mpqnode master -workers host1:9991,host2:9991 -tables 16 -space linear -partitions 16
+//	mpqnode master -workers host1:9991 -query q.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mpq/internal/core"
+	"mpq/internal/netrun"
+	"mpq/internal/partition"
+	"mpq/internal/query"
+	"mpq/internal/spec"
+	"mpq/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mpqnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if len(os.Args) < 2 {
+		return fmt.Errorf("usage: mpqnode worker|master [flags]")
+	}
+	switch os.Args[1] {
+	case "worker":
+		return runWorker(os.Args[2:])
+	case "master":
+		return runMaster(os.Args[2:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want worker or master)", os.Args[1])
+	}
+}
+
+func runWorker(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	listen := fs.String("listen", ":9991", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, err := netrun.ListenWorker(*listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mpq worker listening on %s\n", w.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return w.Close()
+}
+
+func runMaster(args []string) error {
+	fs := flag.NewFlagSet("master", flag.ExitOnError)
+	workers := fs.String("workers", "", "comma-separated worker addresses")
+	queryFile := fs.String("query", "", "JSON query spec (- for stdin)")
+	tables := fs.Int("tables", 0, "generate a random query with this many tables")
+	shape := fs.String("shape", "Star", "join graph shape for -tables")
+	seed := fs.Int64("seed", 0, "workload seed for -tables")
+	space := fs.String("space", "linear", "plan space: linear or bushy")
+	partitions := fs.Int("partitions", 0, "plan-space partitions (default: number of workers rounded down to a power of two)")
+	multi := fs.Bool("mo", false, "multi-objective optimization")
+	alpha := fs.Float64("alpha", 10, "approximation factor for -mo")
+	timeout := fs.Duration("timeout", 2*time.Minute, "per-worker timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	addrs := strings.Split(*workers, ",")
+	if *workers == "" || len(addrs) == 0 {
+		return fmt.Errorf("provide -workers host:port[,host:port...]")
+	}
+
+	q, err := loadQuery(*queryFile, *tables, *shape, *seed)
+	if err != nil {
+		return err
+	}
+
+	jobSpace := partition.Linear
+	if strings.EqualFold(*space, "bushy") {
+		jobSpace = partition.Bushy
+	} else if !strings.EqualFold(*space, "linear") {
+		return fmt.Errorf("unknown plan space %q", *space)
+	}
+
+	m := *partitions
+	if m == 0 {
+		m = 1
+		for m*2 <= len(addrs) {
+			m *= 2
+		}
+	}
+	jspec := core.JobSpec{Space: jobSpace, Workers: m}
+	if *multi {
+		jspec.Objective = core.MultiObjective
+		jspec.Alpha = *alpha
+	}
+
+	master, err := netrun.NewMaster(addrs, *timeout)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	ans, err := master.Optimize(q, jspec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("optimized %d-table query over %d workers (%d partitions) in %v\n",
+		q.N(), len(addrs), m, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("network: %d bytes sent, %d received, %d messages\n",
+		ans.Net.BytesSent, ans.Net.BytesReceived, ans.Net.Messages)
+	if ans.Frontier != nil {
+		fmt.Printf("Pareto frontier: %d plans\n", len(ans.Frontier))
+	}
+	fmt.Println("best plan:")
+	fmt.Print(ans.Best.Format())
+	return nil
+}
+
+func loadQuery(file string, tables int, shape string, seed int64) (*query.Query, error) {
+	switch {
+	case file == "" && tables == 0:
+		return nil, fmt.Errorf("provide -query FILE or -tables N")
+	case file != "" && tables != 0:
+		return nil, fmt.Errorf("-query and -tables are mutually exclusive")
+	case file == "-":
+		return spec.Read(os.Stdin)
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return spec.Read(f)
+	default:
+		sh, err := workload.ParseShape(shape)
+		if err != nil {
+			return nil, err
+		}
+		_, q, err := workload.Generate(workload.NewParams(tables, sh), seed)
+		return q, err
+	}
+}

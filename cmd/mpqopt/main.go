@@ -1,0 +1,148 @@
+// Command mpqopt optimizes a single join query and prints the chosen
+// plan, either from a JSON query spec (see cmd/mpqgen) or from a
+// generated random workload.
+//
+// Usage:
+//
+//	mpqopt -query q.json [flags]
+//	mpqopt -tables 12 -shape Star -seed 3 [flags]
+//
+// Flags:
+//
+//	-space linear|bushy    plan space (default linear)
+//	-workers N             plan-space partitions, power of two (default 1)
+//	-mo                    multi-objective (time + buffer) optimization
+//	-alpha A               approximation factor for -mo (default 10)
+//	-orders                track interesting orders
+//	-engine local|sim      goroutine engine or cluster simulation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mpq/internal/cluster"
+	"mpq/internal/core"
+	"mpq/internal/mo"
+	"mpq/internal/partition"
+	"mpq/internal/plan"
+	"mpq/internal/query"
+	"mpq/internal/spec"
+	"mpq/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mpqopt:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	queryFile := flag.String("query", "", "JSON query spec file (- for stdin)")
+	tables := flag.Int("tables", 0, "generate a random query with this many tables")
+	shape := flag.String("shape", "Star", "join graph shape for -tables (Star, Chain, Cycle, Clique)")
+	seed := flag.Int64("seed", 0, "workload seed for -tables")
+	space := flag.String("space", "linear", "plan space: linear or bushy")
+	workers := flag.Int("workers", 1, "number of plan-space partitions (power of two)")
+	multi := flag.Bool("mo", false, "multi-objective optimization (time + buffer)")
+	alpha := flag.Float64("alpha", 10, "approximation factor for -mo")
+	orders := flag.Bool("orders", false, "track interesting orders")
+	engine := flag.String("engine", "local", "execution engine: local (goroutines) or sim (cluster simulation)")
+	dot := flag.Bool("dot", false, "emit the best plan as a Graphviz digraph instead of a tree")
+	flag.Parse()
+
+	q, err := loadQuery(*queryFile, *tables, *shape, *seed)
+	if err != nil {
+		return err
+	}
+
+	jobSpace := partition.Linear
+	switch strings.ToLower(*space) {
+	case "linear":
+	case "bushy":
+		jobSpace = partition.Bushy
+	default:
+		return fmt.Errorf("unknown plan space %q", *space)
+	}
+
+	jspec := core.JobSpec{
+		Space:             jobSpace,
+		Workers:           *workers,
+		InterestingOrders: *orders,
+	}
+	if *multi {
+		jspec.Objective = core.MultiObjective
+		jspec.Alpha = *alpha
+	}
+
+	fmt.Printf("query: %d tables, %d predicates; %v space; %d workers (max %d)\n",
+		q.N(), len(q.Preds), jobSpace, *workers, partition.MaxWorkers(jobSpace, q.N()))
+
+	render := func(p *plan.Node) string {
+		if *dot {
+			return p.DOT("plan")
+		}
+		return p.Format()
+	}
+	switch *engine {
+	case "local":
+		ans, err := core.Optimize(q, jspec)
+		if err != nil {
+			return err
+		}
+		printAnswer(render(ans.Best), ans.Frontier, ans.Stats.WorkUnits(), fmt.Sprintf(
+			"wall %v (slowest worker %v)", ans.Elapsed.Round(1000), ans.MaxWorkerElapsed.Round(1000)))
+	case "sim":
+		res, err := cluster.RunMPQ(cluster.Default(), q, jspec)
+		if err != nil {
+			return err
+		}
+		printAnswer(render(res.Best), res.Frontier, res.Metrics.Work.WorkUnits(), fmt.Sprintf(
+			"virtual %v, network %d bytes in %d messages, peak memo %d relations",
+			res.Metrics.VirtualTime.Round(1000), res.Metrics.Bytes, res.Metrics.Messages, res.Metrics.MaxMemoEntries))
+	default:
+		return fmt.Errorf("unknown engine %q", *engine)
+	}
+	return nil
+}
+
+func loadQuery(file string, tables int, shape string, seed int64) (*query.Query, error) {
+	switch {
+	case file == "" && tables == 0:
+		return nil, fmt.Errorf("provide -query FILE or -tables N")
+	case file != "" && tables != 0:
+		return nil, fmt.Errorf("-query and -tables are mutually exclusive")
+	case file == "-":
+		return spec.Read(os.Stdin)
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return spec.Read(f)
+	default:
+		sh, err := workload.ParseShape(shape)
+		if err != nil {
+			return nil, err
+		}
+		_, q, err := workload.Generate(workload.NewParams(tables, sh), seed)
+		return q, err
+	}
+}
+
+func printAnswer(planTree string, frontier []*plan.Node, units uint64, engineLine string) {
+	fmt.Printf("work: %d units; %s\n\n", units, engineLine)
+	if frontier != nil {
+		fmt.Printf("Pareto frontier (%d plans):\n", len(frontier))
+		for i, p := range frontier {
+			fmt.Printf("  #%d %v  %s\n", i+1, mo.VecOf(p), p)
+		}
+		fmt.Println()
+	}
+	fmt.Println("best plan (time metric):")
+	fmt.Print(planTree)
+}

@@ -1,0 +1,36 @@
+// Join-graph sensitivity (the paper's Figure 3 in miniature): because
+// the dynamic program enumerates the same table sets regardless of which
+// predicates exist (cross products are allowed), chain, star, cycle and
+// clique queries of the same size cost nearly the same to optimize —
+// only the plans themselves differ.
+//
+// Run with: go run ./examples/joingraphs
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpq"
+)
+
+func main() {
+	const n = 12
+	fmt.Printf("optimizing %d-table queries, one per join-graph shape (Linear space, 8 workers)\n\n", n)
+	fmt.Printf("%-8s %-12s %-12s %-10s %-24s\n", "shape", "work units", "best cost", "joins", "join order")
+	for _, shape := range []mpq.Shape{mpq.Chain, mpq.Star, mpq.Cycle, mpq.Clique} {
+		_, q, err := mpq.GenerateWorkload(mpq.NewWorkloadParams(n, shape), 11)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ans, err := mpq.Optimize(q, mpq.JobSpec{Space: mpq.Linear, Workers: 8})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8v %-12d %-12.4g %-10d %v\n",
+			shape, ans.Stats.WorkUnits(), ans.Best.Cost, ans.Best.CountJoins(), ans.Best.JoinOrder())
+	}
+
+	fmt.Println("\nwork units differ by only a few percent across shapes — the")
+	fmt.Println("plan-space size depends on the table count, not the predicates.")
+}

@@ -1,0 +1,56 @@
+// Multi-objective optimization: approximate the Pareto frontier over
+// execution time and buffer space, and show how the approximation factor
+// α trades frontier precision for optimization effort — the trade-off
+// behind the paper's Table 1.
+//
+// Run with: go run ./examples/multiobjective
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpq"
+)
+
+func main() {
+	// A random 10-table star query from the paper's workload generator.
+	_, q, err := mpq.GenerateWorkload(mpq.NewWorkloadParams(10, mpq.Star), 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Exact Pareto frontier (α = 1) over 8 workers.
+	exact, err := mpq.Optimize(q, mpq.JobSpec{
+		Space: mpq.Linear, Workers: 8,
+		Objective: mpq.MultiObjective, Alpha: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact Pareto frontier: %d plans\n", len(exact.Frontier))
+	for i, p := range exact.Frontier {
+		fmt.Printf("  #%d time=%.4g buffer=%.4g  %s\n", i+1, p.Cost, p.Buffer, p)
+	}
+
+	// Sweep α: coarser frontiers shrink and the optimizer does less work.
+	fmt.Println("\nα sweep (8 workers):")
+	fmt.Printf("%-8s %-10s %-14s\n", "alpha", "frontier", "work units")
+	for _, alpha := range []float64{1, 1.05, 1.25, 2, 5, 10} {
+		ans, err := mpq.Optimize(q, mpq.JobSpec{
+			Space: mpq.Linear, Workers: 8,
+			Objective: mpq.MultiObjective, Alpha: alpha,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8g %-10d %-14d\n", alpha, len(ans.Frontier), ans.Stats.WorkUnits())
+	}
+
+	// The frontier exposes real choices: the cheapest-time plan may hog
+	// buffers; the thriftiest plan is slower.
+	fastest := exact.Frontier[0]
+	thrifty := exact.Frontier[len(exact.Frontier)-1]
+	fmt.Printf("\nfastest plan : time %.4g, buffer %.4g\n", fastest.Cost, fastest.Buffer)
+	fmt.Printf("thrifty plan : time %.4g, buffer %.4g\n", thrifty.Cost, thrifty.Buffer)
+}

@@ -1,0 +1,55 @@
+// Parametric query optimization: when plan cost depends on a run-time
+// parameter (here memory pressure θ: hash joins spill and get more
+// expensive as θ grows), the optimizer returns one plan per parameter
+// region instead of a single plan. The paper's plan-space partitioning
+// parallelizes this variant unchanged — only the pruning function
+// differs (§2, §4).
+//
+// Run with: go run ./examples/parametric
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpq"
+)
+
+func main() {
+	_, q, err := mpq.GenerateWorkload(mpq.NewWorkloadParams(9, mpq.Star), 17)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Hash joins cost 25x more at full memory pressure (θ=1).
+	const spill = 25.0
+	frontier, err := mpq.OptimizeParametric(q, mpq.Linear, 4, spill)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parametric-optimal plan set: %d plans\n", len(frontier))
+	for i, p := range frontier {
+		if i == 5 {
+			fmt.Printf("  ... and %d more\n", len(frontier)-5)
+			break
+		}
+		fmt.Printf("  #%d cost(θ=0)=%.4g cost(θ=1)=%.4g  %s\n", i+1, p.Cost, p.Buffer, p)
+	}
+
+	// The parameter space decomposes into regions with a constant
+	// optimal plan — decide at run time with zero re-optimization.
+	bps, err := mpq.ParametricBreakpoints(frontier)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\noptimality regions:")
+	for i := 0; i+1 < len(bps); i++ {
+		mid := (bps[i] + bps[i+1]) / 2
+		best, err := mpq.ParametricBest(frontier, mid)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  θ ∈ [%.3f, %.3f]: %s (cost at midpoint %.4g)\n",
+			bps[i], bps[i+1], best, mpq.ParametricCostAt(best, mid))
+	}
+}

@@ -1,0 +1,320 @@
+package bitset
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	e := Empty()
+	if !e.IsEmpty() {
+		t.Fatal("Empty() not empty")
+	}
+	if e.Count() != 0 {
+		t.Fatalf("Empty().Count() = %d", e.Count())
+	}
+	if e.String() != "{}" {
+		t.Fatalf("Empty().String() = %q", e.String())
+	}
+}
+
+func TestSingle(t *testing.T) {
+	for i := 0; i < MaxTables; i++ {
+		s := Single(i)
+		if !s.Contains(i) {
+			t.Fatalf("Single(%d) does not contain %d", i, i)
+		}
+		if s.Count() != 1 {
+			t.Fatalf("Single(%d).Count() = %d", i, s.Count())
+		}
+		if !s.IsSingleton() {
+			t.Fatalf("Single(%d) not a singleton", i)
+		}
+		if s.Min() != i || s.Max() != i {
+			t.Fatalf("Single(%d) min/max = %d/%d", i, s.Min(), s.Max())
+		}
+	}
+}
+
+func TestSinglePanicsOutOfRange(t *testing.T) {
+	for _, i := range []int{-1, MaxTables, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Single(%d) did not panic", i)
+				}
+			}()
+			Single(i)
+		}()
+	}
+}
+
+func TestRange(t *testing.T) {
+	for n := 0; n <= MaxTables; n++ {
+		s := Range(n)
+		if s.Count() != n {
+			t.Fatalf("Range(%d).Count() = %d", n, s.Count())
+		}
+		for i := 0; i < n; i++ {
+			if !s.Contains(i) {
+				t.Fatalf("Range(%d) missing %d", n, i)
+			}
+		}
+		if n < MaxTables && s.Contains(n) {
+			t.Fatalf("Range(%d) contains %d", n, n)
+		}
+	}
+}
+
+func TestRangePanics(t *testing.T) {
+	for _, n := range []int{-1, MaxTables + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Range(%d) did not panic", n)
+				}
+			}()
+			Range(n)
+		}()
+	}
+}
+
+func TestOf(t *testing.T) {
+	s := Of(1, 3, 5)
+	if s.Count() != 3 || !s.Contains(1) || !s.Contains(3) || !s.Contains(5) {
+		t.Fatalf("Of(1,3,5) = %v", s)
+	}
+	if s.Contains(0) || s.Contains(2) || s.Contains(4) {
+		t.Fatalf("Of(1,3,5) contains extras: %v", s)
+	}
+	if Of().Count() != 0 {
+		t.Fatal("Of() not empty")
+	}
+}
+
+func TestAddRemove(t *testing.T) {
+	s := Empty().Add(4).Add(7).Add(4)
+	if s.Count() != 2 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	s = s.Remove(4)
+	if s.Contains(4) || !s.Contains(7) {
+		t.Fatalf("after remove: %v", s)
+	}
+	s = s.Remove(4) // removing absent member is a no-op
+	if s.Count() != 1 {
+		t.Fatalf("double remove changed set: %v", s)
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := Of(0, 1, 2, 5)
+	b := Of(2, 3, 5, 7)
+	if got := a.Union(b); got != Of(0, 1, 2, 3, 5, 7) {
+		t.Fatalf("union = %v", got)
+	}
+	if got := a.Intersect(b); got != Of(2, 5) {
+		t.Fatalf("intersect = %v", got)
+	}
+	if got := a.Minus(b); got != Of(0, 1) {
+		t.Fatalf("minus = %v", got)
+	}
+	if !a.Intersects(b) {
+		t.Fatal("a should intersect b")
+	}
+	if a.Intersects(Of(9)) {
+		t.Fatal("a should not intersect {9}")
+	}
+	if !a.ContainsAll(Of(0, 5)) {
+		t.Fatal("a should contain {0,5}")
+	}
+	if a.ContainsAll(b) {
+		t.Fatal("a should not contain all of b")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	s := Of(3, 10, 40)
+	if s.Min() != 3 {
+		t.Fatalf("min = %d", s.Min())
+	}
+	if s.Max() != 40 {
+		t.Fatalf("max = %d", s.Max())
+	}
+}
+
+func TestMinMaxPanicOnEmpty(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Min": func() { Empty().Min() },
+		"Max": func() { Empty().Max() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on empty set did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNextIteration(t *testing.T) {
+	s := Of(2, 5, 9)
+	var got []int
+	for i := s.Next(-1); i >= 0; i = s.Next(i) {
+		got = append(got, i)
+	}
+	want := []int{2, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	if Empty().Next(-1) != -1 {
+		t.Fatal("Next on empty should be -1")
+	}
+	if s.Next(9) != -1 {
+		t.Fatal("Next past max should be -1")
+	}
+}
+
+func TestMembersAndForEach(t *testing.T) {
+	s := Of(0, 8, 16, 62)
+	ms := s.Members()
+	want := []int{0, 8, 16, 62}
+	if len(ms) != 4 {
+		t.Fatalf("members = %v", ms)
+	}
+	for i := range want {
+		if ms[i] != want[i] {
+			t.Fatalf("members = %v want %v", ms, want)
+		}
+	}
+	n := 0
+	prev := -1
+	s.ForEach(func(i int) {
+		if i <= prev {
+			t.Fatalf("ForEach not ascending: %d after %d", i, prev)
+		}
+		prev = i
+		n++
+	})
+	if n != 4 {
+		t.Fatalf("ForEach visited %d members", n)
+	}
+}
+
+func TestSubsetsEnumeratesPowerSet(t *testing.T) {
+	s := Of(1, 4, 6)
+	seen := map[Set]bool{}
+	s.Subsets(func(sub Set) {
+		if !s.ContainsAll(sub) {
+			t.Fatalf("subset %v not within %v", sub, s)
+		}
+		if seen[sub] {
+			t.Fatalf("subset %v enumerated twice", sub)
+		}
+		seen[sub] = true
+	})
+	if len(seen) != 8 {
+		t.Fatalf("enumerated %d subsets, want 8", len(seen))
+	}
+}
+
+func TestSubsetsOfEmpty(t *testing.T) {
+	n := 0
+	Empty().Subsets(func(sub Set) {
+		if sub != 0 {
+			t.Fatalf("unexpected subset %v", sub)
+		}
+		n++
+	})
+	if n != 1 {
+		t.Fatalf("empty set has %d subsets, want 1", n)
+	}
+}
+
+func TestProperSubsets(t *testing.T) {
+	s := Of(2, 3)
+	var got []Set
+	s.ProperSubsets(func(sub Set) { got = append(got, sub) })
+	if len(got) != 2 {
+		t.Fatalf("proper subsets = %v", got)
+	}
+	for _, sub := range got {
+		if sub == 0 || sub == s {
+			t.Fatalf("improper subset %v", sub)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Of(0, 2, 10).String(); got != "{0,2,10}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// Property: Count matches popcount and set algebra identities hold.
+func TestQuickAlgebraIdentities(t *testing.T) {
+	f := func(a, b uint64) bool {
+		x, y := Set(a)&Range(MaxTables), Set(b)&Range(MaxTables)
+		if x.Count() != bits.OnesCount64(uint64(x)) {
+			return false
+		}
+		if x.Union(y).Minus(y) != x.Minus(y) {
+			return false
+		}
+		if x.Intersect(y).Union(x.Minus(y)) != x {
+			return false
+		}
+		if x.Union(y).Count() != x.Count()+y.Count()-x.Intersect(y).Count() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: subset enumeration visits exactly 2^|s| distinct subsets.
+func TestQuickSubsetCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		var s Set
+		for i := 0; i < 12; i++ {
+			if rng.Intn(2) == 1 {
+				s = s.Add(rng.Intn(20))
+			}
+		}
+		n := 0
+		s.Subsets(func(Set) { n++ })
+		if n != 1<<uint(s.Count()) {
+			t.Fatalf("set %v: %d subsets, want %d", s, n, 1<<uint(s.Count()))
+		}
+	}
+}
+
+func BenchmarkForEach(b *testing.B) {
+	s := Range(24)
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		s.ForEach(func(j int) { sum += j })
+	}
+	_ = sum
+}
+
+func BenchmarkSubsets(b *testing.B) {
+	s := Range(12)
+	n := 0
+	for i := 0; i < b.N; i++ {
+		s.Subsets(func(Set) { n++ })
+	}
+	_ = n
+}

@@ -1,0 +1,142 @@
+// Package catalog stores the metadata that query optimization needs:
+// table cardinalities and attribute domain sizes.
+//
+// The paper (§4.1) notes that workers need access to statistics such as
+// cardinality and value distributions to estimate plan costs, sent either
+// with each query or distributed ahead of time. Catalog is that statistics
+// store; internal/wire serializes the query-specific extract of it that
+// the master ships to workers.
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Attribute describes one column of a table. Domain is the number of
+// distinct values; the selectivity of an equality predicate between two
+// attributes is 1/max(domain_a, domain_b), the standard System-R estimate
+// used by the Steinbrunn et al. benchmark method the paper adopts.
+type Attribute struct {
+	Name   string `json:"name"`
+	Domain int64  `json:"domain"`
+}
+
+// Table describes one base relation.
+type Table struct {
+	Name        string      `json:"name"`
+	Cardinality float64     `json:"cardinality"`
+	Attributes  []Attribute `json:"attributes"`
+}
+
+// Catalog is a collection of base relations, indexed by position and by
+// name. The zero value is an empty catalog ready for use.
+type Catalog struct {
+	tables []Table
+	byName map[string]int
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{byName: map[string]int{}}
+}
+
+// AddTable appends a table and returns its index. It returns an error if
+// the name is empty or already present, or the cardinality is not
+// positive.
+func (c *Catalog) AddTable(t Table) (int, error) {
+	if t.Name == "" {
+		return 0, fmt.Errorf("catalog: table name must not be empty")
+	}
+	if _, dup := c.byName[t.Name]; dup {
+		return 0, fmt.Errorf("catalog: duplicate table %q", t.Name)
+	}
+	if t.Cardinality <= 0 {
+		return 0, fmt.Errorf("catalog: table %q has non-positive cardinality %g", t.Name, t.Cardinality)
+	}
+	for i, a := range t.Attributes {
+		if a.Domain <= 0 {
+			return 0, fmt.Errorf("catalog: table %q attribute %d has non-positive domain %d", t.Name, i, a.Domain)
+		}
+	}
+	if c.byName == nil {
+		c.byName = map[string]int{}
+	}
+	c.tables = append(c.tables, t)
+	c.byName[t.Name] = len(c.tables) - 1
+	return len(c.tables) - 1, nil
+}
+
+// MustAddTable is AddTable for construction code where the input is known
+// to be valid; it panics on error.
+func (c *Catalog) MustAddTable(t Table) int {
+	id, err := c.AddTable(t)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Len returns the number of tables.
+func (c *Catalog) Len() int { return len(c.tables) }
+
+// Table returns the table at index id.
+func (c *Catalog) Table(id int) Table {
+	return c.tables[id]
+}
+
+// Lookup returns the index of the named table.
+func (c *Catalog) Lookup(name string) (int, bool) {
+	id, ok := c.byName[name]
+	return id, ok
+}
+
+// EqSelectivity returns the selectivity estimate for an equality
+// predicate between attribute ai of table a and attribute bi of table b:
+// 1 / max(domain_a, domain_b).
+func (c *Catalog) EqSelectivity(a, ai, b, bi int) (float64, error) {
+	if a < 0 || a >= len(c.tables) || b < 0 || b >= len(c.tables) {
+		return 0, fmt.Errorf("catalog: table index out of range (%d, %d)", a, b)
+	}
+	ta, tb := c.tables[a], c.tables[b]
+	if ai < 0 || ai >= len(ta.Attributes) {
+		return 0, fmt.Errorf("catalog: attribute %d out of range for table %q", ai, ta.Name)
+	}
+	if bi < 0 || bi >= len(tb.Attributes) {
+		return 0, fmt.Errorf("catalog: attribute %d out of range for table %q", bi, tb.Name)
+	}
+	da, db := ta.Attributes[ai].Domain, tb.Attributes[bi].Domain
+	m := da
+	if db > m {
+		m = db
+	}
+	return 1 / float64(m), nil
+}
+
+// catalogJSON is the serialized shape.
+type catalogJSON struct {
+	Tables []Table `json:"tables"`
+}
+
+// WriteJSON serializes the catalog.
+func (c *Catalog) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(catalogJSON{Tables: c.tables})
+}
+
+// ReadJSON parses a catalog previously written by WriteJSON.
+func ReadJSON(r io.Reader) (*Catalog, error) {
+	var cj catalogJSON
+	if err := json.NewDecoder(r).Decode(&cj); err != nil {
+		return nil, fmt.Errorf("catalog: decode: %w", err)
+	}
+	c := New()
+	for _, t := range cj.Tables {
+		if _, err := c.AddTable(t); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}

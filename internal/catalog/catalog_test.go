@@ -1,0 +1,138 @@
+package catalog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func twoTableCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	c := New()
+	c.MustAddTable(Table{
+		Name: "orders", Cardinality: 10000,
+		Attributes: []Attribute{{Name: "id", Domain: 10000}, {Name: "cust", Domain: 500}},
+	})
+	c.MustAddTable(Table{
+		Name: "customers", Cardinality: 500,
+		Attributes: []Attribute{{Name: "id", Domain: 500}},
+	})
+	return c
+}
+
+func TestAddAndLookup(t *testing.T) {
+	c := twoTableCatalog(t)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	id, ok := c.Lookup("customers")
+	if !ok || id != 1 {
+		t.Fatalf("Lookup customers = %d,%v", id, ok)
+	}
+	if _, ok := c.Lookup("nope"); ok {
+		t.Fatal("Lookup of absent table succeeded")
+	}
+	if got := c.Table(0).Name; got != "orders" {
+		t.Fatalf("Table(0) = %q", got)
+	}
+}
+
+func TestAddTableRejectsInvalid(t *testing.T) {
+	c := New()
+	cases := []Table{
+		{Name: "", Cardinality: 10},
+		{Name: "t", Cardinality: 0},
+		{Name: "t", Cardinality: -5},
+		{Name: "t", Cardinality: 10, Attributes: []Attribute{{Name: "a", Domain: 0}}},
+	}
+	for i, tc := range cases {
+		if _, err := c.AddTable(tc); err == nil {
+			t.Errorf("case %d: AddTable(%+v) succeeded", i, tc)
+		}
+	}
+	c.MustAddTable(Table{Name: "t", Cardinality: 10})
+	if _, err := c.AddTable(Table{Name: "t", Cardinality: 20}); err == nil {
+		t.Error("duplicate AddTable succeeded")
+	}
+}
+
+func TestMustAddTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAddTable did not panic on invalid input")
+		}
+	}()
+	New().MustAddTable(Table{Name: "", Cardinality: 1})
+}
+
+func TestEqSelectivity(t *testing.T) {
+	c := twoTableCatalog(t)
+	sel, err := c.EqSelectivity(0, 1, 1, 0) // orders.cust = customers.id
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel != 1.0/500 {
+		t.Fatalf("sel = %g want %g", sel, 1.0/500)
+	}
+	// max of the two domains dominates
+	sel, err = c.EqSelectivity(0, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel != 1.0/10000 {
+		t.Fatalf("sel = %g want %g", sel, 1.0/10000)
+	}
+}
+
+func TestEqSelectivityErrors(t *testing.T) {
+	c := twoTableCatalog(t)
+	if _, err := c.EqSelectivity(0, 1, 5, 0); err == nil {
+		t.Error("table index out of range accepted")
+	}
+	if _, err := c.EqSelectivity(0, 9, 1, 0); err == nil {
+		t.Error("attribute index out of range accepted")
+	}
+	if _, err := c.EqSelectivity(-1, 0, 1, 0); err == nil {
+		t.Error("negative table index accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	c := twoTableCatalog(t)
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != c.Len() {
+		t.Fatalf("round trip Len = %d", got.Len())
+	}
+	for i := 0; i < c.Len(); i++ {
+		a, b := c.Table(i), got.Table(i)
+		if a.Name != b.Name || a.Cardinality != b.Cardinality || len(a.Attributes) != len(b.Attributes) {
+			t.Fatalf("table %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"tables":[{"name":"","cardinality":1}]}`)); err == nil {
+		t.Fatal("invalid table accepted")
+	}
+}
+
+func TestZeroValueCatalogUsable(t *testing.T) {
+	var c Catalog
+	if _, err := c.AddTable(Table{Name: "x", Cardinality: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if id, ok := c.Lookup("x"); !ok || id != 0 {
+		t.Fatalf("Lookup = %d,%v", id, ok)
+	}
+}

@@ -1,0 +1,247 @@
+// Package cluster simulates MPQ on a shared-nothing cluster.
+//
+// The paper evaluates on 100 nodes running Spark on Yarn (§6.1) — a
+// testbed we substitute with a deterministic simulator that preserves the
+// behaviours the evaluation measures:
+//
+//   - Network bytes are exact: every master↔worker message is serialized
+//     by internal/wire and its real length is accounted.
+//   - Virtual time follows the cluster cost structure the paper
+//     describes: per-message latency, link bandwidth, per-task assignment
+//     (executor setup) overhead, and per-worker compute derived from the
+//     DP's deterministic work meter — which the paper shows is
+//     proportional to running time and skew-free.
+//
+// The simulator runs the real optimizer (workers decode their request
+// bytes and run the full constrained DP), so results are bit-identical
+// to the in-process engine; only the clock is virtual.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mpq/internal/core"
+	"mpq/internal/plan"
+	"mpq/internal/query"
+	"mpq/internal/wire"
+)
+
+// Model parameterizes the simulated cluster.
+type Model struct {
+	// Latency is the one-way delay of a message between two nodes.
+	Latency time.Duration
+	// Bandwidth is the link throughput in bytes per second.
+	Bandwidth float64
+	// TaskSetup is the per-task launch overhead paid on the executing
+	// worker (Spark-style task scheduling and JVM dispatch); workers pay
+	// it in parallel.
+	TaskSetup time.Duration
+	// DispatchPerTask is the master-side serial cost of creating and
+	// enqueuing one task — the fine-grained-management overhead the
+	// paper's §2 identifies as the master's bottleneck for SMA.
+	DispatchPerTask time.Duration
+	// NsPerWorkUnit converts one DP work unit (set processed, split
+	// tried, or plan generated) into nanoseconds of worker compute.
+	NsPerWorkUnit float64
+	// FinalPrunePerPlan is the master-side cost of comparing one
+	// returned plan during FinalPrune.
+	FinalPrunePerPlan time.Duration
+}
+
+// Default returns the model used by the experiment harness: 1 ms
+// latency, 100 MB/s links, 100 ms task launch (Spark-like), 200 µs
+// master-side dispatch per task, 2 µs per work unit. The compute rate is
+// calibrated so the paper-scale queries (Linear-20/24) take on the order
+// of a minute on one worker — the "optimization takes minutes on a
+// single node" regime in which the paper reports its speedups.
+func Default() Model {
+	return Model{
+		Latency:           time.Millisecond,
+		Bandwidth:         100e6,
+		TaskSetup:         100 * time.Millisecond,
+		DispatchPerTask:   200 * time.Microsecond,
+		NsPerWorkUnit:     2000,
+		FinalPrunePerPlan: 200 * time.Nanosecond,
+	}
+}
+
+// Validate reports whether the model is usable.
+func (m Model) Validate() error {
+	if m.Latency < 0 || m.Bandwidth <= 0 || m.TaskSetup < 0 || m.DispatchPerTask < 0 ||
+		m.NsPerWorkUnit < 0 || m.FinalPrunePerPlan < 0 {
+		return fmt.Errorf("cluster: invalid model %+v", m)
+	}
+	return nil
+}
+
+// transfer returns the time to push n bytes through one link.
+func (m Model) transfer(n int) time.Duration {
+	return time.Duration(float64(n) / m.Bandwidth * float64(time.Second))
+}
+
+// compute converts work units into virtual compute time.
+func (m Model) compute(units uint64) time.Duration {
+	return time.Duration(float64(units) * m.NsPerWorkUnit)
+}
+
+// MPQTime evaluates the one-round MPQ schedule on this cluster model:
+// reqBytes[i] and respBytes[i] are worker i's request and response sizes,
+// units[i] its compute work. It returns the master-observed total time
+// (excluding FinalPrune, which the caller adds per returned plan) and the
+// slowest worker's compute time. The master NIC serializes sends and
+// receives, making the master's share linear in the worker count
+// (Theorem 5).
+func (m Model) MPQTime(reqBytes, respBytes []int, units []uint64) (total, maxWorker time.Duration) {
+	var masterSendBusy, masterRecvBusy time.Duration
+	starts := make([]time.Duration, len(reqBytes))
+	for i, rb := range reqBytes {
+		masterSendBusy += m.DispatchPerTask + m.transfer(rb)
+		// Task launch happens on the workers, concurrently.
+		starts[i] = masterSendBusy + m.Latency + m.TaskSetup
+	}
+	for i := range reqBytes {
+		computeT := m.compute(units[i])
+		if computeT > maxWorker {
+			maxWorker = computeT
+		}
+		arrival := starts[i] + computeT + m.Latency
+		if arrival > masterRecvBusy {
+			masterRecvBusy = arrival
+		}
+		masterRecvBusy += m.transfer(respBytes[i])
+	}
+	return masterRecvBusy, maxWorker
+}
+
+// Metrics is the simulator's measurement record — one row of the paper's
+// figures.
+type Metrics struct {
+	// Bytes is the total traffic over the network (both directions),
+	// the "Network (bytes)" axis.
+	Bytes uint64
+	// Messages is the number of point-to-point messages.
+	Messages int
+	// Rounds is the number of master↔worker communication rounds
+	// (always 1 for MPQ; n-1 for SMA).
+	Rounds int
+	// VirtualTime is the master-observed end-to-end optimization time,
+	// the "Time (ms)" axis.
+	VirtualTime time.Duration
+	// MaxWorkerTime is the slowest worker's busy time, the "W-Time" axis.
+	MaxWorkerTime time.Duration
+	// MaxMemoEntries is the peak per-worker memo size, the
+	// "Memory (relations)" axis.
+	MaxMemoEntries uint64
+	// Work aggregates the DP work counters over all workers.
+	Work plan.Stats
+}
+
+// Result is the outcome of one simulated optimization.
+type Result struct {
+	Best     *plan.Node
+	Frontier []*plan.Node // multi-objective only
+	Metrics  Metrics
+}
+
+// RunMPQ simulates Algorithm 1: the master serializes (query, partition
+// ID, m) for each worker; workers decode their request bytes, run the
+// real constrained DP, and serialize their partition-optimal plans back;
+// the master decodes and FinalPrunes. One round, no worker↔worker
+// traffic.
+func RunMPQ(model Model, q *query.Query, spec core.JobSpec) (*Result, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(q.N()); err != nil {
+		return nil, err
+	}
+	q.Freeze()
+	m := spec.Workers
+
+	// Master builds and "sends" one request per worker. The master NIC
+	// serializes outbound messages, so send completions are cumulative
+	// (Theorem 5's O(m·bq) master time).
+	type workerRun struct {
+		req       []byte
+		respBytes int
+		resp      *wire.JobResponse
+		err       error
+	}
+	runs := make([]workerRun, m)
+	for partID := 0; partID < m; partID++ {
+		b := wire.EncodeJobRequest(&wire.JobRequest{Spec: spec, PartID: partID, Query: q})
+		runs[partID] = workerRun{req: b}
+	}
+
+	// Workers decode and run the real DP concurrently (wall-clock
+	// speedup for the simulation itself; virtual time uses work units).
+	var wg sync.WaitGroup
+	for partID := 0; partID < m; partID++ {
+		wg.Add(1)
+		go func(partID int) {
+			defer wg.Done()
+			decoded, err := wire.DecodeJobRequest(runs[partID].req)
+			if err != nil {
+				runs[partID].err = err
+				return
+			}
+			res, err := core.RunWorker(decoded.Query, decoded.Spec, decoded.PartID)
+			if err != nil {
+				runs[partID].err = err
+				return
+			}
+			resp := &wire.JobResponse{Plans: res.Plans, Stats: res.Stats}
+			rb := wire.EncodeJobResponse(resp)
+			// Decode on the master side to stay honest about the protocol.
+			back, err := wire.DecodeJobResponse(rb)
+			if err != nil {
+				runs[partID].err = err
+				return
+			}
+			runs[partID].resp = back
+			runs[partID].respBytes = len(rb)
+		}(partID)
+	}
+	wg.Wait()
+
+	met := Metrics{Rounds: 1}
+	out := &Result{}
+	frontiers := make([][]*plan.Node, 0, m)
+	reqBytes := make([]int, m)
+	respBytes := make([]int, m)
+	units := make([]uint64, m)
+	var planCount int
+	for partID := 0; partID < m; partID++ {
+		r := runs[partID]
+		if r.err != nil {
+			return nil, fmt.Errorf("cluster: worker %d: %w", partID, r.err)
+		}
+		met.Bytes += uint64(len(r.req) + r.respBytes)
+		met.Messages += 2
+		met.Work.Add(r.resp.Stats)
+		if r.resp.Stats.MemoEntries > met.MaxMemoEntries {
+			met.MaxMemoEntries = r.resp.Stats.MemoEntries
+		}
+		reqBytes[partID] = len(r.req)
+		respBytes[partID] = r.respBytes
+		units[partID] = r.resp.Stats.WorkUnits()
+		frontiers = append(frontiers, r.resp.Plans)
+		planCount += len(r.resp.Plans)
+	}
+	total, maxWorker := model.MPQTime(reqBytes, respBytes, units)
+	met.VirtualTime = total + time.Duration(planCount)*model.FinalPrunePerPlan
+	met.MaxWorkerTime = maxWorker
+
+	best, frontier, err := core.FinalPrune(spec, frontiers)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	out.Best, out.Frontier = best, frontier
+	out.Metrics = met
+	return out, nil
+}

@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mpq/internal/core"
+	"mpq/internal/dp"
+	"mpq/internal/partition"
+	"mpq/internal/query"
+	"mpq/internal/workload"
+)
+
+func gen(t testing.TB, n int, seed int64) *query.Query {
+	t.Helper()
+	return workload.MustGenerate(workload.NewParams(n, workload.Star), seed)
+}
+
+func approx(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestModelValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Default()
+	bad.Bandwidth = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	bad = Default()
+	bad.Latency = -time.Second
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative latency accepted")
+	}
+}
+
+// The simulator must return exactly the same plan cost as the in-process
+// engine: only the clock is virtual.
+func TestSimulationMatchesInProcess(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		q := gen(t, 8, seed)
+		for _, m := range []int{1, 4, 16} {
+			spec := core.JobSpec{Space: partition.Linear, Workers: m}
+			sim, err := RunMPQ(Default(), q, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			local, err := core.Optimize(q, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !approx(sim.Best.Cost, local.Best.Cost) {
+				t.Fatalf("m=%d seed=%d: sim %g != local %g", m, seed, sim.Best.Cost, local.Best.Cost)
+			}
+		}
+	}
+}
+
+func TestNetworkBytesLinearInWorkers(t *testing.T) {
+	q := gen(t, 12, 1)
+	var bytesPerWorker []float64
+	for _, m := range []int{2, 4, 8, 16} {
+		res, err := RunMPQ(Default(), q, core.JobSpec{Space: partition.Linear, Workers: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bytesPerWorker = append(bytesPerWorker, float64(res.Metrics.Bytes)/float64(m))
+	}
+	// Theorem 1: traffic is O(m · (bq + bp)) — per-worker bytes are flat.
+	for i := 1; i < len(bytesPerWorker); i++ {
+		ratio := bytesPerWorker[i] / bytesPerWorker[0]
+		if ratio > 1.1 || ratio < 0.9 {
+			t.Fatalf("per-worker bytes not flat: %v", bytesPerWorker)
+		}
+	}
+}
+
+func TestOneRoundTwoMessagesPerWorker(t *testing.T) {
+	q := gen(t, 8, 0)
+	res, err := RunMPQ(Default(), q, core.JobSpec{Space: partition.Linear, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Rounds != 1 {
+		t.Fatalf("rounds = %d", res.Metrics.Rounds)
+	}
+	if res.Metrics.Messages != 16 {
+		t.Fatalf("messages = %d want 16", res.Metrics.Messages)
+	}
+}
+
+// W-Time (max per-worker compute) must decrease monotonically in the
+// worker count — the paper's central scaling claim.
+func TestWorkerTimeDecreasesWithParallelism(t *testing.T) {
+	q := gen(t, 14, 2)
+	var prev time.Duration = 1<<62 - 1
+	for _, m := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		res, err := RunMPQ(Default(), q, core.JobSpec{Space: partition.Linear, Workers: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Metrics.MaxWorkerTime >= prev {
+			t.Fatalf("m=%d: W-time %v did not decrease from %v", m, res.Metrics.MaxWorkerTime, prev)
+		}
+		prev = res.Metrics.MaxWorkerTime
+	}
+}
+
+// Theorem 6: per-worker work shrinks by 3/4 per doubling (linear space).
+func TestWorkReductionMatchesTheory(t *testing.T) {
+	q := gen(t, 14, 3)
+	model := Default()
+	var prevMax uint64
+	for i, m := range []int{1, 2, 4, 8, 16} {
+		res, err := RunMPQ(model, q, core.JobSpec{Space: partition.Linear, Workers: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Recover the slowest worker's units from its virtual compute time.
+		maxUnits := uint64(float64(res.Metrics.MaxWorkerTime.Nanoseconds()) / model.NsPerWorkUnit)
+		if i > 0 {
+			ratio := float64(maxUnits) / float64(prevMax)
+			if ratio < 0.70 || ratio > 0.80 {
+				t.Fatalf("m=%d: work ratio %.3f outside [0.70, 0.80]", m, ratio)
+			}
+		}
+		prevMax = maxUnits
+	}
+}
+
+func TestMultiObjectiveSimulation(t *testing.T) {
+	q := gen(t, 8, 4)
+	spec := core.JobSpec{
+		Space: partition.Linear, Workers: 4,
+		Objective: core.MultiObjective, Alpha: 1,
+	}
+	sim, err := RunMPQ(Default(), q, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sim.Frontier) == 0 {
+		t.Fatal("no frontier")
+	}
+	local, err := core.Optimize(q, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sim.Frontier) != len(local.Frontier) {
+		t.Fatalf("sim frontier %d != local %d", len(sim.Frontier), len(local.Frontier))
+	}
+	// MO responses carry whole frontiers, so traffic exceeds the
+	// single-objective run's.
+	single, err := RunMPQ(Default(), q, core.JobSpec{Space: partition.Linear, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Metrics.Bytes <= single.Metrics.Bytes {
+		t.Fatalf("MO bytes %d not above single-objective %d", sim.Metrics.Bytes, single.Metrics.Bytes)
+	}
+}
+
+func TestMemoryMetricMatchesDP(t *testing.T) {
+	q := gen(t, 10, 5)
+	res, err := RunMPQ(Default(), q, core.JobSpec{Space: partition.Linear, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worker memo size equals the DP's count for one partition.
+	cs, _ := partition.ForPartition(partition.Linear, 10, 0, 4)
+	ref, err := dp.Run(q, cs, dp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.MaxMemoEntries != ref.Stats.MemoEntries {
+		t.Fatalf("memory metric %d != DP %d", res.Metrics.MaxMemoEntries, ref.Stats.MemoEntries)
+	}
+}
+
+func TestRunMPQRejectsInvalid(t *testing.T) {
+	q := gen(t, 8, 0)
+	if _, err := RunMPQ(Model{}, q, core.JobSpec{Space: partition.Linear, Workers: 2}); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+	if _, err := RunMPQ(Default(), q, core.JobSpec{Space: partition.Linear, Workers: 3}); err == nil {
+		t.Fatal("invalid worker count accepted")
+	}
+}
+
+func TestVirtualTimeIncludesLatencyFloor(t *testing.T) {
+	q := gen(t, 6, 0)
+	model := Default()
+	res, err := RunMPQ(model, q, core.JobSpec{Space: partition.Linear, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At minimum: task setup + 2 latencies must be present.
+	floor := model.TaskSetup + 2*model.Latency
+	if res.Metrics.VirtualTime < floor {
+		t.Fatalf("virtual time %v below floor %v", res.Metrics.VirtualTime, floor)
+	}
+}

@@ -1,0 +1,285 @@
+// Package core implements MPQ, the paper's massively-parallel query
+// optimization algorithm (§4.1, Algorithm 1): the master hands each
+// worker the query plus a plan-space partition ID, every worker
+// independently finds the optimal plan(s) inside its partition with the
+// shared dynamic-programming engine, and the master compares the
+// partition-optimal plans to obtain the global optimum. Exactly one task
+// per worker, one round of communication, no shared state.
+//
+// This package provides the job specification shared by all execution
+// engines, the worker entry point, and the in-process engine that runs
+// workers as goroutines (the shared-nothing analogue on a single
+// machine). The cluster simulator (internal/cluster) and the TCP runtime
+// (internal/netrun) reuse the same worker entry point.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"mpq/internal/cost"
+	"mpq/internal/dp"
+	"mpq/internal/mo"
+	"mpq/internal/partition"
+	"mpq/internal/plan"
+	"mpq/internal/query"
+)
+
+// Objective selects between the paper's two experiment series.
+type Objective int
+
+const (
+	// SingleObjective optimizes the time metric only (first series, §6.2).
+	SingleObjective Objective = iota
+	// MultiObjective approximates the Pareto frontier over (time, buffer)
+	// with the α-pruning of [22, 23] (second series).
+	MultiObjective
+)
+
+// String names the objective mode.
+func (o Objective) String() string {
+	switch o {
+	case SingleObjective:
+		return "single-objective"
+	case MultiObjective:
+		return "multi-objective"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// JobSpec is the complete, serializable description of one optimization
+// job. The master sends (JobSpec, partition ID, query) to each worker;
+// nothing else is needed, which is what keeps the protocol to one round.
+type JobSpec struct {
+	// Space selects the linear or bushy plan space.
+	Space partition.Space
+	// Workers is the number of plan-space partitions m (a power of two).
+	Workers int
+	// Objective selects single- or multi-objective pruning.
+	Objective Objective
+	// Alpha is the approximation factor for multi-objective pruning
+	// (ignored for single-objective jobs; the paper's default is 10).
+	Alpha float64
+	// InterestingOrders enables sort-order tracking in the DP.
+	InterestingOrders bool
+	// DisableCrossProducts is an ablation switch (off in the paper).
+	DisableCrossProducts bool
+	// CostModel overrides the cost model (zero value = cost.Default()).
+	// Set cost.Parametric(spill) with MultiObjective for parametric
+	// query optimization.
+	CostModel cost.Model
+}
+
+// Validate checks the spec against an n-table query.
+func (s JobSpec) Validate(n int) error {
+	if !s.Space.Valid() {
+		return fmt.Errorf("core: invalid plan space %d", int(s.Space))
+	}
+	if _, err := partition.NumConstraints(s.Workers); err != nil {
+		return err
+	}
+	if max := partition.MaxWorkers(s.Space, n); s.Workers > max {
+		return fmt.Errorf("core: %d workers exceed the maximum of %d for %v space and %d tables",
+			s.Workers, max, s.Space, n)
+	}
+	switch s.Objective {
+	case SingleObjective, MultiObjective:
+	default:
+		return fmt.Errorf("core: invalid objective %d", int(s.Objective))
+	}
+	if s.Objective == MultiObjective && s.Alpha != 0 && s.Alpha < 1 {
+		return fmt.Errorf("core: approximation factor α=%g must be ≥ 1", s.Alpha)
+	}
+	if s.CostModel != (cost.Model{}) {
+		if err := s.CostModel.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Pruner builds the pruning function the spec asks for — the only thing
+// that differs between the optimization variants (§4).
+func (s JobSpec) Pruner() dp.Pruner {
+	if s.Objective == MultiObjective {
+		alpha := s.Alpha
+		if alpha < 1 {
+			alpha = 1
+		}
+		return mo.ParetoPruner{Alpha: alpha}
+	}
+	if s.InterestingOrders {
+		return dp.OrderAware{}
+	}
+	return dp.SingleBest{}
+}
+
+// DPOptions assembles the DP engine options for this spec.
+func (s JobSpec) DPOptions() dp.Options {
+	return dp.Options{
+		Model:                s.CostModel,
+		Pruner:               s.Pruner(),
+		InterestingOrders:    s.InterestingOrders,
+		DisableCrossProducts: s.DisableCrossProducts,
+	}
+}
+
+// RunWorker executes one worker task (Algorithm 2): decode the partition
+// ID into constraints, enumerate admissible join results, and run the
+// constrained dynamic program. It is the single entry point shared by
+// the goroutine engine, the cluster simulator and the TCP runtime.
+func RunWorker(q *query.Query, spec JobSpec, partID int) (*dp.Result, error) {
+	if err := spec.Validate(q.N()); err != nil {
+		return nil, err
+	}
+	cs, err := partition.ForPartition(spec.Space, q.N(), partID, spec.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return dp.Run(q, cs, spec.DPOptions())
+}
+
+// WorkerReport is the master's record of one worker's contribution.
+type WorkerReport struct {
+	PartID  int
+	Plans   int
+	Stats   plan.Stats
+	Elapsed time.Duration
+}
+
+// Answer is the master's final result.
+type Answer struct {
+	// Best is the cost-optimal plan (time metric). For multi-objective
+	// jobs it is the minimum-time member of the frontier.
+	Best *plan.Node
+	// Frontier is the merged α-approximate Pareto frontier
+	// (multi-objective jobs only; nil otherwise).
+	Frontier []*plan.Node
+	// Stats aggregates worker stats: work counters are summed,
+	// MemoEntries is the per-worker maximum (the paper's memory metric).
+	Stats plan.Stats
+	// MaxWorkerStats is the largest per-worker work counter set — the
+	// critical path of skew-free parallel execution.
+	MaxWorkerStats plan.Stats
+	// PerWorker lists each worker's report, ordered by partition ID.
+	PerWorker []WorkerReport
+	// Elapsed is the master's total wall-clock time for the job.
+	Elapsed time.Duration
+	// MaxWorkerElapsed is the slowest worker's wall-clock time
+	// ("W-Time" in Figure 2).
+	MaxWorkerElapsed time.Duration
+}
+
+// FinalPrune implements the master's second phase (Algorithm 1, lines
+// 8-11): compare the partition-optimal plans returned by the workers and
+// keep the global optimum — the single cheapest plan, or the merged
+// α-approximate frontier for multi-objective jobs (in which case Best is
+// the frontier's minimum-time member).
+func FinalPrune(spec JobSpec, frontiers [][]*plan.Node) (best *plan.Node, frontier []*plan.Node, err error) {
+	if spec.Objective == MultiObjective {
+		alpha := spec.Alpha
+		if alpha < 1 {
+			alpha = 1
+		}
+		frontier = mo.Merge(frontiers, alpha)
+		for _, p := range frontier {
+			if best == nil || p.Cost < best.Cost {
+				best = p
+			}
+		}
+	} else {
+		for _, f := range frontiers {
+			for _, p := range f {
+				if best == nil || p.Cost < best.Cost {
+					best = p
+				}
+			}
+		}
+	}
+	if best == nil {
+		return nil, nil, fmt.Errorf("core: no plan returned by any worker")
+	}
+	return best, frontier, nil
+}
+
+// Optimize runs MPQ with in-process goroutine workers: the Master
+// function of Algorithm 1 with goroutines standing in for cluster nodes.
+// Parallelism defaults to one goroutine per partition.
+func Optimize(q *query.Query, spec JobSpec) (*Answer, error) {
+	return OptimizeParallelism(q, spec, spec.Workers)
+}
+
+// OptimizeParallelism runs MPQ with at most maxParallel concurrent worker
+// goroutines (the paper's executors-per-node knob). maxParallel < 1
+// means one goroutine per partition.
+func OptimizeParallelism(q *query.Query, spec JobSpec, maxParallel int) (*Answer, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(q.N()); err != nil {
+		return nil, err
+	}
+	q.Freeze() // freeze before sharing across goroutines
+
+	start := time.Now()
+	m := spec.Workers
+	if maxParallel < 1 || maxParallel > m {
+		maxParallel = m
+	}
+
+	type outcome struct {
+		partID  int
+		res     *dp.Result
+		elapsed time.Duration
+		err     error
+	}
+	results := make([]outcome, m)
+	sem := make(chan struct{}, maxParallel)
+	var wg sync.WaitGroup
+	for partID := 0; partID < m; partID++ {
+		wg.Add(1)
+		go func(partID int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t0 := time.Now()
+			res, err := RunWorker(q, spec, partID)
+			results[partID] = outcome{partID: partID, res: res, elapsed: time.Since(t0), err: err}
+		}(partID)
+	}
+	wg.Wait()
+
+	ans := &Answer{}
+	frontiers := make([][]*plan.Node, 0, m)
+	for _, oc := range results {
+		if oc.err != nil {
+			return nil, fmt.Errorf("core: worker %d: %w", oc.partID, oc.err)
+		}
+		ans.PerWorker = append(ans.PerWorker, WorkerReport{
+			PartID:  oc.partID,
+			Plans:   len(oc.res.Plans),
+			Stats:   oc.res.Stats,
+			Elapsed: oc.elapsed,
+		})
+		ans.Stats.Add(oc.res.Stats)
+		if oc.res.Stats.WorkUnits() > ans.MaxWorkerStats.WorkUnits() {
+			ans.MaxWorkerStats = oc.res.Stats
+		}
+		if oc.elapsed > ans.MaxWorkerElapsed {
+			ans.MaxWorkerElapsed = oc.elapsed
+		}
+		frontiers = append(frontiers, oc.res.Plans)
+	}
+	sort.Slice(ans.PerWorker, func(i, j int) bool { return ans.PerWorker[i].PartID < ans.PerWorker[j].PartID })
+
+	best, frontier, err := FinalPrune(spec, frontiers)
+	if err != nil {
+		return nil, err
+	}
+	ans.Best, ans.Frontier = best, frontier
+	ans.Elapsed = time.Since(start)
+	return ans, nil
+}

@@ -1,0 +1,219 @@
+// Package cost implements the plan cost model: Steinbrunn-style formulas
+// for scans and the three standard join operators the paper benchmarks
+// (block-nested-loop, hash, sort-merge), a cardinality estimator hook,
+// and the buffer-space metric used as the second objective in the
+// multi-objective experiments (§6.1).
+//
+// Costs are abstract work units proportional to tuples processed. The
+// paper compares plans by relative cost only, so units cancel out.
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// JoinAlg identifies a join operator implementation.
+type JoinAlg int
+
+const (
+	// NestedLoop is the block-nested-loop join: every outer/inner tuple
+	// pair is inspected.
+	NestedLoop JoinAlg = iota
+	// Hash is the (in-memory GRACE-style) hash join: both inputs are
+	// scanned a constant number of times.
+	Hash
+	// SortMerge sorts both inputs on the join attribute and merges.
+	// A side that is already sorted on the join attribute skips its
+	// sort term (interesting orders).
+	SortMerge
+	numAlgs
+)
+
+// Algs lists all join algorithms in a stable order.
+var Algs = [...]JoinAlg{NestedLoop, Hash, SortMerge}
+
+// String returns the conventional operator name.
+func (a JoinAlg) String() string {
+	switch a {
+	case NestedLoop:
+		return "NLJ"
+	case Hash:
+		return "HJ"
+	case SortMerge:
+		return "SMJ"
+	default:
+		return fmt.Sprintf("JoinAlg(%d)", int(a))
+	}
+}
+
+// Valid reports whether a names a real algorithm.
+func (a JoinAlg) Valid() bool { return a >= 0 && a < numAlgs }
+
+// SecondMetric selects what a plan's second cost annotation
+// (plan.Node.Buffer) measures.
+type SecondMetric int
+
+const (
+	// BufferFootprint is the paper's second objective (§6.1): the
+	// operator's buffer-space requirement, combined with max up the
+	// plan tree.
+	BufferFootprint SecondMetric = iota
+	// ParametricCost makes the second annotation the plan's execution
+	// cost at parameter value θ=1 (memory pressure: hash joins spill
+	// and cost HashSpillFactor times more), combined additively. With
+	// plan cost linear in θ, Pareto pruning over (cost(0), cost(1)) is
+	// exact parametric query optimization — the [7, 13] variant the
+	// paper's §2 says the partitioning covers.
+	ParametricCost
+)
+
+// Model parameterizes the cost formulas. The zero value is not valid;
+// use Default().
+type Model struct {
+	// HashFactor scales the hash join's linear passes (build + probe).
+	HashFactor float64
+	// SortFactor scales the n·log2(n) sort terms of the sort-merge join.
+	SortFactor float64
+	// NLBlock models blocking in the nested-loop join: the effective
+	// cost is outer·inner/NLBlock (one inner scan per outer block).
+	NLBlock float64
+	// Second selects the second metric (default BufferFootprint).
+	Second SecondMetric
+	// HashSpillFactor is the θ=1 hash-join cost multiplier for
+	// ParametricCost (ignored otherwise; must be ≥ 1).
+	HashSpillFactor float64
+}
+
+// Default returns the model used throughout the experiments.
+func Default() Model {
+	return Model{HashFactor: 1.2, SortFactor: 1.0, NLBlock: 1.0}
+}
+
+// Parametric returns the model for parametric query optimization: the
+// second metric is the plan cost under full memory pressure (hash joins
+// cost spill times more).
+func Parametric(spill float64) Model {
+	m := Default()
+	m.Second = ParametricCost
+	m.HashSpillFactor = spill
+	return m
+}
+
+// Validate reports whether the model parameters are usable.
+func (m Model) Validate() error {
+	if !(m.HashFactor > 0) || !(m.SortFactor > 0) || !(m.NLBlock > 0) {
+		return fmt.Errorf("cost: non-positive model parameter: %+v", m)
+	}
+	switch m.Second {
+	case BufferFootprint:
+	case ParametricCost:
+		if !(m.HashSpillFactor >= 1) {
+			return fmt.Errorf("cost: HashSpillFactor %g must be >= 1 for ParametricCost", m.HashSpillFactor)
+		}
+	default:
+		return fmt.Errorf("cost: invalid second metric %d", int(m.Second))
+	}
+	return nil
+}
+
+// ScanCost is the cost of producing a base relation of the given
+// cardinality.
+func (m Model) ScanCost(card float64) float64 { return card }
+
+// ScanBuffer is the buffer footprint of a scan (a constant page).
+func (m Model) ScanBuffer(card float64) float64 { return 1 }
+
+func log2(x float64) float64 {
+	if x < 2 {
+		return 1 // clamp: sorting a tiny input still touches it once
+	}
+	return math.Log2(x)
+}
+
+// JoinCost returns the cost of joining an outer input of cardinality l
+// with an inner input of cardinality r using algorithm alg.
+// leftSorted/rightSorted report whether the respective input is already
+// sorted on the join attribute (only SortMerge cares).
+func (m Model) JoinCost(alg JoinAlg, l, r float64, leftSorted, rightSorted bool) float64 {
+	switch alg {
+	case NestedLoop:
+		return l * r / m.NLBlock
+	case Hash:
+		return m.HashFactor * (l + r)
+	case SortMerge:
+		c := l + r
+		if !leftSorted {
+			c += m.SortFactor * l * log2(l)
+		}
+		if !rightSorted {
+			c += m.SortFactor * r * log2(r)
+		}
+		return c
+	default:
+		panic(fmt.Sprintf("cost: unknown join algorithm %d", int(alg)))
+	}
+}
+
+// JoinBuffer returns the buffer-space footprint of the operator itself
+// (not including its inputs): the hash join materializes a build table on
+// the inner side; the sort-merge join needs sort space for both unsorted
+// inputs; the nested-loop join streams with a constant footprint.
+func (m Model) JoinBuffer(alg JoinAlg, l, r float64, leftSorted, rightSorted bool) float64 {
+	switch alg {
+	case NestedLoop:
+		return 2
+	case Hash:
+		return r + 1
+	case SortMerge:
+		b := 2.0
+		if !leftSorted {
+			b += l
+		}
+		if !rightSorted {
+			b += r
+		}
+		return b
+	default:
+		panic(fmt.Sprintf("cost: unknown join algorithm %d", int(alg)))
+	}
+}
+
+// ScanSecond returns a scan's second-metric value.
+func (m Model) ScanSecond(card float64) float64 {
+	if m.Second == ParametricCost {
+		return m.ScanCost(card)
+	}
+	return m.ScanBuffer(card)
+}
+
+// JoinSecond returns the operator's second-metric value: buffer
+// footprint, or the θ=1 operator cost for ParametricCost.
+func (m Model) JoinSecond(alg JoinAlg, l, r float64, leftSorted, rightSorted bool) float64 {
+	if m.Second == ParametricCost {
+		c := m.JoinCost(alg, l, r, leftSorted, rightSorted)
+		if alg == Hash {
+			c *= m.HashSpillFactor
+		}
+		return c
+	}
+	return m.JoinBuffer(alg, l, r, leftSorted, rightSorted)
+}
+
+// CombineSecond folds operand second-metric values with the operator's:
+// max for buffer footprints (concurrent pipeline peak), sum for
+// parametric costs (total work). Both are monotone, preserving the DP's
+// principle of optimality.
+func (m Model) CombineSecond(left, right, op float64) float64 {
+	if m.Second == ParametricCost {
+		return left + right + op
+	}
+	b := op
+	if left > b {
+		b = left
+	}
+	if right > b {
+		b = right
+	}
+	return b
+}

@@ -1,0 +1,361 @@
+// Package dp implements the dynamic-programming plan search executed by
+// each worker (Algorithm 2): Selinger-style enumeration of admissible join
+// results in ascending cardinality, trying all admissible operand splits
+// and pruning dominated plans.
+//
+// The engine is parameterized by a Pruner, mirroring the paper's
+// observation (§4) that single-objective, multi-objective and parametric
+// query optimization share the same dynamic-programming scheme and differ
+// only in the pruning function. Running the engine on the unconstrained
+// partition with one worker reproduces the classical serial algorithm
+// ([17] for left-deep, [25] for bushy spaces).
+package dp
+
+import (
+	"errors"
+	"fmt"
+
+	"mpq/internal/bitset"
+	"mpq/internal/cost"
+	"mpq/internal/partition"
+	"mpq/internal/plan"
+	"mpq/internal/query"
+	"mpq/internal/setmap"
+)
+
+// Pruner decides which plans to retain per table set. Insert offers p to
+// the retained set and returns the updated slice plus whether p survived.
+// Implementations must keep the invariant that no retained plan dominates
+// another (for their notion of dominance).
+type Pruner interface {
+	Insert(plans []*plan.Node, p *plan.Node) ([]*plan.Node, bool)
+}
+
+// SingleBest retains exactly one plan: the cheapest by the time metric.
+// This is the classical pruning function of [17] without interesting
+// orders.
+type SingleBest struct{}
+
+// Insert implements Pruner.
+func (SingleBest) Insert(plans []*plan.Node, p *plan.Node) ([]*plan.Node, bool) {
+	if len(plans) == 0 {
+		return append(plans, p), true
+	}
+	if p.Cost < plans[0].Cost {
+		plans[0] = p
+		return plans, true
+	}
+	return plans, false
+}
+
+// OrderAware retains the cheapest plan per distinct output order: a plan
+// is dominated iff another plan is at most as expensive and produces the
+// same tuples in the same (or a strictly more useful) order — the
+// comparison the paper's Prune function performs [17].
+type OrderAware struct{}
+
+// orderDominates reports whether a plan with order qo can substitute for
+// one with order po in any context: equal orders always can, and any
+// order can substitute for "no order" (sortedness only ever reduces
+// downstream cost).
+func orderDominates(qo, po int) bool {
+	return qo == po || po == query.NoOrder
+}
+
+// Insert implements Pruner.
+func (OrderAware) Insert(plans []*plan.Node, p *plan.Node) ([]*plan.Node, bool) {
+	for _, q := range plans {
+		if q.Cost <= p.Cost && orderDominates(q.Order, p.Order) {
+			return plans, false
+		}
+	}
+	// p survives; evict plans it dominates.
+	out := plans[:0]
+	for _, q := range plans {
+		if !(p.Cost <= q.Cost && orderDominates(p.Order, q.Order)) {
+			out = append(out, q)
+		}
+	}
+	return append(out, p), true
+}
+
+// Options configures one dynamic-programming run.
+type Options struct {
+	// Model is the cost model; zero value is replaced by cost.Default().
+	Model cost.Model
+	// Pruner defaults to SingleBest.
+	Pruner Pruner
+	// InterestingOrders enables sort-order tracking: sort-merge joins
+	// produce ordered output and pre-sorted inputs skip sort passes.
+	// Off by default, matching the paper's complexity analysis (§5).
+	InterestingOrders bool
+	// DisableCrossProducts heuristically skips disconnected join results
+	// (an ablation switch; the paper deliberately allows cross products).
+	DisableCrossProducts bool
+	// MaxWorkUnits aborts the search once the work meter exceeds this
+	// bound (0 = unlimited). Used by time-budgeted experiments
+	// (Table 1): work is deterministic, so exceeding the unit budget is
+	// exactly "the time budget ran out".
+	MaxWorkUnits uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Model == (cost.Model{}) {
+		o.Model = cost.Default()
+	}
+	if o.Pruner == nil {
+		o.Pruner = SingleBest{}
+	}
+	return o
+}
+
+// Result is the outcome of searching one plan-space partition.
+type Result struct {
+	// Plans holds the retained plans for the full query: exactly one for
+	// SingleBest, one per useful order for OrderAware, a Pareto frontier
+	// for multi-objective pruners. Empty only if the partition admits no
+	// complete plan (cannot happen for valid partitions).
+	Plans []*plan.Node
+	// Stats is the work and memory accounting for this run.
+	Stats plan.Stats
+}
+
+// Best returns the cheapest plan by the time metric (the master-side
+// FinalPrune for single-objective optimization).
+func (r *Result) Best() *plan.Node {
+	var best *plan.Node
+	for _, p := range r.Plans {
+		if best == nil || p.Cost < best.Cost {
+			best = p
+		}
+	}
+	return best
+}
+
+// entry is the memo record for one table set.
+type entry struct {
+	card  float64
+	plans []*plan.Node
+}
+
+// Run searches the plan-space partition cs of query q and returns the
+// retained plans for the full query set (Algorithm 2). cs determines the
+// plan space (Linear or Bushy) and the join-order constraints; use
+// partition.Unconstrained for the classical serial algorithm.
+func Run(q *query.Query, cs *partition.ConstraintSet, opts Options) (*Result, error) {
+	eng, err := NewEngine(q, cs, opts)
+	if err != nil {
+		return nil, err
+	}
+	n := q.N()
+	byCard := cs.AdmissibleSets()
+	for k := 2; k <= n; k++ {
+		for _, u := range byCard[k] {
+			eng.ProcessSet(u)
+			if eng.LimitExceeded() {
+				return nil, fmt.Errorf("%w after %d units", ErrWorkLimit, eng.Stats().WorkUnits())
+			}
+		}
+	}
+	return eng.Finish()
+}
+
+// ErrWorkLimit is returned when Options.MaxWorkUnits is exceeded.
+var ErrWorkLimit = errors.New("dp: work limit exceeded")
+
+// Engine exposes the dynamic program one table set at a time, so that
+// schedulers other than the straight Algorithm 2 loop — in particular
+// the SMA baseline, which assigns sets to workers in rounds — drive the
+// exact same plan generation and pruning logic.
+type Engine struct {
+	w *worker
+	n int
+}
+
+// NewEngine validates the inputs and initializes the memo with scan
+// plans for every table.
+func NewEngine(q *query.Query, cs *partition.ConstraintSet, opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if cs.N != q.N() {
+		return nil, fmt.Errorf("dp: constraint set is for %d tables, query has %d", cs.N, q.N())
+	}
+	q.Freeze()
+
+	n := q.N()
+	res := &Result{}
+	memo := setmap.New[*entry](int(cs.CountAdmissible()))
+	for t := 0; t < n; t++ {
+		sp := plan.Scan(opts.Model, q, t)
+		memo.Put(sp.Tables, &entry{card: sp.Card, plans: []*plan.Node{sp}})
+		res.Stats.PlansKept++
+	}
+	w := &worker{q: q, cs: cs, opts: opts, memo: memo, res: res}
+	if cs.Space == partition.Bushy {
+		w.splitter = cs.NewSplitter()
+	}
+	return &Engine{w: w, n: n}, nil
+}
+
+// ProcessSet treats one admissible join result: all admissible splits
+// are tried and surviving plans stored in the memo. Sets must be
+// processed in non-decreasing cardinality. It returns the work units
+// (1 + splits tried) this set cost.
+func (e *Engine) ProcessSet(u bitset.Set) uint64 {
+	if e.w.opts.DisableCrossProducts && !e.w.q.Connected(u) {
+		return 0
+	}
+	before := e.w.res.Stats.WorkUnits()
+	e.w.trySplits(u)
+	return e.w.res.Stats.WorkUnits() - before
+}
+
+// PlansFor returns the retained plans for table set u (nil if u is not
+// in the memo). The caller must not mutate the slice.
+func (e *Engine) PlansFor(u bitset.Set) []*plan.Node {
+	ent, ok := e.w.memo.Get(u)
+	if !ok {
+		return nil
+	}
+	return ent.plans
+}
+
+// MemoLen returns the number of table sets currently in the memo.
+func (e *Engine) MemoLen() int { return e.w.memo.Len() }
+
+// LimitExceeded reports whether the work meter has passed
+// Options.MaxWorkUnits.
+func (e *Engine) LimitExceeded() bool {
+	return e.w.opts.MaxWorkUnits > 0 && e.w.res.Stats.WorkUnits() > e.w.opts.MaxWorkUnits
+}
+
+// Stats returns the cumulative work counters so far.
+func (e *Engine) Stats() plan.Stats {
+	s := e.w.res.Stats
+	s.MemoEntries = uint64(e.w.memo.Len())
+	return s
+}
+
+// Finish validates that a complete plan exists and returns the result.
+func (e *Engine) Finish() (*Result, error) {
+	q := e.w.q
+	root, ok := e.w.memo.Get(q.All())
+	if !ok || len(root.plans) == 0 {
+		return nil, fmt.Errorf("dp: no complete plan found (n=%d, partition %s)", e.n, e.w.cs.Describe())
+	}
+	res := e.w.res
+	res.Plans = root.plans
+	res.Stats.MemoEntries = uint64(e.w.memo.Len())
+	return res, nil
+}
+
+// worker carries the per-run state of the split enumeration.
+type worker struct {
+	q        *query.Query
+	cs       *partition.ConstraintSet
+	opts     Options
+	memo     *setmap.Map[*entry]
+	res      *Result
+	splitter *partition.Splitter
+	predBuf  []int
+}
+
+// trySplits generates and prunes all plans for join result u
+// (Algorithm 5, both variants).
+func (w *worker) trySplits(u bitset.Set) {
+	w.res.Stats.SetsProcessed++
+	e := &entry{card: -1}
+	if w.cs.Space == partition.Linear {
+		u.ForEach(func(t int) {
+			if !w.cs.InnerAllowed(u, t) {
+				return
+			}
+			rest := u.Remove(t)
+			le, ok := w.memo.Get(rest)
+			if !ok || len(le.plans) == 0 {
+				return
+			}
+			re, _ := w.memo.Get(bitset.Single(t))
+			w.combine(e, u, rest, bitset.Single(t), le, re)
+		})
+	} else {
+		w.splitter.ForEachLeft(u, func(left bitset.Set) {
+			right := u.Minus(left)
+			le, lok := w.memo.Get(left)
+			re, rok := w.memo.Get(right)
+			if !lok || !rok || len(le.plans) == 0 || len(re.plans) == 0 {
+				return
+			}
+			w.combine(e, u, left, right, le, re)
+		})
+	}
+	if len(e.plans) > 0 {
+		w.memo.Put(u, e)
+	}
+}
+
+// combine generates plans for every operand-plan pair and join algorithm
+// of the split (left, right) and offers them to the pruner.
+func (w *worker) combine(e *entry, u, left, right bitset.Set, le, re *entry) {
+	w.res.Stats.SplitsTried++
+	if e.card < 0 {
+		e.card = le.card * re.card * w.q.SelBetween(left, right)
+	}
+	w.predBuf = w.q.ConnectingPreds(w.predBuf[:0], left, right)
+	preds := w.predBuf
+	hasPred := len(preds) > 0
+
+	for _, lp := range le.plans {
+		for _, rp := range re.plans {
+			// Nested-loop join: preserves the outer order.
+			w.offer(e, plan.Join(w.opts.Model, lp, rp, plan.JoinSpec{
+				Alg: cost.NestedLoop, OutCard: e.card, Pred: plan.NoPred, Order: lp.Order,
+			}))
+			// Hash join: order destroyed.
+			w.offer(e, plan.Join(w.opts.Model, lp, rp, plan.JoinSpec{
+				Alg: cost.Hash, OutCard: e.card, Pred: plan.NoPred, Order: query.NoOrder,
+			}))
+			// Sort-merge join: needs a merge predicate.
+			if !hasPred {
+				continue
+			}
+			if !w.opts.InterestingOrders {
+				w.offer(e, plan.Join(w.opts.Model, lp, rp, plan.JoinSpec{
+					Alg: cost.SortMerge, OutCard: e.card, Pred: plan.NoPred, Order: query.NoOrder,
+				}))
+				continue
+			}
+			for _, pi := range preds {
+				p := w.q.Preds[pi]
+				la, ra := plan.MergeAttrs(p, left)
+				order := plan.CanonicalMergeOrder(p)
+				w.offer(e, plan.Join(w.opts.Model, lp, rp, plan.JoinSpec{
+					Alg: cost.SortMerge, OutCard: e.card, Pred: pi, Order: order,
+					LSorted: lp.Order == la, RSorted: rp.Order == ra,
+				}))
+			}
+		}
+	}
+}
+
+func (w *worker) offer(e *entry, p *plan.Node) {
+	var kept bool
+	e.plans, kept = w.opts.Pruner.Insert(e.plans, p)
+	if kept {
+		w.res.Stats.PlansKept++
+	} else {
+		w.res.Stats.PlansPruned++
+	}
+}
+
+// Serial runs the classical (unpartitioned) dynamic program for the given
+// plan space — the single-worker baseline all speedups are measured
+// against (§6.2).
+func Serial(q *query.Query, space partition.Space, opts Options) (*Result, error) {
+	return Run(q, partition.Unconstrained(space, q.N()), opts)
+}

@@ -1,0 +1,480 @@
+package dp
+
+import (
+	"math"
+	"testing"
+
+	"mpq/internal/brute"
+	"mpq/internal/cost"
+	"mpq/internal/partition"
+	"mpq/internal/plan"
+	"mpq/internal/query"
+	"mpq/internal/workload"
+)
+
+const costEps = 1e-9
+
+func approx(a, b float64) bool {
+	return math.Abs(a-b) <= costEps*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func genQuery(t testing.TB, n int, shape workload.Shape, seed int64) *query.Query {
+	t.Helper()
+	return workload.MustGenerate(workload.NewParams(n, shape), seed)
+}
+
+func TestSerialMatchesBruteForceLinear(t *testing.T) {
+	for _, shape := range workload.Shapes {
+		for seed := int64(0); seed < 4; seed++ {
+			q := genQuery(t, 6, shape, seed)
+			for _, orders := range []bool{false, true} {
+				res, err := Serial(q, partition.Linear, Options{
+					InterestingOrders: orders,
+					Pruner:            prunerFor(orders),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := res.Best().Cost
+				want := brute.BestCost(q, partition.Linear, brute.Options{InterestingOrders: orders})
+				if !approx(got, want) {
+					t.Fatalf("%v seed=%d orders=%v: DP cost %g, brute force %g", shape, seed, orders, got, want)
+				}
+				if !res.Best().IsLeftDeep() {
+					t.Fatalf("linear DP returned bushy plan %v", res.Best())
+				}
+				if err := res.Best().Validate(q, cost.Default()); err != nil {
+					t.Fatalf("invalid plan: %v", err)
+				}
+			}
+		}
+	}
+}
+
+func TestSerialMatchesBruteForceBushy(t *testing.T) {
+	for _, shape := range workload.Shapes {
+		for seed := int64(0); seed < 4; seed++ {
+			q := genQuery(t, 5, shape, seed)
+			for _, orders := range []bool{false, true} {
+				res, err := Serial(q, partition.Bushy, Options{
+					InterestingOrders: orders,
+					Pruner:            prunerFor(orders),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := res.Best().Cost
+				want := brute.BestCost(q, partition.Bushy, brute.Options{InterestingOrders: orders})
+				if !approx(got, want) {
+					t.Fatalf("%v seed=%d orders=%v: DP cost %g, brute force %g", shape, seed, orders, got, want)
+				}
+				if err := res.Best().Validate(q, cost.Default()); err != nil {
+					t.Fatalf("invalid plan: %v", err)
+				}
+			}
+		}
+	}
+}
+
+func prunerFor(orders bool) Pruner {
+	if orders {
+		return OrderAware{}
+	}
+	return SingleBest{}
+}
+
+// The core correctness property of the paper: for every worker count m,
+// the minimum over partition-optimal plans equals the serial optimum
+// (partitions tile the plan space).
+func TestPartitionsTileThePlanSpace(t *testing.T) {
+	cases := []struct {
+		space partition.Space
+		n     int
+		ms    []int
+	}{
+		{partition.Linear, 6, []int{1, 2, 4, 8}},
+		{partition.Linear, 7, []int{2, 8}},
+		{partition.Bushy, 6, []int{1, 2, 4}},
+		{partition.Bushy, 7, []int{2, 4}},
+	}
+	for _, c := range cases {
+		for _, shape := range []workload.Shape{workload.Star, workload.Chain} {
+			for seed := int64(0); seed < 3; seed++ {
+				q := genQuery(t, c.n, shape, seed)
+				serial, err := Serial(q, c.space, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, m := range c.ms {
+					best := math.Inf(1)
+					for partID := 0; partID < m; partID++ {
+						cs, err := partition.ForPartition(c.space, c.n, partID, m)
+						if err != nil {
+							t.Fatal(err)
+						}
+						res, err := Run(q, cs, Options{})
+						if err != nil {
+							t.Fatal(err)
+						}
+						p := res.Best()
+						if err := p.Validate(q, cost.Default()); err != nil {
+							t.Fatalf("partition %d/%d returned invalid plan: %v", partID, m, err)
+						}
+						if !brute.RespectsConstraints(p, cs) {
+							t.Fatalf("partition %d/%d returned plan violating its constraints: %v", partID, m, p)
+						}
+						if p.Cost < best {
+							best = p.Cost
+						}
+					}
+					if !approx(best, serial.Best().Cost) {
+						t.Fatalf("%v n=%d m=%d %v seed=%d: partition best %g != serial %g",
+							c.space, c.n, m, shape, seed, best, serial.Best().Cost)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Each partition's optimum equals the brute-force optimum over exactly
+// the plans whose intermediate results are admissible in that partition.
+func TestPartitionOptimumMatchesConstrainedBruteForce(t *testing.T) {
+	q := genQuery(t, 5, workload.Star, 7)
+	for _, space := range []partition.Space{partition.Linear, partition.Bushy} {
+		m := 2
+		if space == partition.Linear {
+			m = 4
+		}
+		all := brute.AllPlans(q, space, brute.Options{})
+		for partID := 0; partID < m; partID++ {
+			cs, err := partition.ForPartition(space, 5, partID, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(q, cs, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			inPart := brute.Filter(all, func(p *plan.Node) bool {
+				return brute.RespectsConstraints(p, cs)
+			})
+			if len(inPart) == 0 {
+				t.Fatalf("%v partition %d admits no plans", space, partID)
+			}
+			want := math.Inf(1)
+			for _, p := range inPart {
+				if p.Cost < want {
+					want = p.Cost
+				}
+			}
+			if !approx(res.Best().Cost, want) {
+				t.Fatalf("%v partition %d/%d: DP %g, constrained brute force %g",
+					space, partID, m, res.Best().Cost, want)
+			}
+		}
+	}
+}
+
+// Every complete plan of the space is admissible in at least one
+// partition (plan-level coverage, complementing the set-level test in
+// package partition).
+func TestEveryPlanCoveredBySomePartition(t *testing.T) {
+	q := genQuery(t, 5, workload.Chain, 3)
+	for _, tc := range []struct {
+		space partition.Space
+		m     int
+	}{{partition.Linear, 4}, {partition.Bushy, 2}} {
+		var css []*partition.ConstraintSet
+		for partID := 0; partID < tc.m; partID++ {
+			cs, err := partition.ForPartition(tc.space, 5, partID, tc.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			css = append(css, cs)
+		}
+		for _, p := range brute.AllPlans(q, tc.space, brute.Options{}) {
+			covered := false
+			for _, cs := range css {
+				if brute.RespectsConstraints(p, cs) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("%v m=%d: plan %v not covered by any partition", tc.space, tc.m, p)
+			}
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	q := genQuery(t, 8, workload.Star, 1)
+	cs := partition.Unconstrained(partition.Linear, 8)
+	res, err := Run(q, cs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unconstrained linear: 2^8 - 8 - 1 sets of cardinality >= 2.
+	wantSets := uint64(1<<8 - 8 - 1)
+	if res.Stats.SetsProcessed != wantSets {
+		t.Fatalf("SetsProcessed = %d want %d", res.Stats.SetsProcessed, wantSets)
+	}
+	// Splits: for each set of cardinality k, k inner candidates.
+	var wantSplits uint64
+	for k := 2; k <= 8; k++ {
+		wantSplits += uint64(k) * uint64(binom(8, k))
+	}
+	if res.Stats.SplitsTried != wantSplits {
+		t.Fatalf("SplitsTried = %d want %d", res.Stats.SplitsTried, wantSplits)
+	}
+	if res.Stats.MemoEntries != uint64(1<<8-1) {
+		t.Fatalf("MemoEntries = %d want %d", res.Stats.MemoEntries, 1<<8-1)
+	}
+	want := wantSets + wantSplits + res.Stats.PlansKept + res.Stats.PlansPruned
+	if res.Stats.WorkUnits() != want {
+		t.Fatalf("WorkUnits = %d want %d", res.Stats.WorkUnits(), want)
+	}
+	// Every generated plan is either kept or pruned; per split up to
+	// three operators are tried.
+	generated := res.Stats.PlansKept + res.Stats.PlansPruned
+	if generated < 2*wantSplits || generated > 3*wantSplits+uint64(8) {
+		t.Fatalf("generated plans %d outside [2, 3] x splits %d", generated, wantSplits)
+	}
+}
+
+// Theorem 6's driver: the per-worker set count shrinks by exactly 3/4
+// per constraint (memo entries shrink accordingly).
+func TestPartitioningReducesWork(t *testing.T) {
+	q := genQuery(t, 10, workload.Star, 2)
+	var prevSets uint64
+	for _, m := range []int{1, 2, 4, 8, 16, 32} {
+		cs, err := partition.ForPartition(partition.Linear, 10, m-1, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(q, cs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets := res.Stats.SetsProcessed
+		if m > 1 {
+			// sets(m) / sets(m/2) == 3/4 exactly for counts of sets with
+			// cardinality >= 2 only up to the excluded singletons; compare
+			// against the closed-form count instead.
+			_ = prevSets
+		}
+		adm := cs.CountAdmissible()
+		// Admissible sets include the empty set and some singletons,
+		// which the DP does not process.
+		small := uint64(0)
+		for _, b := range cs.AdmissibleSets()[:2] {
+			small += uint64(len(b))
+		}
+		if sets != adm-small {
+			t.Fatalf("m=%d: processed %d sets, admissible %d minus %d small = %d",
+				m, sets, adm, small, adm-small)
+		}
+		prevSets = sets
+	}
+}
+
+func TestWorkerMemoryDecreasesWithParallelism(t *testing.T) {
+	q := genQuery(t, 12, workload.Star, 5)
+	var prev uint64 = math.MaxUint64
+	for _, m := range []int{1, 4, 16, 64} {
+		cs, err := partition.ForPartition(partition.Linear, 12, 0, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(q, cs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.MemoEntries >= prev {
+			t.Fatalf("m=%d: memo %d did not shrink from %d", m, res.Stats.MemoEntries, prev)
+		}
+		prev = res.Stats.MemoEntries
+	}
+}
+
+func TestOrderAwarePrunerInvariants(t *testing.T) {
+	q := genQuery(t, 6, workload.Chain, 9)
+	res, err := Serial(q, partition.Linear, Options{InterestingOrders: true, Pruner: OrderAware{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No retained plan may dominate another.
+	for i, p := range res.Plans {
+		for j, o := range res.Plans {
+			if i == j {
+				continue
+			}
+			if o.Cost <= p.Cost && orderDominates(o.Order, p.Order) && (o.Cost < p.Cost || o.Order != p.Order) {
+				t.Fatalf("retained plan %d dominates plan %d", j, i)
+			}
+		}
+	}
+	// Orders can only help: the order-aware best must not exceed the
+	// order-blind best.
+	blind, err := Serial(q, partition.Linear, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best().Cost > blind.Best().Cost+costEps {
+		t.Fatalf("order-aware best %g worse than order-blind %g", res.Best().Cost, blind.Best().Cost)
+	}
+}
+
+func TestDisableCrossProducts(t *testing.T) {
+	// A chain query optimized without cross products must still find a
+	// plan, and never produce a disconnected intermediate result.
+	q := genQuery(t, 7, workload.Chain, 4)
+	res, err := Serial(q, partition.Linear, Options{DisableCrossProducts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walk func(p *plan.Node)
+	walk = func(p *plan.Node) {
+		if p.IsScan {
+			return
+		}
+		if !q.Connected(p.Tables) {
+			t.Fatalf("cross-product-free plan has disconnected result %v", p.Tables)
+		}
+		walk(p.Left)
+		walk(p.Right)
+	}
+	walk(res.Best())
+	// The restricted optimum cannot beat the unrestricted one.
+	full, err := Serial(q, partition.Linear, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best().Cost < full.Best().Cost-costEps {
+		t.Fatal("heuristic search found a better plan than full search")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	q := genQuery(t, 6, workload.Star, 0)
+	csWrongN := partition.Unconstrained(partition.Linear, 5)
+	if _, err := Run(q, csWrongN, Options{}); err == nil {
+		t.Error("mismatched constraint set accepted")
+	}
+	bad := query.MustNew([]query.Table{{Cardinality: 1}, {Cardinality: 2}})
+	bad.Preds = append(bad.Preds, query.Predicate{Left: 0, Right: 0, Selectivity: 0.5})
+	if _, err := Run(bad, partition.Unconstrained(partition.Linear, 2), Options{}); err == nil {
+		t.Error("invalid query accepted")
+	}
+	if _, err := Run(q, partition.Unconstrained(partition.Linear, 6), Options{
+		Model: cost.Model{HashFactor: -1, SortFactor: 1, NLBlock: 1},
+	}); err == nil {
+		t.Error("invalid cost model accepted")
+	}
+}
+
+func TestSingleTableQuery(t *testing.T) {
+	q := query.MustNew([]query.Table{{Name: "only", Cardinality: 42}})
+	res, err := Serial(q, partition.Linear, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Best().IsScan || res.Best().Card != 42 {
+		t.Fatalf("single-table plan = %+v", res.Best())
+	}
+}
+
+func TestTwoTableQuery(t *testing.T) {
+	q := query.MustNew([]query.Table{{Cardinality: 100}, {Cardinality: 10}})
+	q.MustAddPredicate(query.Predicate{Left: 0, Right: 1, Selectivity: 0.1})
+	q.Freeze()
+	for _, space := range []partition.Space{partition.Linear, partition.Bushy} {
+		res, err := Serial(q, space, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Best().CountJoins() != 1 {
+			t.Fatalf("%v: joins = %d", space, res.Best().CountJoins())
+		}
+		// Both join orders and all operators were considered: best cost
+		// is min over 2 orders x 3 algs (SMJ has a predicate).
+		want := brute.BestCost(q, space, brute.Options{})
+		if !approx(res.Best().Cost, want) {
+			t.Fatalf("%v: cost %g want %g", space, res.Best().Cost, want)
+		}
+	}
+}
+
+func TestBestOnEmptyResult(t *testing.T) {
+	r := &Result{}
+	if r.Best() != nil {
+		t.Fatal("Best of empty result should be nil")
+	}
+}
+
+func TestSingleBestKeepsCheapest(t *testing.T) {
+	q := genQuery(t, 4, workload.Star, 0)
+	a := plan.Scan(cost.Default(), q, 0)
+	b := plan.Scan(cost.Default(), q, 1)
+	var plans []*plan.Node
+	var kept bool
+	plans, kept = SingleBest{}.Insert(plans, a)
+	if !kept || len(plans) != 1 {
+		t.Fatal("first insert")
+	}
+	cheaper := *b
+	cheaper.Cost = a.Cost / 2
+	plans, kept = SingleBest{}.Insert(plans, &cheaper)
+	if !kept || len(plans) != 1 || plans[0] != &cheaper {
+		t.Fatal("cheaper plan should replace")
+	}
+	expensive := *b
+	expensive.Cost = a.Cost * 2
+	plans, kept = SingleBest{}.Insert(plans, &expensive)
+	if kept || plans[0] != &cheaper {
+		t.Fatal("more expensive plan should be pruned")
+	}
+}
+
+func binom(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	r := 1
+	for i := 0; i < k; i++ {
+		r = r * (n - i) / (i + 1)
+	}
+	return r
+}
+
+func BenchmarkSerialLinear12(b *testing.B) {
+	q := genQuery(b, 12, workload.Star, 0)
+	for i := 0; i < b.N; i++ {
+		if _, err := Serial(q, partition.Linear, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartitionedLinear12m16(b *testing.B) {
+	q := genQuery(b, 12, workload.Star, 0)
+	cs, err := partition.ForPartition(partition.Linear, 12, 3, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(q, cs, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSerialBushy10(b *testing.B) {
+	q := genQuery(b, 10, workload.Star, 0)
+	for i := 0; i < b.N; i++ {
+		if _, err := Serial(q, partition.Bushy, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,346 @@
+// Package exec is a reference executor for query plans: it materializes
+// synthetic base tables from a catalog and runs plan trees over them with
+// real nested-loop, hash and sort-merge join operators.
+//
+// The paper's system stops at plan generation; the executor exists so
+// the reproduction can validate what an optimizer-only codebase cannot:
+// every plan the optimizer emits for the same query must produce the
+// same result multiset regardless of join order, tree shape or operator
+// choice, and the cost model's cardinality estimates can be compared
+// against measured result sizes. It is deliberately simple (row-at-a-
+// time, int64 columns) — a test oracle, not a query engine.
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mpq/internal/catalog"
+	"mpq/internal/cost"
+	"mpq/internal/plan"
+	"mpq/internal/query"
+)
+
+// Col identifies one output column: attribute attr of query table t.
+type Col struct {
+	Table int
+	Attr  int
+}
+
+// Relation is a materialized (intermediate) result.
+type Relation struct {
+	Schema []Col
+	Rows   [][]int64
+}
+
+// colIndex returns the position of (table, attr) in the schema, or -1.
+func (r *Relation) colIndex(table, attr int) int {
+	for i, c := range r.Schema {
+		if c.Table == table && c.Attr == attr {
+			return i
+		}
+	}
+	return -1
+}
+
+// DB holds the materialized base tables of a catalog.
+type DB struct {
+	tables [][][]int64 // tables[t][row][attr]
+	attrs  int
+}
+
+// Limits guards the executor against result-size explosions.
+type Limits struct {
+	// MaxRows fails execution when an intermediate result exceeds it
+	// (0 = 1e6 rows).
+	MaxRows int
+}
+
+func (l Limits) maxRows() int {
+	if l.MaxRows <= 0 {
+		return 1_000_000
+	}
+	return l.MaxRows
+}
+
+// Generate materializes synthetic data for every table of the catalog:
+// each table gets round(cardinality) rows, and attribute a of table t is
+// uniform over [0, domain). Generation is deterministic per seed.
+func Generate(cat *catalog.Catalog, seed int64, lim Limits) (*DB, error) {
+	db := &DB{}
+	rng := rand.New(rand.NewSource(seed))
+	for t := 0; t < cat.Len(); t++ {
+		tbl := cat.Table(t)
+		n := int(tbl.Cardinality + 0.5)
+		if n > lim.maxRows() {
+			return nil, fmt.Errorf("exec: table %q has %d rows, limit %d", tbl.Name, n, lim.maxRows())
+		}
+		if len(tbl.Attributes) > db.attrs {
+			db.attrs = len(tbl.Attributes)
+		}
+		rows := make([][]int64, n)
+		for i := range rows {
+			row := make([]int64, len(tbl.Attributes))
+			for a, attr := range tbl.Attributes {
+				row[a] = rng.Int63n(attr.Domain)
+			}
+			rows[i] = row
+		}
+		db.tables = append(db.tables, rows)
+	}
+	return db, nil
+}
+
+// NumTables returns the number of materialized tables.
+func (db *DB) NumTables() int { return len(db.tables) }
+
+// TableRows returns the row count of base table t.
+func (db *DB) TableRows(t int) int { return len(db.tables[t]) }
+
+// Execute runs plan p for query q over the database and returns the
+// result relation. The catalog used to generate db must match the
+// query's table numbering.
+func Execute(p *plan.Node, q *query.Query, db *DB, lim Limits) (*Relation, error) {
+	q.Freeze()
+	e := executor{q: q, db: db, lim: lim}
+	return e.run(p)
+}
+
+type executor struct {
+	q   *query.Query
+	db  *DB
+	lim Limits
+}
+
+func (e *executor) run(p *plan.Node) (*Relation, error) {
+	if p.IsScan {
+		if p.Table < 0 || p.Table >= len(e.db.tables) {
+			return nil, fmt.Errorf("exec: scan of unknown table %d", p.Table)
+		}
+		rows := e.db.tables[p.Table]
+		schema := make([]Col, 0, 4)
+		if len(rows) > 0 {
+			for a := range rows[0] {
+				schema = append(schema, Col{Table: p.Table, Attr: a})
+			}
+		}
+		return &Relation{Schema: schema, Rows: rows}, nil
+	}
+	left, err := e.run(p.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := e.run(p.Right)
+	if err != nil {
+		return nil, err
+	}
+	preds := e.q.ConnectingPreds(nil, p.Left.Tables, p.Right.Tables)
+	switch p.Alg {
+	case cost.NestedLoop:
+		return e.nestedLoop(left, right, preds)
+	case cost.Hash:
+		return e.hashJoin(left, right, preds)
+	case cost.SortMerge:
+		return e.sortMerge(left, right, preds, p.Pred)
+	default:
+		return nil, fmt.Errorf("exec: unknown join algorithm %d", int(p.Alg))
+	}
+}
+
+// predCols resolves each predicate's columns in the left and right
+// inputs (returning the column indices side-corrected).
+func predCols(q *query.Query, left, right *Relation, preds []int) ([][2]int, error) {
+	out := make([][2]int, 0, len(preds))
+	for _, pi := range preds {
+		p := q.Preds[pi]
+		lc := left.colIndex(p.Left, p.LeftAttr)
+		rc := right.colIndex(p.Right, p.RightAttr)
+		if lc < 0 || rc < 0 {
+			// predicate stored with endpoints swapped relative to inputs
+			lc = left.colIndex(p.Right, p.RightAttr)
+			rc = right.colIndex(p.Left, p.LeftAttr)
+		}
+		if lc < 0 || rc < 0 {
+			return nil, fmt.Errorf("exec: predicate %d does not straddle inputs", pi)
+		}
+		out = append(out, [2]int{lc, rc})
+	}
+	return out, nil
+}
+
+func joinSchema(left, right *Relation) []Col {
+	schema := make([]Col, 0, len(left.Schema)+len(right.Schema))
+	schema = append(schema, left.Schema...)
+	schema = append(schema, right.Schema...)
+	return schema
+}
+
+func (e *executor) emit(out *Relation, l, r []int64) error {
+	row := make([]int64, 0, len(l)+len(r))
+	row = append(row, l...)
+	row = append(row, r...)
+	out.Rows = append(out.Rows, row)
+	if len(out.Rows) > e.lim.maxRows() {
+		return fmt.Errorf("exec: intermediate result exceeds %d rows", e.lim.maxRows())
+	}
+	return nil
+}
+
+func matches(l, r []int64, cols [][2]int) bool {
+	for _, c := range cols {
+		if l[c[0]] != r[c[1]] {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *executor) nestedLoop(left, right *Relation, preds []int) (*Relation, error) {
+	cols, err := predCols(e.q, left, right, preds)
+	if err != nil {
+		return nil, err
+	}
+	out := &Relation{Schema: joinSchema(left, right)}
+	for _, l := range left.Rows {
+		for _, r := range right.Rows {
+			if matches(l, r, cols) {
+				if err := e.emit(out, l, r); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func (e *executor) hashJoin(left, right *Relation, preds []int) (*Relation, error) {
+	cols, err := predCols(e.q, left, right, preds)
+	if err != nil {
+		return nil, err
+	}
+	if len(cols) == 0 {
+		// Degenerates to a cross product; reuse the nested loop.
+		return e.nestedLoop(left, right, preds)
+	}
+	// Build on the right (inner) input, keyed by the predicate columns.
+	type key [4]int64 // up to 4 join columns; more are checked post-probe
+	nk := len(cols)
+	if nk > 4 {
+		nk = 4
+	}
+	build := make(map[key][][]int64, len(right.Rows))
+	for _, r := range right.Rows {
+		var k key
+		for i := 0; i < nk; i++ {
+			k[i] = r[cols[i][1]]
+		}
+		build[k] = append(build[k], r)
+	}
+	out := &Relation{Schema: joinSchema(left, right)}
+	for _, l := range left.Rows {
+		var k key
+		for i := 0; i < nk; i++ {
+			k[i] = l[cols[i][0]]
+		}
+		for _, r := range build[k] {
+			if matches(l, r, cols) {
+				if err := e.emit(out, l, r); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func (e *executor) sortMerge(left, right *Relation, preds []int, mergePred int) (*Relation, error) {
+	cols, err := predCols(e.q, left, right, preds)
+	if err != nil {
+		return nil, err
+	}
+	if len(cols) == 0 {
+		return e.nestedLoop(left, right, preds)
+	}
+	// Merge on the plan's designated predicate if set, else the first.
+	mi := 0
+	if mergePred != plan.NoPred {
+		for i, pi := range preds {
+			if pi == mergePred {
+				mi = i
+				break
+			}
+		}
+	}
+	lc, rc := cols[mi][0], cols[mi][1]
+	ls := append([][]int64(nil), left.Rows...)
+	rs := append([][]int64(nil), right.Rows...)
+	sort.SliceStable(ls, func(i, j int) bool { return ls[i][lc] < ls[j][lc] })
+	sort.SliceStable(rs, func(i, j int) bool { return rs[i][rc] < rs[j][rc] })
+	out := &Relation{Schema: joinSchema(left, right)}
+	i, j := 0, 0
+	for i < len(ls) && j < len(rs) {
+		switch {
+		case ls[i][lc] < rs[j][rc]:
+			i++
+		case ls[i][lc] > rs[j][rc]:
+			j++
+		default:
+			v := ls[i][lc]
+			jStart := j
+			for ; i < len(ls) && ls[i][lc] == v; i++ {
+				for j = jStart; j < len(rs) && rs[j][rc] == v; j++ {
+					if matches(ls[i], rs[j], cols) {
+						if err := e.emit(out, ls[i], rs[j]); err != nil {
+							return nil, err
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Fingerprint returns an order-independent digest of the result: the
+// multiset of rows projected onto a canonical column order. Two
+// equivalent plans must produce equal fingerprints.
+func (r *Relation) Fingerprint() string {
+	// Canonical column order: by (table, attr).
+	idx := make([]int, len(r.Schema))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ca, cb := r.Schema[idx[a]], r.Schema[idx[b]]
+		if ca.Table != cb.Table {
+			return ca.Table < cb.Table
+		}
+		return ca.Attr < cb.Attr
+	})
+	lines := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		b := make([]byte, 0, len(row)*8)
+		for _, c := range idx {
+			v := row[c]
+			b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+				byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+		}
+		lines[i] = string(b)
+	}
+	sort.Strings(lines)
+	var out []byte
+	for _, l := range lines {
+		out = append(out, l...)
+	}
+	return fmt.Sprintf("%d:%x", len(r.Rows), fnv64(out))
+}
+
+func fnv64(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	tbl := &Table{
+		Title:   "Figure X",
+		Caption: "a caption",
+		Columns: []string{"workers", "time"},
+		Rows:    [][]string{{"1", "10.5"}, {"2", "6.1"}},
+	}
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "# Figure X\n# a caption\n") {
+		t.Fatalf("missing comments:\n%s", out)
+	}
+	// The CSV body must parse back.
+	body := out[strings.Index(out, "workers"):]
+	records, err := csv.NewReader(strings.NewReader(body)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 || records[2][1] != "6.1" {
+		t.Fatalf("records = %v", records)
+	}
+}
+
+func TestWriteCSVNoCaption(t *testing.T) {
+	tbl := &Table{Title: "T", Columns: []string{"a"}, Rows: [][]string{{"1"}}}
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "#") != 1 {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}

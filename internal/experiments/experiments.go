@@ -1,0 +1,214 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6): MPQ vs SMA comparisons, MPQ scaling curves, join-graph
+// sensitivity, multi-objective scaling, and the precision-vs-parallelism
+// table. Each experiment returns structured series and can render itself
+// as an aligned text table; cmd/mpqbench and the benchmark harness are
+// thin wrappers around this package.
+//
+// Absolute milliseconds differ from the paper (our substrate is a
+// simulated cluster, not the authors' Spark testbed; see DESIGN.md §2.5),
+// but the comparisons the paper draws — who wins, by what order of
+// magnitude, and how curves scale with the worker count — are preserved
+// and asserted by this package's tests.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"mpq/internal/cluster"
+	"mpq/internal/query"
+	"mpq/internal/workload"
+)
+
+// Config scales the experiments. Quick() keeps every experiment under a
+// few seconds for CI; Full() uses the paper's query sizes and worker
+// counts.
+type Config struct {
+	// Queries is the number of random queries per data point (the paper
+	// uses 20 and reports medians).
+	Queries int
+	// BaseSeed offsets workload generation for reproducibility.
+	BaseSeed int64
+	// Model is the simulated cluster.
+	Model cluster.Model
+	// Full selects paper-scale query sizes.
+	Full bool
+	// MaxWorkers caps the degrees of parallelism tried.
+	MaxWorkers int
+	// Progress, when non-nil, receives one line per completed panel.
+	Progress io.Writer
+}
+
+// Quick returns the CI-scale configuration.
+func Quick() Config {
+	return Config{Queries: 5, Model: cluster.Default(), MaxWorkers: 128}
+}
+
+// FullScale returns the paper-scale configuration.
+func FullScale() Config {
+	return Config{Queries: 20, Model: cluster.Default(), Full: true, MaxWorkers: 256}
+}
+
+func (c Config) progressf(format string, args ...any) {
+	if c.Progress != nil {
+		fmt.Fprintf(c.Progress, format+"\n", args...)
+	}
+}
+
+// Point is one measured data point of a series.
+type Point struct {
+	Workers int
+	// TimeMs is total optimization time (virtual, master-observed).
+	TimeMs float64
+	// WTimeMs is the slowest worker's compute time.
+	WTimeMs float64
+	// Bytes is total network traffic.
+	Bytes float64
+	// MemoryRelations is the peak per-worker memo size.
+	MemoryRelations float64
+	// CI95 is the half-width of the 95% confidence interval of TimeMs
+	// (only filled by experiments that report means, like Figure 3).
+	CI95 float64
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title   string
+	Caption string
+	Columns []string
+	Rows    [][]string
+}
+
+// WriteCSV writes the table as CSV (title and caption as # comments),
+// for downstream plotting.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+		return err
+	}
+	if t.Caption != "" {
+		if _, err := fmt.Fprintf(w, "# %s\n", t.Caption); err != nil {
+			return err
+		}
+	}
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Render writes the table in aligned text form.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", t.Title)
+	if t.Caption != "" {
+		fmt.Fprintf(w, "  %s\n", t.Caption)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// median returns the median of xs (xs is sorted in place).
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+// meanCI returns the arithmetic mean and the half-width of the normal
+// 95% confidence interval.
+func meanCI(xs []float64) (mean, ci float64) {
+	if len(xs) == 0 {
+		return math.NaN(), 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	sd := math.Sqrt(ss / float64(len(xs)-1))
+	return mean, 1.96 * sd / math.Sqrt(float64(len(xs)))
+}
+
+// ms converts a duration to float milliseconds.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// workerCounts returns 1, 2, 4, ... up to min(maxAllowed, cap).
+func workerCounts(maxAllowed, cap int) []int {
+	var out []int
+	for m := 1; m <= maxAllowed && m <= cap; m *= 2 {
+		out = append(out, m)
+	}
+	return out
+}
+
+// fmtFloat renders measurement values compactly.
+func fmtFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1e6 || math.Abs(v) < 1e-2:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// batch generates the experiment's query set: Queries random queries of
+// n tables with the given join-graph shape.
+func (c Config) batch(n int, shape workload.Shape) ([]*query.Query, error) {
+	return workload.Batch(workload.NewParams(n, shape), c.BaseSeed, c.Queries)
+}

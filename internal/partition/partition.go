@@ -1,0 +1,396 @@
+// Package partition implements the paper's plan-space partitioning
+// (§4.2, Algorithms 3–5): translating a partition ID into join-order
+// constraints, deriving the admissible join results for a partition, and
+// enumerating the admissible operand splits of a join result.
+//
+// Linear (left-deep) plan spaces are restricted by precedence constraints
+// x ≺ y on disjoint consecutive table pairs: x must appear before y in
+// the join order, so intermediate results containing y but not x are
+// inadmissible. Bushy plan spaces are restricted by constraints
+// x ⪯ y|z on disjoint consecutive table triples: among intermediate
+// results containing z, y must not appear before x, so results containing
+// y and z but not x are inadmissible.
+//
+// Every worker derives its constraint set deterministically from
+// (partition ID, worker count); the union of all partitions' admissible
+// plans is exactly the unconstrained plan space.
+package partition
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"mpq/internal/bitset"
+)
+
+// Space identifies which plan space is being partitioned.
+type Space int
+
+const (
+	// Linear is the space of left-deep plans (§3).
+	Linear Space = iota
+	// Bushy is the space of arbitrary binary join trees.
+	Bushy
+)
+
+// String names the space as in the paper's figures ("Linear", "Bushy").
+func (s Space) String() string {
+	switch s {
+	case Linear:
+		return "Linear"
+	case Bushy:
+		return "Bushy"
+	default:
+		return fmt.Sprintf("Space(%d)", int(s))
+	}
+}
+
+// Valid reports whether s names a real space.
+func (s Space) Valid() bool { return s == Linear || s == Bushy }
+
+// groupSize returns the number of tables per constrained group: pairs for
+// the linear space, triples for the bushy space.
+func (s Space) groupSize() int {
+	if s == Linear {
+		return 2
+	}
+	return 3
+}
+
+// Constraint is one join-order constraint.
+//
+// Linear space: X ≺ Y (Z is -1) — table X must be joined before table Y;
+// join results containing Y but not X are inadmissible.
+//
+// Bushy space: X ⪯ Y|Z — following table Z's path to the plan root,
+// X appears no later than Y; join results containing Y and Z but not X
+// are inadmissible.
+type Constraint struct {
+	X, Y, Z int
+}
+
+// String renders the constraint in the paper's notation.
+func (c Constraint) String() string {
+	if c.Z < 0 {
+		return fmt.Sprintf("Q%d ≺ Q%d", c.X, c.Y)
+	}
+	return fmt.Sprintf("Q%d ⪯ Q%d|Q%d", c.X, c.Y, c.Z)
+}
+
+// MaxWorkers returns the maximal number of workers (partitions) the
+// paper's scheme supports for a query of n tables: 2^⌊n/2⌋ for linear
+// and 2^⌊n/3⌋ for bushy plan spaces (§5). The result is capped at 2^62
+// to stay in int range.
+func MaxWorkers(space Space, n int) int {
+	g := space.groupSize()
+	exp := n / g
+	if exp > 62 {
+		exp = 62
+	}
+	return 1 << uint(exp)
+}
+
+// NumConstraints returns l = log2(m) and validates that m is a power of
+// two (the paper assumes the worker count is a power of two; otherwise
+// only a power-of-two subset of workers can be used).
+func NumConstraints(m int) (int, error) {
+	if m < 1 {
+		return 0, fmt.Errorf("partition: worker count %d < 1", m)
+	}
+	if m&(m-1) != 0 {
+		return 0, fmt.Errorf("partition: worker count %d is not a power of two", m)
+	}
+	return bits.TrailingZeros64(uint64(m)), nil
+}
+
+// ConstraintSet is the decoded form of one plan-space partition: the
+// constraints plus indexes for fast admissibility checks. Build it with
+// ForPartition. A ConstraintSet with no constraints (m = 1) represents
+// the full, unpartitioned plan space.
+type ConstraintSet struct {
+	Space Space
+	N     int // number of query tables
+	List  []Constraint
+
+	// laterTable[t] = v if a linear constraint t ≺ v exists, else -1.
+	// Disjoint pairs guarantee at most one such v per table.
+	laterTable []int
+
+	// constrainedTables is the union of all tables mentioned by
+	// constraints; groupOf[i] indexes List for the constraint whose
+	// group contains table i (-1 if none).
+	constrainedTables bitset.Set
+	groupMask         []bitset.Set // per constraint: the pair/triple mask
+}
+
+// ForPartition translates partition ID partID (0-based, 0 ≤ partID < m)
+// into the constraint set defining that partition of the plan space for
+// an n-table query (Algorithm 3). Bit i of partID selects the direction
+// of the constraint on the i-th disjoint table pair (linear) or triple
+// (bushy).
+func ForPartition(space Space, n, partID, m int) (*ConstraintSet, error) {
+	if !space.Valid() {
+		return nil, fmt.Errorf("partition: invalid space %d", int(space))
+	}
+	if n < 1 || n > bitset.MaxTables {
+		return nil, fmt.Errorf("partition: table count %d out of range", n)
+	}
+	l, err := NumConstraints(m)
+	if err != nil {
+		return nil, err
+	}
+	if partID < 0 || partID >= m {
+		return nil, fmt.Errorf("partition: partition ID %d outside [0,%d)", partID, m)
+	}
+	if max := MaxWorkers(space, n); m > max {
+		return nil, fmt.Errorf("partition: %d workers exceed maximum %d for %v space with %d tables", m, max, space, n)
+	}
+	g := space.groupSize()
+	cs := &ConstraintSet{Space: space, N: n, laterTable: make([]int, n)}
+	for i := range cs.laterTable {
+		cs.laterTable[i] = -1
+	}
+	for i := 0; i < l; i++ {
+		precOrd := (partID >> uint(i)) & 1
+		var c Constraint
+		if space == Linear {
+			x, y := g*i, g*i+1
+			if precOrd == 0 {
+				c = Constraint{X: x, Y: y, Z: -1}
+			} else {
+				c = Constraint{X: y, Y: x, Z: -1}
+			}
+			cs.laterTable[c.X] = c.Y
+		} else {
+			x, y, z := g*i, g*i+1, g*i+2
+			if precOrd == 0 {
+				c = Constraint{X: x, Y: y, Z: z}
+			} else {
+				c = Constraint{X: y, Y: x, Z: z}
+			}
+		}
+		cs.List = append(cs.List, c)
+		mask := bitset.Single(c.X).Add(c.Y)
+		if c.Z >= 0 {
+			mask = mask.Add(c.Z)
+		}
+		cs.groupMask = append(cs.groupMask, mask)
+		cs.constrainedTables = cs.constrainedTables.Union(mask)
+	}
+	return cs, nil
+}
+
+// Unconstrained returns the constraint set of the full plan space
+// (equivalent to ForPartition(space, n, 0, 1)).
+func Unconstrained(space Space, n int) *ConstraintSet {
+	cs, err := ForPartition(space, n, 0, 1)
+	if err != nil {
+		panic(err)
+	}
+	return cs
+}
+
+// violates reports whether join result s violates constraint c.
+func violates(space Space, c Constraint, s bitset.Set) bool {
+	if space == Linear {
+		return s.Contains(c.Y) && !s.Contains(c.X)
+	}
+	return s.Contains(c.Y) && s.Contains(c.Z) && !s.Contains(c.X)
+}
+
+// Admissible reports whether join result s may appear in a plan of this
+// partition. Singleton sets are always admissible: scan plans are needed
+// by every partition (§4.2 notes singletons are treated separately).
+func (cs *ConstraintSet) Admissible(s bitset.Set) bool {
+	if s.Count() <= 1 {
+		return true
+	}
+	for _, c := range cs.List {
+		if violates(cs.Space, c, s) {
+			return false
+		}
+	}
+	return true
+}
+
+// InnerAllowed reports, for the linear space, whether table t may be the
+// inner (last-joined) operand of join result u: it is forbidden iff a
+// constraint t ≺ v exists with v ∈ u (Algorithm 5, line 7).
+func (cs *ConstraintSet) InnerAllowed(u bitset.Set, t int) bool {
+	v := cs.laterTable[t]
+	return v < 0 || !u.Contains(v)
+}
+
+// groups returns, for every disjoint table group (constrained pairs or
+// triples, then the unconstrained remainder as singleton groups), the
+// admissible subsets of that group (Algorithm 4's ConstrainedPowerSet).
+func (cs *ConstraintSet) groups() [][]bitset.Set {
+	var out [][]bitset.Set
+	g := cs.Space.groupSize()
+	covered := bitset.Empty()
+	for ci, c := range cs.List {
+		var subs []bitset.Set
+		cs.groupMask[ci].Subsets(func(sub bitset.Set) {
+			if !violates(cs.Space, c, sub) {
+				subs = append(subs, sub)
+			}
+		})
+		out = append(out, subs)
+		covered = covered.Union(cs.groupMask[ci])
+	}
+	// Unconstrained groups: remaining pairs/triples carry no constraint,
+	// so each remaining table contributes {∅, {t}} independently; we
+	// group them per-table for a flatter product tree.
+	_ = g
+	for t := 0; t < cs.N; t++ {
+		if !covered.Contains(t) {
+			out = append(out, []bitset.Set{bitset.Empty(), bitset.Single(t)})
+		}
+	}
+	return out
+}
+
+// AdmissibleSets enumerates every admissible join result of the partition
+// (Algorithm 4), bucketed by cardinality: the k-th slice holds all
+// admissible table sets with exactly k tables. Bucket 0 holds the empty
+// set and bucket 1 all singletons that survive the constraints; the DP
+// uses buckets 2..n.
+func (cs *ConstraintSet) AdmissibleSets() [][]bitset.Set {
+	byCard := make([][]bitset.Set, cs.N+1)
+	groups := cs.groups()
+	var rec func(gi int, acc bitset.Set)
+	rec = func(gi int, acc bitset.Set) {
+		if gi == len(groups) {
+			k := acc.Count()
+			byCard[k] = append(byCard[k], acc)
+			return
+		}
+		for _, sub := range groups[gi] {
+			rec(gi+1, acc.Union(sub))
+		}
+	}
+	rec(0, bitset.Empty())
+	return byCard
+}
+
+// CountAdmissible returns the exact number of admissible join results in
+// closed form: 4^(p-l)·3^l·2^r for linear (p pairs, r leftover tables)
+// and 8^(t-l)·7^l·2^r for bushy (t triples) — the finite-n counterparts
+// of Theorems 2 and 3.
+func (cs *ConstraintSet) CountAdmissible() uint64 {
+	g := cs.Space.groupSize()
+	groups := cs.N / g
+	leftover := cs.N % g
+	l := len(cs.List)
+	full := uint64(1) << uint(g)
+	constrained := full - 1
+	count := uint64(1)
+	for i := 0; i < groups-l; i++ {
+		count *= full
+	}
+	for i := 0; i < l; i++ {
+		count *= constrained
+	}
+	return count << uint(leftover)
+}
+
+// ForEachLeft enumerates every admissible left operand L of join result u
+// in the bushy space (Algorithm 5, TrySplits[Bushy]): both L and u\L are
+// admissible, L ≠ ∅ and L ≠ u. The enumeration constructs only
+// admissible operands (its complexity is linear in the number of
+// admissible rather than possible splits). With no constraints it yields
+// every proper subset, i.e. the classical bushy DP split enumeration.
+//
+// For hot loops prefer NewSplitter, which reuses internal buffers.
+func (cs *ConstraintSet) ForEachLeft(u bitset.Set, fn func(left bitset.Set)) {
+	cs.NewSplitter().ForEachLeft(u, fn)
+}
+
+// Splitter enumerates admissible operand splits with reusable buffers;
+// the per-partition dynamic program allocates one Splitter and calls
+// ForEachLeft once per admissible join result. Not safe for concurrent
+// use.
+type Splitter struct {
+	cs    *ConstraintSet
+	parts [][]bitset.Set // scratch: admissible per-triple subsets
+	buf   [][]bitset.Set // backing storage, one slice per constraint
+}
+
+// NewSplitter returns a Splitter for this partition.
+func (cs *ConstraintSet) NewSplitter() *Splitter {
+	sp := &Splitter{cs: cs}
+	sp.buf = make([][]bitset.Set, len(cs.List))
+	for i := range sp.buf {
+		sp.buf[i] = make([]bitset.Set, 0, 8)
+	}
+	sp.parts = make([][]bitset.Set, 0, len(cs.List))
+	return sp
+}
+
+// ForEachLeft enumerates the admissible left operands of u; see
+// ConstraintSet.ForEachLeft.
+func (sp *Splitter) ForEachLeft(u bitset.Set, fn func(left bitset.Set)) {
+	cs := sp.cs
+	free := u.Minus(cs.constrainedTables)
+	sp.parts = sp.parts[:0]
+	for ci, c := range cs.List {
+		s := cs.groupMask[ci].Intersect(u)
+		if s.IsEmpty() {
+			continue
+		}
+		subs := sp.buf[ci][:0]
+		s.Subsets(func(sub bitset.Set) {
+			rest := s.Minus(sub)
+			if violates(cs.Space, c, sub) || violates(cs.Space, c, rest) {
+				return
+			}
+			subs = append(subs, sub)
+		})
+		sp.buf[ci] = subs
+		sp.parts = append(sp.parts, subs)
+	}
+	parts := sp.parts
+	var rec func(pi int, acc bitset.Set)
+	rec = func(pi int, acc bitset.Set) {
+		if pi == len(parts) {
+			free.Subsets(func(fs bitset.Set) {
+				left := acc.Union(fs)
+				if !left.IsEmpty() && left != u {
+					fn(left)
+				}
+			})
+			return
+		}
+		for _, sub := range parts[pi] {
+			rec(pi+1, acc.Union(sub))
+		}
+	}
+	rec(0, bitset.Empty())
+}
+
+// NaiveForEachLeft enumerates the same admissible left operands as
+// ForEachLeft by generating every proper subset of u and filtering — the
+// approach the paper deliberately avoids for bushy spaces because its
+// complexity is linear in the number of possible rather than admissible
+// splits (§4.2). It exists as the ablation baseline for that design
+// choice; see the benchmarks.
+func (cs *ConstraintSet) NaiveForEachLeft(u bitset.Set, fn func(left bitset.Set)) {
+	u.ProperSubsets(func(left bitset.Set) {
+		if cs.Admissible(left) && cs.Admissible(u.Minus(left)) {
+			fn(left)
+		}
+	})
+}
+
+// Describe renders the constraint list for logs and CLI output.
+func (cs *ConstraintSet) Describe() string {
+	if len(cs.List) == 0 {
+		return "(unconstrained)"
+	}
+	parts := make([]string, len(cs.List))
+	for i, c := range cs.List {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, ", ")
+}

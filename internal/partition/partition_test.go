@@ -1,0 +1,507 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpq/internal/bitset"
+)
+
+func TestSpaceString(t *testing.T) {
+	if Linear.String() != "Linear" || Bushy.String() != "Bushy" {
+		t.Fatal("space names")
+	}
+	if Space(9).String() != "Space(9)" {
+		t.Fatalf("unknown space string = %q", Space(9).String())
+	}
+	if !Linear.Valid() || !Bushy.Valid() || Space(9).Valid() {
+		t.Fatal("Valid()")
+	}
+}
+
+func TestMaxWorkers(t *testing.T) {
+	cases := []struct {
+		space Space
+		n     int
+		want  int
+	}{
+		{Linear, 4, 4},
+		{Linear, 8, 16},
+		{Linear, 9, 16},
+		{Linear, 16, 256},
+		{Bushy, 9, 8},
+		{Bushy, 15, 32},
+		{Bushy, 18, 64},
+		{Bushy, 2, 1},
+	}
+	for _, c := range cases {
+		if got := MaxWorkers(c.space, c.n); got != c.want {
+			t.Errorf("MaxWorkers(%v,%d) = %d want %d", c.space, c.n, got, c.want)
+		}
+	}
+}
+
+func TestNumConstraints(t *testing.T) {
+	for m, want := range map[int]int{1: 0, 2: 1, 4: 2, 128: 7} {
+		got, err := NumConstraints(m)
+		if err != nil || got != want {
+			t.Errorf("NumConstraints(%d) = %d,%v want %d", m, got, err, want)
+		}
+	}
+	for _, m := range []int{0, -2, 3, 6, 100} {
+		if _, err := NumConstraints(m); err == nil {
+			t.Errorf("NumConstraints(%d) accepted", m)
+		}
+	}
+}
+
+func TestForPartitionValidation(t *testing.T) {
+	if _, err := ForPartition(Space(7), 8, 0, 2); err == nil {
+		t.Error("invalid space accepted")
+	}
+	if _, err := ForPartition(Linear, 0, 0, 1); err == nil {
+		t.Error("zero tables accepted")
+	}
+	if _, err := ForPartition(Linear, 8, 0, 3); err == nil {
+		t.Error("non-power-of-two workers accepted")
+	}
+	if _, err := ForPartition(Linear, 8, 16, 16); err == nil {
+		t.Error("partition ID == m accepted")
+	}
+	if _, err := ForPartition(Linear, 8, -1, 16); err == nil {
+		t.Error("negative partition ID accepted")
+	}
+	if _, err := ForPartition(Linear, 4, 0, 8); err == nil {
+		t.Error("m beyond MaxWorkers accepted (linear)")
+	}
+	if _, err := ForPartition(Bushy, 6, 0, 8); err == nil {
+		t.Error("m beyond MaxWorkers accepted (bushy)")
+	}
+}
+
+func TestConstraintDecodingLinear(t *testing.T) {
+	// Example 1 of the paper: 4 tables, 4 workers, partition 0b10:
+	// first bit 0 => Q0 ≺ Q1; second bit 1 => Q3 ≺ Q2.
+	cs, err := ForPartition(Linear, 4, 0b10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.List) != 2 {
+		t.Fatalf("constraints = %v", cs.List)
+	}
+	if cs.List[0] != (Constraint{X: 0, Y: 1, Z: -1}) {
+		t.Fatalf("first constraint = %v", cs.List[0])
+	}
+	if cs.List[1] != (Constraint{X: 3, Y: 2, Z: -1}) {
+		t.Fatalf("second constraint = %v", cs.List[1])
+	}
+}
+
+func TestConstraintDecodingBushy(t *testing.T) {
+	cs, err := ForPartition(Bushy, 9, 0b01, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.List[0] != (Constraint{X: 1, Y: 0, Z: 2}) {
+		t.Fatalf("first constraint = %v", cs.List[0])
+	}
+	if cs.List[1] != (Constraint{X: 3, Y: 4, Z: 5}) {
+		t.Fatalf("second constraint = %v", cs.List[1])
+	}
+}
+
+func TestConstraintString(t *testing.T) {
+	if got := (Constraint{X: 0, Y: 1, Z: -1}).String(); got != "Q0 ≺ Q1" {
+		t.Fatalf("linear constraint string = %q", got)
+	}
+	if got := (Constraint{X: 0, Y: 1, Z: 2}).String(); got != "Q0 ⪯ Q1|Q2" {
+		t.Fatalf("bushy constraint string = %q", got)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	cs := Unconstrained(Linear, 4)
+	if cs.Describe() != "(unconstrained)" {
+		t.Fatalf("Describe = %q", cs.Describe())
+	}
+	cs, _ = ForPartition(Linear, 4, 0, 2)
+	if cs.Describe() != "Q0 ≺ Q1" {
+		t.Fatalf("Describe = %q", cs.Describe())
+	}
+}
+
+func TestAdmissibleLinearExample2(t *testing.T) {
+	// Example 2 of the paper (renumbered to 0-based): constraints
+	// Q0 ≺ Q1 and Q3 ≺ Q2 admit exactly these 9 join results.
+	cs, err := ForPartition(Linear, 4, 0b10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCard := cs.AdmissibleSets()
+	var all []bitset.Set
+	for _, bucket := range byCard {
+		all = append(all, bucket...)
+	}
+	want := map[bitset.Set]bool{
+		bitset.Empty():        true,
+		bitset.Of(0):          true,
+		bitset.Of(0, 1):       true,
+		bitset.Of(3):          true,
+		bitset.Of(0, 3):       true,
+		bitset.Of(0, 1, 3):    true,
+		bitset.Of(2, 3):       true,
+		bitset.Of(0, 2, 3):    true,
+		bitset.Of(0, 1, 2, 3): true,
+	}
+	if len(all) != len(want) {
+		t.Fatalf("got %d admissible sets want %d: %v", len(all), len(want), all)
+	}
+	for _, s := range all {
+		if !want[s] {
+			t.Errorf("unexpected admissible set %v", s)
+		}
+	}
+}
+
+// brute-force admissibility from first principles.
+func bruteAdmissible(cs *ConstraintSet, s bitset.Set) bool {
+	if s.Count() <= 1 {
+		return true
+	}
+	for _, c := range cs.List {
+		if cs.Space == Linear {
+			if s.Contains(c.Y) && !s.Contains(c.X) {
+				return false
+			}
+		} else {
+			if s.Contains(c.Y) && s.Contains(c.Z) && !s.Contains(c.X) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestAdmissibleSetsMatchesPredicate(t *testing.T) {
+	cases := []struct {
+		space Space
+		n, m  int
+	}{
+		{Linear, 6, 1}, {Linear, 6, 2}, {Linear, 6, 8},
+		{Linear, 7, 4}, {Bushy, 6, 1}, {Bushy, 6, 4},
+		{Bushy, 7, 2}, {Bushy, 8, 4},
+	}
+	for _, c := range cases {
+		for partID := 0; partID < c.m; partID++ {
+			cs, err := ForPartition(c.space, c.n, partID, c.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := map[bitset.Set]bool{}
+			for _, bucket := range cs.AdmissibleSets() {
+				for _, s := range bucket {
+					if got[s] {
+						t.Fatalf("%v n=%d m=%d part=%d: duplicate set %v", c.space, c.n, c.m, partID, s)
+					}
+					got[s] = true
+				}
+			}
+			// Every set of cardinality >= 2 in the power set appears iff
+			// it satisfies the constraint predicate.
+			full := bitset.Range(c.n)
+			full.Subsets(func(s bitset.Set) {
+				if s.Count() < 2 {
+					return
+				}
+				want := bruteAdmissible(cs, s)
+				if got[s] != want {
+					t.Fatalf("%v n=%d m=%d part=%d set %v: enumerated=%v predicate=%v",
+						c.space, c.n, c.m, partID, s, got[s], want)
+				}
+				if cs.Admissible(s) != want {
+					t.Fatalf("Admissible(%v) = %v want %v", s, cs.Admissible(s), want)
+				}
+			})
+		}
+	}
+}
+
+func TestCountAdmissibleClosedForm(t *testing.T) {
+	cases := []struct {
+		space Space
+		n, m  int
+	}{
+		{Linear, 4, 1}, {Linear, 4, 4}, {Linear, 6, 2}, {Linear, 7, 8},
+		{Linear, 9, 16}, {Bushy, 6, 1}, {Bushy, 6, 4}, {Bushy, 7, 2},
+		{Bushy, 8, 4}, {Bushy, 9, 8},
+	}
+	for _, c := range cases {
+		cs, err := ForPartition(c.space, c.n, c.m-1, c.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := uint64(0)
+		for _, bucket := range cs.AdmissibleSets() {
+			count += uint64(len(bucket))
+		}
+		if count != cs.CountAdmissible() {
+			t.Errorf("%v n=%d m=%d: enumerated %d, closed form %d",
+				c.space, c.n, c.m, count, cs.CountAdmissible())
+		}
+	}
+}
+
+// Theorem 2/3: each constraint reduces the admissible-set count by 3/4
+// (linear) or 7/8 (bushy).
+func TestReductionFactors(t *testing.T) {
+	for _, space := range []Space{Linear, Bushy} {
+		n := 12
+		prev := Unconstrained(space, n).CountAdmissible()
+		maxL := n / space.groupSize()
+		for l := 1; l <= maxL && l <= 4; l++ {
+			cs, err := ForPartition(space, n, 0, 1<<uint(l))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur := cs.CountAdmissible()
+			var num, den uint64
+			if space == Linear {
+				num, den = 3, 4
+			} else {
+				num, den = 7, 8
+			}
+			if cur*den != prev*num {
+				t.Fatalf("%v l=%d: count %d -> %d is not a %d/%d reduction", space, l, prev, cur, num, den)
+			}
+			prev = cur
+		}
+	}
+}
+
+// Partition coverage (the paper's completeness property): the union over
+// all m partitions of admissible sets is the full power set, for every
+// cardinality >= 2.
+func TestPartitionsCoverPlanSpace(t *testing.T) {
+	cases := []struct {
+		space Space
+		n, m  int
+	}{
+		{Linear, 6, 8}, {Linear, 8, 16}, {Linear, 7, 4},
+		{Bushy, 6, 4}, {Bushy, 9, 8}, {Bushy, 8, 4},
+	}
+	for _, c := range cases {
+		covered := map[bitset.Set]int{}
+		for partID := 0; partID < c.m; partID++ {
+			cs, err := ForPartition(c.space, c.n, partID, c.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, bucket := range cs.AdmissibleSets() {
+				for _, s := range bucket {
+					covered[s]++
+				}
+			}
+		}
+		full := bitset.Range(c.n)
+		full.Subsets(func(s bitset.Set) {
+			if s.Count() < 2 {
+				return
+			}
+			if covered[s] == 0 {
+				t.Fatalf("%v n=%d m=%d: set %v not covered by any partition", c.space, c.n, c.m, s)
+			}
+		})
+		// The full query set must be admissible in every partition.
+		if covered[full] != c.m {
+			t.Fatalf("%v n=%d m=%d: full set covered by %d/%d partitions", c.space, c.n, c.m, covered[full], c.m)
+		}
+	}
+}
+
+func TestInnerAllowedLinear(t *testing.T) {
+	cs, err := ForPartition(Linear, 4, 0, 4) // Q0≺Q1, Q2≺Q3
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := bitset.Of(0, 1, 2)
+	// 0 cannot be inner while 1 is present.
+	if cs.InnerAllowed(u, 0) {
+		t.Error("0 allowed as inner despite Q0≺Q1 and 1 in set")
+	}
+	if !cs.InnerAllowed(u, 1) {
+		t.Error("1 should be allowed as inner")
+	}
+	// 2 is constrained before 3, but 3 is absent from u.
+	if !cs.InnerAllowed(u, 2) {
+		t.Error("2 should be allowed as inner when 3 absent")
+	}
+	// Unconstrained partitions allow everything.
+	un := Unconstrained(Linear, 4)
+	for i := 0; i < 4; i++ {
+		if !un.InnerAllowed(bitset.Range(4), i) {
+			t.Errorf("unconstrained InnerAllowed(%d) = false", i)
+		}
+	}
+}
+
+// ForEachLeft must enumerate exactly the proper subsets L of u where both
+// L and u\L are admissible.
+func TestForEachLeftMatchesBruteForce(t *testing.T) {
+	cases := []struct {
+		n, m int
+	}{{6, 1}, {6, 2}, {6, 4}, {7, 4}, {8, 4}, {9, 8}}
+	for _, c := range cases {
+		for partID := 0; partID < c.m; partID++ {
+			cs, err := ForPartition(Bushy, c.n, partID, c.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp := cs.NewSplitter()
+			for _, bucket := range cs.AdmissibleSets() {
+				for _, u := range bucket {
+					if u.Count() < 2 {
+						continue
+					}
+					want := map[bitset.Set]bool{}
+					u.ProperSubsets(func(l bitset.Set) {
+						if cs.Admissible(l) && cs.Admissible(u.Minus(l)) {
+							want[l] = true
+						}
+					})
+					got := map[bitset.Set]bool{}
+					sp.ForEachLeft(u, func(l bitset.Set) {
+						if got[l] {
+							t.Fatalf("duplicate left operand %v for %v", l, u)
+						}
+						got[l] = true
+					})
+					if len(got) != len(want) {
+						t.Fatalf("n=%d m=%d part=%d u=%v: got %d splits want %d",
+							c.n, c.m, partID, u, len(got), len(want))
+					}
+					for l := range want {
+						if !got[l] {
+							t.Fatalf("missing left operand %v for %v", l, u)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Theorem 7's counting argument: summing (splits+2) over all admissible
+// sets equals the per-group product of 27 (unconstrained triple), 21
+// (constrained triple) and 3 (leftover table).
+func TestBushySplitCountClosedForm(t *testing.T) {
+	for _, tc := range []struct {
+		n, m int
+	}{{6, 1}, {6, 2}, {6, 4}, {7, 2}, {8, 4}, {9, 8}} {
+		cs, err := ForPartition(Bushy, tc.n, tc.m-1, tc.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := cs.NewSplitter()
+		total := uint64(0)
+		nSets := uint64(0)
+		for _, bucket := range cs.AdmissibleSets() {
+			for _, u := range bucket {
+				if u.IsEmpty() {
+					continue // the empty assignment is counted separately below
+				}
+				nSets++
+				sp.ForEachLeft(u, func(bitset.Set) { total++ })
+			}
+		}
+		l := len(cs.List)
+		triples := tc.n / 3
+		leftover := tc.n % 3
+		want := uint64(1)
+		for i := 0; i < triples-l; i++ {
+			want *= 27
+		}
+		for i := 0; i < l; i++ {
+			want *= 21
+		}
+		for i := 0; i < leftover; i++ {
+			want *= 3
+		}
+		// Every (U, L) table-to-{left,right,absent} assignment is either an
+		// enumerated split, one of the two degenerate splits (L=∅, L=U) of
+		// a non-empty U, or the all-absent assignment (U=∅).
+		if total+2*nSets+1 != want {
+			t.Fatalf("n=%d m=%d: splits=%d sets=%d, splits+2*sets+1=%d want %d",
+				tc.n, tc.m, total, nSets, total+2*nSets+1, want)
+		}
+	}
+}
+
+// Property test: random sets, Admissible is consistent with bruteAdmissible
+// under random partitions.
+func TestQuickAdmissibleConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 500; trial++ {
+		space := Space(rng.Intn(2))
+		n := 4 + rng.Intn(12)
+		maxW := MaxWorkers(space, n)
+		if maxW > 64 {
+			maxW = 64
+		}
+		m := 1 << uint(rng.Intn(trailing(maxW)+1))
+		partID := rng.Intn(m)
+		cs, err := ForPartition(space, n, partID, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := bitset.Set(rng.Uint64()) & bitset.Range(n)
+		if cs.Admissible(s) != bruteAdmissible(cs, s) {
+			t.Fatalf("inconsistent admissibility for %v (space=%v n=%d part=%d/%d)", s, space, n, partID, m)
+		}
+	}
+}
+
+func trailing(m int) int {
+	k := 0
+	for m > 1 {
+		m >>= 1
+		k++
+	}
+	return k
+}
+
+func TestUnconstrainedCoversEverything(t *testing.T) {
+	cs := Unconstrained(Linear, 5)
+	count := uint64(0)
+	for _, bucket := range cs.AdmissibleSets() {
+		count += uint64(len(bucket))
+	}
+	if count != 32 {
+		t.Fatalf("unconstrained 5-table query has %d admissible sets, want 2^5", count)
+	}
+}
+
+func BenchmarkAdmissibleSetsLinear16(b *testing.B) {
+	cs, err := ForPartition(Linear, 16, 5, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs.AdmissibleSets()
+	}
+}
+
+func BenchmarkForEachLeftBushy12(b *testing.B) {
+	cs, err := ForPartition(Bushy, 12, 3, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp := cs.NewSplitter()
+	u := bitset.Range(12)
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		sp.ForEachLeft(u, func(bitset.Set) { n++ })
+	}
+	_ = n
+}

@@ -1,0 +1,34 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the plan as a Graphviz digraph for visual inspection
+// (`mpqopt -dot | dot -Tsvg`). Scans are boxes, joins are ellipses
+// labeled with the operator and its estimates.
+func (n *Node) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  node [fontname=\"Helvetica\"];\n")
+	id := 0
+	var walk func(p *Node) int
+	walk = func(p *Node) int {
+		my := id
+		id++
+		if p.IsScan {
+			fmt.Fprintf(&b, "  n%d [shape=box, label=\"Scan T%d\\ncard=%.3g\"];\n", my, p.Table, p.Card)
+			return my
+		}
+		fmt.Fprintf(&b, "  n%d [shape=ellipse, label=\"%s\\ncard=%.3g cost=%.3g\"];\n", my, p.Alg, p.Card, p.Cost)
+		l := walk(p.Left)
+		r := walk(p.Right)
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"outer\"];\n", my, l)
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"inner\"];\n", my, r)
+		return my
+	}
+	walk(n)
+	b.WriteString("}\n")
+	return b.String()
+}

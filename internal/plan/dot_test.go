@@ -1,0 +1,40 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"mpq/internal/cost"
+	"mpq/internal/query"
+)
+
+func TestDOT(t *testing.T) {
+	q := query.MustNew([]query.Table{
+		{Name: "A", Cardinality: 100},
+		{Name: "B", Cardinality: 200},
+	})
+	q.MustAddPredicate(query.Predicate{Left: 0, Right: 1, Selectivity: 0.01})
+	q.Freeze()
+	m := cost.Default()
+	j := Join(m, Scan(m, q, 0), Scan(m, q, 1), JoinSpec{
+		Alg: cost.Hash, OutCard: q.CardOf(q.All()), Pred: NoPred, Order: query.NoOrder,
+	})
+	dot := j.DOT("test")
+	for _, want := range []string{
+		"digraph \"test\"",
+		"Scan T0", "Scan T1", "HJ",
+		"outer", "inner",
+		"}",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Three nodes, two edges.
+	if got := strings.Count(dot, "->"); got != 2 {
+		t.Fatalf("%d edges", got)
+	}
+	if got := strings.Count(dot, "label="); got != 5 {
+		t.Fatalf("%d labels", got)
+	}
+}

@@ -1,0 +1,349 @@
+// Package plan defines query-plan trees (§3 of the paper): scan leaves
+// and binary join nodes annotated with the table set they produce,
+// cardinality and cost estimates, and the physical sort order of their
+// output (interesting orders).
+//
+// A plan node is immutable after construction and shares operand subtrees
+// with other plans, so a memo entry costs O(1) space as assumed by the
+// paper's memory analysis (Theorem 4).
+package plan
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"mpq/internal/bitset"
+	"mpq/internal/cost"
+	"mpq/internal/query"
+)
+
+// NoPred marks a join that uses no merge predicate (cross product or
+// non-sort-merge operator).
+const NoPred = -1
+
+// Node is one operator of a query plan.
+type Node struct {
+	// IsScan distinguishes leaves from joins.
+	IsScan bool
+	// Table is the scanned table index (scan nodes only).
+	Table int
+	// Alg is the join algorithm (join nodes only).
+	Alg cost.JoinAlg
+	// Pred is the predicate index a sort-merge join merges on, or NoPred.
+	Pred int
+	// Left is the outer operand, Right the inner operand (join only).
+	Left, Right *Node
+
+	// Tables is the set of tables this subtree joins.
+	Tables bitset.Set
+	// Card is the estimated output cardinality.
+	Card float64
+	// Cost is the cumulative time-metric cost of the subtree.
+	Cost float64
+	// Buffer is the cumulative buffer-space metric (max over operators).
+	Buffer float64
+	// Order is the attribute the output is sorted on (query.AttrID), or
+	// query.NoOrder.
+	Order int
+}
+
+// Scan builds a scan leaf for table t of q.
+func Scan(m cost.Model, q *query.Query, t int) *Node {
+	card := q.Card(t)
+	return &Node{
+		IsScan: true,
+		Table:  t,
+		Pred:   NoPred,
+		Tables: bitset.Single(t),
+		Card:   card,
+		Cost:   m.ScanCost(card),
+		Buffer: m.ScanSecond(card),
+		Order:  query.NoOrder,
+	}
+}
+
+// JoinSpec carries the precomputed facts a join constructor needs. The
+// dynamic program computes output cardinality once per table set, so the
+// constructor takes it as an input instead of recomputing it per split.
+type JoinSpec struct {
+	Alg     cost.JoinAlg
+	OutCard float64
+	Pred    int  // merge predicate for SortMerge, else NoPred
+	Order   int  // output order (query.AttrID or query.NoOrder)
+	LSorted bool // left input already sorted on the merge attribute
+	RSorted bool // right input already sorted on the merge attribute
+}
+
+// Join builds a join node over operands l (outer) and r (inner).
+func Join(m cost.Model, l, r *Node, spec JoinSpec) *Node {
+	opCost := m.JoinCost(spec.Alg, l.Card, r.Card, spec.LSorted, spec.RSorted)
+	opBuf := m.JoinSecond(spec.Alg, l.Card, r.Card, spec.LSorted, spec.RSorted)
+	buf := m.CombineSecond(l.Buffer, r.Buffer, opBuf)
+	return &Node{
+		Alg:    spec.Alg,
+		Pred:   spec.Pred,
+		Left:   l,
+		Right:  r,
+		Tables: l.Tables.Union(r.Tables),
+		Card:   spec.OutCard,
+		Cost:   l.Cost + r.Cost + opCost,
+		Buffer: buf,
+		Order:  spec.Order,
+	}
+}
+
+// IsLeftDeep reports whether every join's inner (right) operand is a
+// scan, i.e. the plan lies in the linear plan space of §3.
+func (n *Node) IsLeftDeep() bool {
+	if n.IsScan {
+		return true
+	}
+	return n.Right.IsScan && n.Left.IsLeftDeep()
+}
+
+// CountJoins returns the number of join operators in the subtree.
+func (n *Node) CountJoins() int {
+	if n.IsScan {
+		return 0
+	}
+	return 1 + n.Left.CountJoins() + n.Right.CountJoins()
+}
+
+// Height returns the operator-tree height (a scan has height 1).
+func (n *Node) Height() int {
+	if n.IsScan {
+		return 1
+	}
+	lh, rh := n.Left.Height(), n.Right.Height()
+	if rh > lh {
+		lh = rh
+	}
+	return lh + 1
+}
+
+// JoinOrder returns the table indices in the order scan leaves are
+// encountered in a post-order traversal. For left-deep plans this is the
+// join order of §3.
+func (n *Node) JoinOrder() []int {
+	var out []int
+	var walk func(*Node)
+	walk = func(p *Node) {
+		if p.IsScan {
+			out = append(out, p.Table)
+			return
+		}
+		walk(p.Left)
+		walk(p.Right)
+	}
+	walk(n)
+	return out
+}
+
+// String renders the plan as a one-line expression, e.g.
+// "((T0 HJ T1) NLJ T2)".
+func (n *Node) String() string {
+	var b strings.Builder
+	n.writeExpr(&b)
+	return b.String()
+}
+
+func (n *Node) writeExpr(b *strings.Builder) {
+	if n.IsScan {
+		fmt.Fprintf(b, "T%d", n.Table)
+		return
+	}
+	b.WriteByte('(')
+	n.Left.writeExpr(b)
+	b.WriteByte(' ')
+	b.WriteString(n.Alg.String())
+	b.WriteByte(' ')
+	n.Right.writeExpr(b)
+	b.WriteByte(')')
+}
+
+// Format renders an indented operator tree with estimates, suitable for
+// CLI output.
+func (n *Node) Format() string {
+	var b strings.Builder
+	n.format(&b, 0)
+	return b.String()
+}
+
+func (n *Node) format(b *strings.Builder, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if n.IsScan {
+		fmt.Fprintf(b, "%sScan(T%d) card=%.3g cost=%.4g\n", indent, n.Table, n.Card, n.Cost)
+		return
+	}
+	order := ""
+	if n.Order != query.NoOrder {
+		order = fmt.Sprintf(" order=%d", n.Order)
+	}
+	fmt.Fprintf(b, "%s%s card=%.3g cost=%.4g buffer=%.4g%s\n", indent, n.Alg, n.Card, n.Cost, n.Buffer, order)
+	n.Left.format(b, depth+1)
+	n.Right.format(b, depth+1)
+}
+
+const eps = 1e-6
+
+func approxEq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= eps*scale
+}
+
+// Validate checks the structural and arithmetic integrity of the plan
+// against query q and cost model m: operand table sets are disjoint,
+// unions and the root table set are correct, and cardinality, cost,
+// buffer and order annotations recompute to the stored values. It
+// returns the first violation found.
+func (n *Node) Validate(q *query.Query, m cost.Model) error {
+	_, err := n.validate(q, m)
+	return err
+}
+
+func (n *Node) validate(q *query.Query, m cost.Model) (*Node, error) {
+	if n.IsScan {
+		if n.Table < 0 || n.Table >= q.N() {
+			return nil, fmt.Errorf("plan: scan table %d out of range", n.Table)
+		}
+		want := Scan(m, q, n.Table)
+		if n.Tables != want.Tables || !approxEq(n.Card, want.Card) || !approxEq(n.Cost, want.Cost) {
+			return nil, fmt.Errorf("plan: scan T%d annotations inconsistent: %+v", n.Table, n)
+		}
+		return want, nil
+	}
+	if n.Left == nil || n.Right == nil {
+		return nil, fmt.Errorf("plan: join with nil operand")
+	}
+	if n.Left.Tables.Intersects(n.Right.Tables) {
+		return nil, fmt.Errorf("plan: operands overlap: %v and %v", n.Left.Tables, n.Right.Tables)
+	}
+	if n.Left.Tables.Union(n.Right.Tables) != n.Tables {
+		return nil, fmt.Errorf("plan: table set %v != union of operands", n.Tables)
+	}
+	l, err := n.Left.validate(q, m)
+	if err != nil {
+		return nil, err
+	}
+	r, err := n.Right.validate(q, m)
+	if err != nil {
+		return nil, err
+	}
+	if !n.Alg.Valid() {
+		return nil, fmt.Errorf("plan: invalid join algorithm %d", int(n.Alg))
+	}
+	wantCard := l.Card * r.Card * q.SelBetween(n.Left.Tables, n.Right.Tables)
+	lSorted, rSorted := false, false
+	order := query.NoOrder
+	pred := NoPred
+	if n.Alg == cost.SortMerge && n.Pred != NoPred {
+		if n.Pred < 0 || n.Pred >= len(q.Preds) {
+			return nil, fmt.Errorf("plan: merge predicate %d out of range", n.Pred)
+		}
+		p := q.Preds[n.Pred]
+		la, ra := mergeAttrs(p, n.Left.Tables)
+		if la == query.NoOrder {
+			return nil, fmt.Errorf("plan: merge predicate %d does not straddle operands", n.Pred)
+		}
+		lSorted = n.Left.Order == la
+		rSorted = n.Right.Order == ra
+		order = minOrder(la, ra)
+		pred = n.Pred
+	} else if n.Alg == cost.NestedLoop {
+		order = n.Left.Order // NLJ preserves outer order
+	}
+	rebuilt := Join(m, l, r, JoinSpec{
+		Alg: n.Alg, OutCard: wantCard, Pred: pred, Order: order,
+		LSorted: lSorted, RSorted: rSorted,
+	})
+	if !approxEq(n.Card, rebuilt.Card) {
+		return nil, fmt.Errorf("plan: card %g, recomputed %g for %v", n.Card, rebuilt.Card, n.Tables)
+	}
+	if !approxEq(n.Cost, rebuilt.Cost) {
+		return nil, fmt.Errorf("plan: cost %g, recomputed %g for %v", n.Cost, rebuilt.Cost, n.Tables)
+	}
+	if !approxEq(n.Buffer, rebuilt.Buffer) {
+		return nil, fmt.Errorf("plan: buffer %g, recomputed %g for %v", n.Buffer, rebuilt.Buffer, n.Tables)
+	}
+	if n.Order != rebuilt.Order {
+		return nil, fmt.Errorf("plan: order %d, recomputed %d for %v", n.Order, rebuilt.Order, n.Tables)
+	}
+	return rebuilt, nil
+}
+
+// mergeAttrs returns the order (attribute) IDs of predicate p as seen
+// from an operand pair where leftTables holds the left operand's tables:
+// the first return is the attribute on the left side, the second on the
+// right side. Returns (NoOrder, NoOrder) if p does not straddle.
+func mergeAttrs(p query.Predicate, leftTables bitset.Set) (int, int) {
+	la := query.AttrID(p.Left, p.LeftAttr)
+	ra := query.AttrID(p.Right, p.RightAttr)
+	if leftTables.Contains(p.Left) {
+		return la, ra
+	}
+	if leftTables.Contains(p.Right) {
+		return ra, la
+	}
+	return query.NoOrder, query.NoOrder
+}
+
+// MergeAttrs is the exported form used by the DP when enumerating
+// sort-merge joins.
+func MergeAttrs(p query.Predicate, leftTables bitset.Set) (int, int) {
+	return mergeAttrs(p, leftTables)
+}
+
+func minOrder(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// CanonicalMergeOrder returns the canonical output order of a sort-merge
+// join on predicate p: the smaller of the two endpoint attribute IDs
+// (both columns are equal after the join, so one canonical id suffices).
+func CanonicalMergeOrder(p query.Predicate) int {
+	return minOrder(query.AttrID(p.Left, p.LeftAttr), query.AttrID(p.Right, p.RightAttr))
+}
+
+// Stats counts optimizer work. It doubles as the deterministic work meter
+// that the cluster simulator converts into virtual compute time.
+type Stats struct {
+	// SetsProcessed is the number of admissible join-result sets treated.
+	SetsProcessed uint64
+	// SplitsTried is the number of operand pairs considered.
+	SplitsTried uint64
+	// PlansKept is the number of plans that survived pruning.
+	PlansKept uint64
+	// PlansPruned is the number of generated plans discarded by pruning.
+	PlansPruned uint64
+	// MemoEntries is the number of table sets held in the memo at the
+	// end of optimization (the paper's "memory (relations)" metric).
+	MemoEntries uint64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.SetsProcessed += o.SetsProcessed
+	s.SplitsTried += o.SplitsTried
+	s.PlansKept += o.PlansKept
+	s.PlansPruned += o.PlansPruned
+	if o.MemoEntries > s.MemoEntries {
+		s.MemoEntries = o.MemoEntries
+	}
+}
+
+// WorkUnits is the deterministic abstract work performed: one unit per
+// treated set, per considered split, and per generated plan (kept or
+// pruned). Proportional to the DP's running time (Theorems 6 and 7);
+// the plan term captures the frontier-size blowup of multi-objective
+// pruning (§5.4: time grows with the cube of plans per table set).
+func (s Stats) WorkUnits() uint64 {
+	return s.SetsProcessed + s.SplitsTried + s.PlansKept + s.PlansPruned
+}

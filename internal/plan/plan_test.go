@@ -1,0 +1,268 @@
+package plan
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mpq/internal/bitset"
+	"mpq/internal/cost"
+	"mpq/internal/query"
+)
+
+func testQuery(t *testing.T) *query.Query {
+	t.Helper()
+	q := query.MustNew([]query.Table{
+		{Name: "A", Cardinality: 100},
+		{Name: "B", Cardinality: 200},
+		{Name: "C", Cardinality: 50},
+	})
+	q.MustAddPredicate(query.Predicate{Left: 0, Right: 1, Selectivity: 0.01})
+	q.MustAddPredicate(query.Predicate{Left: 1, Right: 2, Selectivity: 0.1, LeftAttr: 1})
+	q.Freeze()
+	return q
+}
+
+func TestScanNode(t *testing.T) {
+	q := testQuery(t)
+	m := cost.Default()
+	s := Scan(m, q, 1)
+	if !s.IsScan || s.Table != 1 {
+		t.Fatalf("scan node %+v", s)
+	}
+	if s.Tables != bitset.Single(1) {
+		t.Fatalf("tables = %v", s.Tables)
+	}
+	if s.Card != 200 || s.Cost != 200 {
+		t.Fatalf("card/cost = %g/%g", s.Card, s.Cost)
+	}
+	if s.Order != query.NoOrder {
+		t.Fatalf("order = %d", s.Order)
+	}
+	if err := s.Validate(q, m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildAB joins scan(0) with scan(1) using the given algorithm.
+func buildAB(q *query.Query, m cost.Model, alg cost.JoinAlg) *Node {
+	l, r := Scan(m, q, 0), Scan(m, q, 1)
+	card := q.CardOf(bitset.Of(0, 1))
+	spec := JoinSpec{Alg: alg, OutCard: card, Pred: NoPred, Order: query.NoOrder}
+	if alg == cost.SortMerge {
+		spec.Pred = 0
+		spec.Order = CanonicalMergeOrder(q.Preds[0])
+	}
+	return Join(m, l, r, spec)
+}
+
+func TestJoinNodeAccounting(t *testing.T) {
+	q := testQuery(t)
+	m := cost.Default()
+	j := buildAB(q, m, cost.Hash)
+	if j.Tables != bitset.Of(0, 1) {
+		t.Fatalf("tables = %v", j.Tables)
+	}
+	wantCard := 100.0 * 200 * 0.01
+	if math.Abs(j.Card-wantCard) > 1e-9 {
+		t.Fatalf("card = %g want %g", j.Card, wantCard)
+	}
+	wantCost := 100 + 200 + 1.2*(100+200)
+	if math.Abs(j.Cost-wantCost) > 1e-9 {
+		t.Fatalf("cost = %g want %g", j.Cost, wantCost)
+	}
+	// Buffer: max(scan bufs (1), hash build 200+1) = 201.
+	if j.Buffer != 201 {
+		t.Fatalf("buffer = %g", j.Buffer)
+	}
+	if err := j.Validate(q, m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortMergeOrderPropagation(t *testing.T) {
+	q := testQuery(t)
+	m := cost.Default()
+	j := buildAB(q, m, cost.SortMerge)
+	want := CanonicalMergeOrder(q.Preds[0])
+	if j.Order != want {
+		t.Fatalf("order = %d want %d", j.Order, want)
+	}
+	if err := j.Validate(q, m); err != nil {
+		t.Fatal(err)
+	}
+	// Hash join destroys order.
+	h := buildAB(q, m, cost.Hash)
+	if h.Order != query.NoOrder {
+		t.Fatalf("hash join order = %d", h.Order)
+	}
+}
+
+func TestNestedLoopPreservesOuterOrder(t *testing.T) {
+	q := testQuery(t)
+	m := cost.Default()
+	ab := buildAB(q, m, cost.SortMerge) // sorted output
+	c := Scan(m, q, 2)
+	card := q.CardOf(q.All())
+	j := Join(m, ab, c, JoinSpec{Alg: cost.NestedLoop, OutCard: card, Pred: NoPred, Order: ab.Order})
+	if j.Order != ab.Order {
+		t.Fatalf("NLJ order = %d want %d", j.Order, ab.Order)
+	}
+	if err := j.Validate(q, m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedInputReducesSMJCost(t *testing.T) {
+	q := testQuery(t)
+	m := cost.Default()
+	// AB sorted on pred0's canonical attribute == AttrID(0,0) or (1,0).
+	ab := buildAB(q, m, cost.SortMerge)
+	c := Scan(m, q, 2)
+	card := q.CardOf(q.All())
+	// Merge on predicate 1 (B.attr1 = C.attr0). AB is sorted on pred0's
+	// attr, not pred1's, so no discount applies.
+	p1 := q.Preds[1]
+	la, ra := MergeAttrs(p1, ab.Tables)
+	lSorted := ab.Order == la
+	if lSorted {
+		t.Fatal("test setup: AB should not be sorted on pred1's attribute")
+	}
+	full := Join(m, ab, c, JoinSpec{
+		Alg: cost.SortMerge, OutCard: card, Pred: 1,
+		Order: minOrder(la, ra), LSorted: lSorted,
+	})
+	// Now pretend AB were sorted on pred1's left attribute.
+	discounted := Join(m, ab, c, JoinSpec{
+		Alg: cost.SortMerge, OutCard: card, Pred: 1,
+		Order: minOrder(la, ra), LSorted: true,
+	})
+	if !(discounted.Cost < full.Cost) {
+		t.Fatalf("sorted input did not reduce cost: %g vs %g", discounted.Cost, full.Cost)
+	}
+}
+
+func TestIsLeftDeep(t *testing.T) {
+	q := testQuery(t)
+	m := cost.Default()
+	ab := buildAB(q, m, cost.Hash)
+	c := Scan(m, q, 2)
+	card := q.CardOf(q.All())
+	leftDeep := Join(m, ab, c, JoinSpec{Alg: cost.Hash, OutCard: card, Pred: NoPred, Order: query.NoOrder})
+	if !leftDeep.IsLeftDeep() {
+		t.Fatal("left-deep plan misclassified")
+	}
+	bushy := Join(m, c, ab, JoinSpec{Alg: cost.Hash, OutCard: card, Pred: NoPred, Order: query.NoOrder})
+	if bushy.IsLeftDeep() {
+		t.Fatal("bushy plan classified as left-deep")
+	}
+	if leftDeep.CountJoins() != 2 {
+		t.Fatalf("CountJoins = %d", leftDeep.CountJoins())
+	}
+	if leftDeep.Height() != 3 {
+		t.Fatalf("Height = %d", leftDeep.Height())
+	}
+}
+
+func TestJoinOrder(t *testing.T) {
+	q := testQuery(t)
+	m := cost.Default()
+	ab := buildAB(q, m, cost.Hash)
+	c := Scan(m, q, 2)
+	j := Join(m, ab, c, JoinSpec{Alg: cost.Hash, OutCard: q.CardOf(q.All()), Pred: NoPred, Order: query.NoOrder})
+	got := j.JoinOrder()
+	want := []int{0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("JoinOrder = %v", got)
+		}
+	}
+}
+
+func TestStringAndFormat(t *testing.T) {
+	q := testQuery(t)
+	m := cost.Default()
+	j := buildAB(q, m, cost.Hash)
+	if got := j.String(); got != "(T0 HJ T1)" {
+		t.Fatalf("String = %q", got)
+	}
+	f := j.Format()
+	if !strings.Contains(f, "HJ") || !strings.Contains(f, "Scan(T0)") {
+		t.Fatalf("Format = %q", f)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	q := testQuery(t)
+	m := cost.Default()
+
+	corrupt := func(mut func(*Node)) *Node {
+		j := buildAB(q, m, cost.Hash)
+		cp := *j
+		mut(&cp)
+		return &cp
+	}
+	cases := map[string]*Node{
+		"cost":   corrupt(func(n *Node) { n.Cost *= 2 }),
+		"card":   corrupt(func(n *Node) { n.Card += 1 }),
+		"buffer": corrupt(func(n *Node) { n.Buffer = 0 }),
+		"tables": corrupt(func(n *Node) { n.Tables = bitset.Of(0, 2) }),
+		"order":  corrupt(func(n *Node) { n.Order = 5 }),
+		"alg":    corrupt(func(n *Node) { n.Alg = cost.JoinAlg(9) }),
+	}
+	for name, n := range cases {
+		if err := n.Validate(q, m); err == nil {
+			t.Errorf("%s corruption not detected", name)
+		}
+	}
+	// Overlapping operands.
+	a := Scan(m, q, 0)
+	bad := &Node{Left: a, Right: a, Tables: a.Tables, Alg: cost.Hash, Pred: NoPred, Order: query.NoOrder}
+	if err := bad.Validate(q, m); err == nil {
+		t.Error("overlapping operands not detected")
+	}
+	// Nil operand.
+	nilOp := &Node{Left: a, Right: nil, Tables: a.Tables, Alg: cost.Hash}
+	if err := nilOp.Validate(q, m); err == nil {
+		t.Error("nil operand not detected")
+	}
+	// Scan out of range.
+	oob := &Node{IsScan: true, Table: 9, Tables: bitset.Single(9)}
+	if err := oob.Validate(q, m); err == nil {
+		t.Error("scan out of range not detected")
+	}
+}
+
+func TestMergeAttrs(t *testing.T) {
+	q := testQuery(t)
+	p := q.Preds[1] // B.1 = C.0
+	la, ra := MergeAttrs(p, bitset.Of(0, 1))
+	if la != query.AttrID(1, 1) || ra != query.AttrID(2, 0) {
+		t.Fatalf("MergeAttrs = %d,%d", la, ra)
+	}
+	// Swapped sides.
+	la, ra = MergeAttrs(p, bitset.Of(2))
+	if la != query.AttrID(2, 0) || ra != query.AttrID(1, 1) {
+		t.Fatalf("MergeAttrs swapped = %d,%d", la, ra)
+	}
+	// Not straddling.
+	la, ra = MergeAttrs(p, bitset.Of(0))
+	if la != query.NoOrder || ra != query.NoOrder {
+		t.Fatalf("MergeAttrs non-straddling = %d,%d", la, ra)
+	}
+}
+
+func TestStatsAddAndWorkUnits(t *testing.T) {
+	a := Stats{SetsProcessed: 10, SplitsTried: 100, PlansKept: 5, PlansPruned: 95, MemoEntries: 7}
+	b := Stats{SetsProcessed: 1, SplitsTried: 2, PlansKept: 3, PlansPruned: 4, MemoEntries: 9}
+	a.Add(b)
+	if a.SetsProcessed != 11 || a.SplitsTried != 102 || a.PlansKept != 8 || a.PlansPruned != 99 {
+		t.Fatalf("Add result %+v", a)
+	}
+	if a.MemoEntries != 9 {
+		t.Fatalf("MemoEntries should take max, got %d", a.MemoEntries)
+	}
+	if a.WorkUnits() != 11+102+8+99 {
+		t.Fatalf("WorkUnits = %d", a.WorkUnits())
+	}
+}

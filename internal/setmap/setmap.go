@@ -1,0 +1,158 @@
+// Package setmap implements a fast open-addressing hash map keyed by
+// table sets (uint64 bitmasks).
+//
+// The optimizer memo performs hundreds of millions of lookups for large
+// queries; this map avoids the allocation and hashing overhead of Go's
+// built-in map for the specific case of uint64 keys that are already
+// well-mixed bit patterns. It uses linear probing with a splitmix64
+// finalizer and grows at 70% load. Deletion is intentionally not
+// supported: the dynamic-programming memo only ever inserts.
+package setmap
+
+import "mpq/internal/bitset"
+
+const (
+	initialCapacity = 64 // must be a power of two
+	maxLoadNum      = 7  // grow when len > cap * 7/10
+	maxLoadDen      = 10
+)
+
+// Map is a hash map from bitset.Set to V. The zero value is not usable;
+// call New. Not safe for concurrent mutation.
+type Map[V any] struct {
+	keys     []uint64
+	vals     []V
+	occupied []bool
+	n        int
+
+	hasZero bool // key 0 stored out of line
+	zeroVal V
+}
+
+// New returns an empty map with capacity for at least sizeHint entries
+// before the first grow.
+func New[V any](sizeHint int) *Map[V] {
+	capacity := initialCapacity
+	for capacity*maxLoadNum/maxLoadDen <= sizeHint {
+		capacity *= 2
+	}
+	return &Map[V]{
+		keys:     make([]uint64, capacity),
+		vals:     make([]V, capacity),
+		occupied: make([]bool, capacity),
+	}
+}
+
+// mix is the splitmix64 finalizer; it turns structured bitmask keys into
+// uniformly distributed probe sequences.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Len returns the number of stored entries.
+func (m *Map[V]) Len() int {
+	if m.hasZero {
+		return m.n + 1
+	}
+	return m.n
+}
+
+// Get returns the value stored for key and whether it was present.
+func (m *Map[V]) Get(key bitset.Set) (V, bool) {
+	k := uint64(key)
+	if k == 0 {
+		return m.zeroVal, m.hasZero
+	}
+	mask := uint64(len(m.keys) - 1)
+	i := mix(k) & mask
+	for m.occupied[i] {
+		if m.keys[i] == k {
+			return m.vals[i], true
+		}
+		i = (i + 1) & mask
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether key is present.
+func (m *Map[V]) Contains(key bitset.Set) bool {
+	_, ok := m.Get(key)
+	return ok
+}
+
+// Put stores val under key, replacing any existing value.
+func (m *Map[V]) Put(key bitset.Set, val V) {
+	k := uint64(key)
+	if k == 0 {
+		m.zeroVal = val
+		m.hasZero = true
+		return
+	}
+	if (m.n+1)*maxLoadDen > len(m.keys)*maxLoadNum {
+		m.grow()
+	}
+	mask := uint64(len(m.keys) - 1)
+	i := mix(k) & mask
+	for m.occupied[i] {
+		if m.keys[i] == k {
+			m.vals[i] = val
+			return
+		}
+		i = (i + 1) & mask
+	}
+	m.keys[i] = k
+	m.vals[i] = val
+	m.occupied[i] = true
+	m.n++
+}
+
+// GetOrPut returns the existing value for key, or stores and returns
+// fallback if the key was absent. The boolean reports whether the key
+// already existed.
+func (m *Map[V]) GetOrPut(key bitset.Set, fallback V) (V, bool) {
+	if v, ok := m.Get(key); ok {
+		return v, true
+	}
+	m.Put(key, fallback)
+	return fallback, false
+}
+
+func (m *Map[V]) grow() {
+	oldKeys, oldVals, oldOcc := m.keys, m.vals, m.occupied
+	capacity := len(oldKeys) * 2
+	m.keys = make([]uint64, capacity)
+	m.vals = make([]V, capacity)
+	m.occupied = make([]bool, capacity)
+	m.n = 0
+	for i, occ := range oldOcc {
+		if occ {
+			m.Put(bitset.Set(oldKeys[i]), oldVals[i])
+		}
+	}
+}
+
+// ForEach calls fn for every entry in unspecified order. fn must not
+// mutate the map.
+func (m *Map[V]) ForEach(fn func(key bitset.Set, val V)) {
+	if m.hasZero {
+		fn(0, m.zeroVal)
+	}
+	for i, occ := range m.occupied {
+		if occ {
+			fn(bitset.Set(m.keys[i]), m.vals[i])
+		}
+	}
+}
+
+// Keys returns all keys in unspecified order.
+func (m *Map[V]) Keys() []bitset.Set {
+	out := make([]bitset.Set, 0, m.Len())
+	m.ForEach(func(k bitset.Set, _ V) { out = append(out, k) })
+	return out
+}

@@ -1,0 +1,223 @@
+package setmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mpq/internal/bitset"
+)
+
+func TestEmptyMap(t *testing.T) {
+	m := New[int](0)
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if _, ok := m.Get(bitset.Of(1)); ok {
+		t.Fatal("Get on empty map returned ok")
+	}
+	if m.Contains(0) {
+		t.Fatal("Contains(0) on empty map")
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	m := New[string](4)
+	m.Put(bitset.Of(1, 2), "a")
+	m.Put(bitset.Of(3), "b")
+	if v, ok := m.Get(bitset.Of(1, 2)); !ok || v != "a" {
+		t.Fatalf("Get = %q,%v", v, ok)
+	}
+	if v, ok := m.Get(bitset.Of(3)); !ok || v != "b" {
+		t.Fatalf("Get = %q,%v", v, ok)
+	}
+	if _, ok := m.Get(bitset.Of(1)); ok {
+		t.Fatal("absent key found")
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestPutOverwrites(t *testing.T) {
+	m := New[int](0)
+	k := bitset.Of(5, 9)
+	m.Put(k, 1)
+	m.Put(k, 2)
+	if v, _ := m.Get(k); v != 2 {
+		t.Fatalf("value = %d", v)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestZeroKey(t *testing.T) {
+	m := New[int](0)
+	if m.Contains(bitset.Empty()) {
+		t.Fatal("empty-set key present before Put")
+	}
+	m.Put(bitset.Empty(), 42)
+	if v, ok := m.Get(bitset.Empty()); !ok || v != 42 {
+		t.Fatalf("zero key get = %d,%v", v, ok)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	m.Put(bitset.Empty(), 7)
+	if v, _ := m.Get(bitset.Empty()); v != 7 {
+		t.Fatal("zero key overwrite failed")
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len after overwrite = %d", m.Len())
+	}
+}
+
+func TestGetOrPut(t *testing.T) {
+	m := New[int](0)
+	v, existed := m.GetOrPut(bitset.Of(2), 10)
+	if existed || v != 10 {
+		t.Fatalf("first GetOrPut = %d,%v", v, existed)
+	}
+	v, existed = m.GetOrPut(bitset.Of(2), 99)
+	if !existed || v != 10 {
+		t.Fatalf("second GetOrPut = %d,%v", v, existed)
+	}
+}
+
+func TestGrowthPreservesEntries(t *testing.T) {
+	m := New[int](0)
+	const n = 10000
+	for i := 1; i <= n; i++ {
+		m.Put(bitset.Set(i), i*3)
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d want %d", m.Len(), n)
+	}
+	for i := 1; i <= n; i++ {
+		if v, ok := m.Get(bitset.Set(i)); !ok || v != i*3 {
+			t.Fatalf("key %d: got %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestForEachVisitsAllOnce(t *testing.T) {
+	m := New[int](0)
+	want := map[bitset.Set]int{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		k := bitset.Set(rng.Uint64() >> 1)
+		want[k] = i
+		m.Put(k, i)
+	}
+	got := map[bitset.Set]int{}
+	m.ForEach(func(k bitset.Set, v int) {
+		if _, dup := got[k]; dup {
+			t.Fatalf("key %v visited twice", k)
+		}
+		got[k] = v
+	})
+	if len(got) != len(want) {
+		t.Fatalf("visited %d entries want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %v: got %d want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestKeys(t *testing.T) {
+	m := New[int](0)
+	m.Put(bitset.Of(1), 1)
+	m.Put(bitset.Of(2), 2)
+	m.Put(bitset.Empty(), 0)
+	ks := m.Keys()
+	if len(ks) != 3 {
+		t.Fatalf("Keys len = %d", len(ks))
+	}
+}
+
+// Property: setmap agrees with the built-in map under a random workload.
+func TestQuickAgainstBuiltinMap(t *testing.T) {
+	f := func(keys []uint64, vals []int64) bool {
+		m := New[int64](0)
+		ref := map[uint64]int64{}
+		for i, k := range keys {
+			var v int64
+			if i < len(vals) {
+				v = vals[i]
+			}
+			m.Put(bitset.Set(k), v)
+			ref[k] = v
+		}
+		if m.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := m.Get(bitset.Set(k))
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeHintAvoidsEarlyGrowth(t *testing.T) {
+	m := New[int](1000)
+	capBefore := len(m.keys)
+	for i := 1; i <= 1000; i++ {
+		m.Put(bitset.Set(i), i)
+	}
+	if len(m.keys) != capBefore {
+		t.Fatalf("map grew from %d to %d despite size hint", capBefore, len(m.keys))
+	}
+}
+
+func BenchmarkPutGet(b *testing.B) {
+	m := New[int](1 << 20)
+	keys := make([]bitset.Set, 1<<16)
+	rng := rand.New(rand.NewSource(42))
+	for i := range keys {
+		keys[i] = bitset.Set(rng.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i&(len(keys)-1)]
+		m.Put(k, i)
+		if _, ok := m.Get(k); !ok {
+			b.Fatal("missing key")
+		}
+	}
+}
+
+func BenchmarkGetVsBuiltin(b *testing.B) {
+	const n = 1 << 18
+	keys := make([]bitset.Set, n)
+	rng := rand.New(rand.NewSource(42))
+	m := New[int](n)
+	ref := make(map[bitset.Set]int, n)
+	for i := range keys {
+		keys[i] = bitset.Set(rng.Uint64() | 1)
+		m.Put(keys[i], i)
+		ref[keys[i]] = i
+	}
+	b.Run("setmap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := m.Get(keys[i&(n-1)]); !ok {
+				b.Fatal("missing")
+			}
+		}
+	})
+	b.Run("builtin", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := ref[keys[i&(n-1)]]; !ok {
+				b.Fatal("missing")
+			}
+		}
+	})
+}

@@ -1,0 +1,219 @@
+// Package sma implements the paper's competitor: the fine-grained
+// approach to parallelizing dynamic-programming query optimization in
+// the style of Han et al. [9, 10], adapted — as the paper's §6.1 does —
+// to a shared-nothing cluster.
+//
+// SMA enumerates table sets in size order. In each round the master
+// assigns the sets of the current cardinality to workers round-robin and
+// must broadcast all memotable entries produced in the previous round to
+// every worker, because workers share no memory and any worker may need
+// any sub-plan. Workers compute optimal plans for their assigned sets and
+// send the new entries back. This yields n-1 communication rounds,
+// broadcast traffic that grows with both the query size (memo size is
+// exponential in n) and the worker count, and per-round barriers — the
+// structural reasons MPQ outperforms it by orders of magnitude in
+// Figures 1 and 4.
+//
+// Plan generation and pruning reuse the exact DP engine of internal/dp,
+// so SMA and MPQ always agree on the optimal plan; only the schedule and
+// the communication pattern differ.
+package sma
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"mpq/internal/bitset"
+	"mpq/internal/cluster"
+	"mpq/internal/core"
+	"mpq/internal/dp"
+	"mpq/internal/mo"
+	"mpq/internal/partition"
+	"mpq/internal/plan"
+	"mpq/internal/query"
+)
+
+// deltaEntry is one new memotable record shipped between master and
+// workers: the table set plus a compact fixed-size plan record (operand
+// sets are referenced by key, as a real shared-memotable implementation
+// would do, rather than shipping whole subtrees).
+type deltaEntry struct {
+	set  bitset.Set
+	plan *plan.Node
+}
+
+// encodeDelta produces the real broadcast bytes for a batch of new
+// memotable entries. Layout per plan: set key (8) + kind/alg (1) +
+// pred (4) + order (4) + card/cost/buffer (24) + left key (8) +
+// right key (8).
+func encodeDelta(entries []deltaEntry) []byte {
+	buf := make([]byte, 0, len(entries)*57)
+	for _, e := range entries {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.set))
+		p := e.plan
+		kind := uint8(0)
+		if !p.IsScan {
+			kind = 1 + uint8(p.Alg)
+		}
+		buf = append(buf, kind)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(p.Pred)))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(p.Order)))
+		for _, f := range [3]float64{p.Card, p.Cost, p.Buffer} {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+		}
+		var lk, rk uint64
+		if !p.IsScan {
+			lk, rk = uint64(p.Left.Tables), uint64(p.Right.Tables)
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, lk)
+		buf = binary.LittleEndian.AppendUint64(buf, rk)
+	}
+	return buf
+}
+
+// Run simulates SMA on the cluster described by model. spec.Workers may
+// be any count ≥ 1 (SMA has no power-of-two restriction); spec.Space,
+// Objective, Alpha and InterestingOrders mean the same as for MPQ.
+func Run(model cluster.Model, q *query.Query, spec core.JobSpec) (*cluster.Result, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateSpec(q, spec); err != nil {
+		return nil, err
+	}
+	q.Freeze()
+	n := q.N()
+	m := spec.Workers
+
+	// The shared memotable lives on the master; the DP engine below is
+	// the canonical copy every worker's local replica mirrors.
+	cs := partition.Unconstrained(spec.Space, n)
+	eng, err := dp.NewEngine(q, cs, spec.DPOptions())
+	if err != nil {
+		return nil, err
+	}
+
+	met := cluster.Metrics{}
+	// Round 0 delta: the scan plans every worker needs.
+	var delta []deltaEntry
+	for t := 0; t < n; t++ {
+		delta = append(delta, deltaEntry{set: bitset.Single(t), plan: eng.PlansFor(bitset.Single(t))[0]})
+	}
+
+	byCard := cs.AdmissibleSets()
+	var virtual time.Duration
+	// Initial statistics distribution (query + selectivities), like MPQ.
+	for k := 2; k <= n; k++ {
+		sets := byCard[k]
+		if len(sets) == 0 {
+			continue
+		}
+		met.Rounds++
+		// Master -> workers: fine-grained per-set tasks (the master pays
+		// dispatch for every task it creates — its §2 bottleneck) plus
+		// the previous round's memotable delta broadcast to everyone.
+		deltaBytes := len(encodeDelta(delta))
+		taskHeader := 16
+		var masterSendBusy time.Duration
+		workerUnits := make([]uint64, m)
+		for w := 0; w < m; w++ {
+			tasks := 0
+			for j := w; j < len(sets); j += m {
+				tasks++
+			}
+			msg := taskHeader + 8*tasks + deltaBytes
+			met.Bytes += uint64(msg)
+			met.Messages++
+			masterSendBusy += time.Duration(tasks)*model.DispatchPerTask + transfer(model, msg)
+		}
+
+		// Workers compute their assigned sets. Each set is processed once
+		// (all replicas are identical); work is attributed to its worker.
+		delta = delta[:0]
+		for j, u := range sets {
+			units := eng.ProcessSet(u)
+			workerUnits[j%m] += units
+			for _, p := range eng.PlansFor(u) {
+				delta = append(delta, deltaEntry{set: u, plan: p})
+			}
+		}
+
+		// Workers -> master: the new entries each worker produced.
+		// Attribute response bytes by assigned sets (round-robin).
+		respTotal := len(encodeDelta(delta))
+		var maxCompute time.Duration
+		for w := 0; w < m; w++ {
+			if c := compute(model, workerUnits[w]); c > maxCompute {
+				maxCompute = c
+			}
+			met.Messages++
+		}
+		met.Bytes += uint64(respTotal + m*taskHeader)
+		// Workers launch their round tasks in parallel (one TaskSetup per
+		// round), compute, and return; the round is a barrier.
+		virtual += masterSendBusy + model.Latency + model.TaskSetup + maxCompute +
+			model.Latency + transfer(model, respTotal+m*taskHeader)
+	}
+
+	res, err := eng.Finish()
+	if err != nil {
+		return nil, err
+	}
+	met.Work = res.Stats
+	// Every worker holds a full replica of the memotable — the paper's
+	// point about SMA's memory footprint not shrinking with parallelism.
+	met.MaxMemoEntries = uint64(eng.MemoLen())
+	met.VirtualTime = virtual + time.Duration(len(res.Plans))*model.FinalPrunePerPlan
+	met.MaxWorkerTime = virtual // workers are barrier-synchronized every round
+
+	out := &cluster.Result{Metrics: met}
+	if spec.Objective == core.MultiObjective {
+		alpha := spec.Alpha
+		if alpha < 1 {
+			alpha = 1
+		}
+		out.Frontier = mo.Merge([][]*plan.Node{res.Plans}, alpha)
+		for _, p := range out.Frontier {
+			if out.Best == nil || p.Cost < out.Best.Cost {
+				out.Best = p
+			}
+		}
+	} else {
+		out.Best = res.Best()
+	}
+	if out.Best == nil {
+		return nil, fmt.Errorf("sma: no plan found")
+	}
+	return out, nil
+}
+
+func validateSpec(q *query.Query, spec core.JobSpec) error {
+	if !spec.Space.Valid() {
+		return fmt.Errorf("sma: invalid plan space %d", int(spec.Space))
+	}
+	if spec.Workers < 1 {
+		return fmt.Errorf("sma: worker count %d < 1", spec.Workers)
+	}
+	switch spec.Objective {
+	case core.SingleObjective, core.MultiObjective:
+	default:
+		return fmt.Errorf("sma: invalid objective %d", int(spec.Objective))
+	}
+	if spec.Objective == core.MultiObjective && spec.Alpha != 0 && spec.Alpha < 1 {
+		return fmt.Errorf("sma: approximation factor α=%g must be ≥ 1", spec.Alpha)
+	}
+	return nil
+}
+
+func transfer(m cluster.Model, bytes int) time.Duration {
+	return time.Duration(float64(bytes) / m.Bandwidth * float64(time.Second))
+}
+
+func compute(m cluster.Model, units uint64) time.Duration {
+	return time.Duration(float64(units) * m.NsPerWorkUnit)
+}

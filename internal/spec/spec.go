@@ -1,0 +1,89 @@
+// Package spec defines the JSON interchange format for queries used by
+// the command-line tools: mpqgen writes query specs, mpqopt reads them.
+// The binary wire format (internal/wire) is for master↔worker traffic;
+// this JSON format is for humans and scripts.
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mpq/internal/query"
+)
+
+// TableSpec is one relation of a query spec.
+type TableSpec struct {
+	Name        string  `json:"name"`
+	Cardinality float64 `json:"cardinality"`
+}
+
+// PredicateSpec is one equality predicate of a query spec.
+type PredicateSpec struct {
+	Left        int     `json:"left"`
+	Right       int     `json:"right"`
+	LeftAttr    int     `json:"leftAttr,omitempty"`
+	RightAttr   int     `json:"rightAttr,omitempty"`
+	Selectivity float64 `json:"selectivity"`
+}
+
+// QuerySpec is the JSON form of a join query.
+type QuerySpec struct {
+	Tables     []TableSpec     `json:"tables"`
+	Predicates []PredicateSpec `json:"predicates"`
+}
+
+// FromQuery converts a query into its JSON-serializable spec.
+func FromQuery(q *query.Query) *QuerySpec {
+	s := &QuerySpec{}
+	for _, t := range q.Tables {
+		s.Tables = append(s.Tables, TableSpec{Name: t.Name, Cardinality: t.Cardinality})
+	}
+	for _, p := range q.Preds {
+		s.Predicates = append(s.Predicates, PredicateSpec{
+			Left: p.Left, Right: p.Right,
+			LeftAttr: p.LeftAttr, RightAttr: p.RightAttr,
+			Selectivity: p.Selectivity,
+		})
+	}
+	return s
+}
+
+// ToQuery validates the spec and builds the query.
+func (s *QuerySpec) ToQuery() (*query.Query, error) {
+	tables := make([]query.Table, len(s.Tables))
+	for i, t := range s.Tables {
+		tables[i] = query.Table{Name: t.Name, Cardinality: t.Cardinality}
+	}
+	q, err := query.New(tables)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range s.Predicates {
+		if err := q.AddPredicate(query.Predicate{
+			Left: p.Left, Right: p.Right,
+			LeftAttr: p.LeftAttr, RightAttr: p.RightAttr,
+			Selectivity: p.Selectivity,
+		}); err != nil {
+			return nil, fmt.Errorf("spec: predicate %d: %w", i, err)
+		}
+	}
+	q.Freeze()
+	return q, nil
+}
+
+// Write serializes the spec as indented JSON.
+func (s *QuerySpec) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Read parses a spec and converts it to a query.
+func Read(r io.Reader) (*query.Query, error) {
+	var s QuerySpec
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("spec: decode: %w", err)
+	}
+	return s.ToQuery()
+}

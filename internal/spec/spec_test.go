@@ -1,0 +1,53 @@
+package spec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mpq/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	q := workload.MustGenerate(workload.NewParams(6, workload.Cycle), 3)
+	var buf bytes.Buffer
+	if err := FromQuery(q).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != q.N() || len(got.Preds) != len(q.Preds) {
+		t.Fatal("shape changed")
+	}
+	for i := range q.Tables {
+		if got.Tables[i] != q.Tables[i] {
+			t.Fatalf("table %d changed", i)
+		}
+	}
+	for i := range q.Preds {
+		if got.Preds[i] != q.Preds[i] {
+			t.Fatalf("pred %d changed", i)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"tables":[]}`)); err == nil {
+		t.Fatal("empty tables accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"tables":[{"name":"a","cardinality":10}],"predicates":[{"left":0,"right":5,"selectivity":0.5}]}`)); err == nil {
+		t.Fatal("bad predicate accepted")
+	}
+}
+
+func TestToQueryValidates(t *testing.T) {
+	s := &QuerySpec{Tables: []TableSpec{{Name: "a", Cardinality: -1}}}
+	if _, err := s.ToQuery(); err == nil {
+		t.Fatal("negative cardinality accepted")
+	}
+}

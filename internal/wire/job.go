@@ -1,0 +1,110 @@
+package wire
+
+import (
+	"mpq/internal/core"
+	"mpq/internal/cost"
+	"mpq/internal/partition"
+	"mpq/internal/plan"
+	"mpq/internal/query"
+)
+
+// JobRequest is the master-to-worker message of Algorithm 1: the query,
+// the job configuration, and this worker's partition ID. It is the only
+// message a worker ever receives for a query.
+type JobRequest struct {
+	Spec   core.JobSpec
+	PartID int
+	Query  *query.Query
+}
+
+// JobResponse is the worker-to-master message: the partition-optimal
+// plan(s) and the worker's work accounting. Err is non-empty if the
+// worker failed.
+type JobResponse struct {
+	Plans []*plan.Node
+	Stats plan.Stats
+	Err   string
+}
+
+// EncodeJobRequest serializes a request.
+func EncodeJobRequest(r *JobRequest) []byte {
+	e := &encoder{}
+	e.header(tagJobRequest)
+	e.u8(uint8(r.Spec.Space))
+	e.u32(uint32(r.Spec.Workers))
+	e.u8(uint8(r.Spec.Objective))
+	e.f64(r.Spec.Alpha)
+	e.bool(r.Spec.InterestingOrders)
+	e.bool(r.Spec.DisableCrossProducts)
+	e.f64(r.Spec.CostModel.HashFactor)
+	e.f64(r.Spec.CostModel.SortFactor)
+	e.f64(r.Spec.CostModel.NLBlock)
+	e.u8(uint8(r.Spec.CostModel.Second))
+	e.f64(r.Spec.CostModel.HashSpillFactor)
+	e.u32(uint32(r.PartID))
+	encodeQueryBody(e, r.Query)
+	return e.buf
+}
+
+// DecodeJobRequest parses a request.
+func DecodeJobRequest(b []byte) (*JobRequest, error) {
+	d := &decoder{b: b}
+	d.header(tagJobRequest)
+	r := &JobRequest{}
+	r.Spec.Space = partition.Space(d.u8())
+	r.Spec.Workers = int(d.u32())
+	r.Spec.Objective = core.Objective(d.u8())
+	r.Spec.Alpha = d.f64()
+	r.Spec.InterestingOrders = d.bool()
+	r.Spec.DisableCrossProducts = d.bool()
+	r.Spec.CostModel.HashFactor = d.f64()
+	r.Spec.CostModel.SortFactor = d.f64()
+	r.Spec.CostModel.NLBlock = d.f64()
+	r.Spec.CostModel.Second = cost.SecondMetric(d.u8())
+	r.Spec.CostModel.HashSpillFactor = d.f64()
+	r.PartID = int(d.u32())
+	r.Query = decodeQueryBody(d)
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	if err := r.Spec.Validate(r.Query.N()); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// EncodeJobResponse serializes a response.
+func EncodeJobResponse(r *JobResponse) []byte {
+	e := &encoder{}
+	e.header(tagJobResponse)
+	e.str(r.Err)
+	encodeStats(e, r.Stats)
+	e.u32(uint32(len(r.Plans)))
+	for _, p := range r.Plans {
+		encodePlanBody(e, p)
+	}
+	return e.buf
+}
+
+// DecodeJobResponse parses a response.
+func DecodeJobResponse(b []byte) (*JobResponse, error) {
+	d := &decoder{b: b}
+	d.header(tagJobResponse)
+	r := &JobResponse{}
+	r.Err = d.str()
+	r.Stats = decodeStats(d)
+	n := int(d.u32())
+	if n > 1<<20 {
+		d.fail("plan count %d too large", n)
+	}
+	for i := 0; i < n && d.err == nil; i++ {
+		p := decodePlanBody(d, 0)
+		if p != nil {
+			r.Plans = append(r.Plans, p)
+		}
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

@@ -1,0 +1,353 @@
+// Package wire serializes queries, job specifications, plans and
+// statistics into a compact binary format.
+//
+// Every byte the cluster simulator and the TCP runtime account for is a
+// byte this package actually produced — the paper's network-traffic
+// measurements (Figures 1, 2, 4, 5) are regenerated from real message
+// sizes, not from a model. The format is little-endian with a magic/
+// version header per message; decoders never panic on malformed input.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"mpq/internal/bitset"
+	"mpq/internal/cost"
+	"mpq/internal/plan"
+	"mpq/internal/query"
+)
+
+// Version is the wire-format version; bump on incompatible changes.
+const Version = 1
+
+const magic = 0x4D50 // "MP"
+
+// message type tags.
+const (
+	tagQuery       = 1
+	tagPlan        = 2
+	tagJobRequest  = 3
+	tagJobResponse = 4
+)
+
+// encoder appends primitive values to a byte slice.
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *encoder) bool(v bool)  { e.u8(map[bool]uint8{false: 0, true: 1}[v]) }
+func (e *encoder) u16(v uint16) { e.buf = binary.LittleEndian.AppendUint16(e.buf, v) }
+func (e *encoder) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *encoder) i32(v int32)  { e.u32(uint32(v)) }
+func (e *encoder) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+func (e *encoder) str(s string) {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16]
+	}
+	e.u16(uint16(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *encoder) header(tag uint8) {
+	e.u16(magic)
+	e.u8(Version)
+	e.u8(tag)
+}
+
+// decoder consumes primitive values from a byte slice, latching the
+// first error.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: "+format, args...)
+	}
+}
+
+func (d *decoder) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off+n > len(d.b) {
+		d.fail("truncated message: need %d bytes at offset %d of %d", n, d.off, len(d.b))
+		return false
+	}
+	return true
+}
+
+func (d *decoder) u8() uint8 {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) bool() bool { return d.u8() != 0 }
+
+func (d *decoder) u16() uint16 {
+	if !d.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) i32() int32   { return int32(d.u32()) }
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+func (d *decoder) str() string {
+	n := int(d.u16())
+	if !d.need(n) {
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *decoder) header(wantTag uint8) {
+	if m := d.u16(); d.err == nil && m != magic {
+		d.fail("bad magic 0x%04x", m)
+	}
+	if v := d.u8(); d.err == nil && v != Version {
+		d.fail("unsupported version %d", v)
+	}
+	if tag := d.u8(); d.err == nil && tag != wantTag {
+		d.fail("unexpected message tag %d, want %d", tag, wantTag)
+	}
+}
+
+func (d *decoder) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("wire: %d trailing bytes", len(d.b)-d.off)
+	}
+	return nil
+}
+
+// EncodeQuery serializes a query (tables with statistics plus
+// predicates) — the per-worker input of Algorithm 1, size b_q in the
+// paper's network analysis (Theorem 1).
+func EncodeQuery(q *query.Query) []byte {
+	e := &encoder{}
+	e.header(tagQuery)
+	encodeQueryBody(e, q)
+	return e.buf
+}
+
+func encodeQueryBody(e *encoder, q *query.Query) {
+	e.u16(uint16(q.N()))
+	for _, t := range q.Tables {
+		e.str(t.Name)
+		e.f64(t.Cardinality)
+	}
+	e.u32(uint32(len(q.Preds)))
+	for _, p := range q.Preds {
+		e.u16(uint16(p.Left))
+		e.u16(uint16(p.Right))
+		e.u16(uint16(p.LeftAttr))
+		e.u16(uint16(p.RightAttr))
+		e.f64(p.Selectivity)
+	}
+}
+
+// DecodeQuery parses a query message.
+func DecodeQuery(b []byte) (*query.Query, error) {
+	d := &decoder{b: b}
+	d.header(tagQuery)
+	q := decodeQueryBody(d)
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func decodeQueryBody(d *decoder) *query.Query {
+	n := int(d.u16())
+	if n < 1 || n > bitset.MaxTables {
+		d.fail("table count %d out of range", n)
+		return nil
+	}
+	tables := make([]query.Table, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		name := d.str()
+		card := d.f64()
+		tables = append(tables, query.Table{Name: name, Cardinality: card})
+	}
+	if d.err != nil {
+		return nil
+	}
+	q, err := query.New(tables)
+	if err != nil {
+		d.fail("invalid query: %v", err)
+		return nil
+	}
+	np := int(d.u32())
+	if np > 1<<20 {
+		d.fail("predicate count %d too large", np)
+		return nil
+	}
+	for i := 0; i < np && d.err == nil; i++ {
+		p := query.Predicate{
+			Left:      int(d.u16()),
+			Right:     int(d.u16()),
+			LeftAttr:  int(d.u16()),
+			RightAttr: int(d.u16()),
+		}
+		p.Selectivity = d.f64()
+		if d.err != nil {
+			return nil
+		}
+		if err := q.AddPredicate(p); err != nil {
+			d.fail("invalid predicate %d: %v", i, err)
+			return nil
+		}
+	}
+	if d.err == nil {
+		q.Freeze()
+	}
+	return q
+}
+
+// EncodePlan serializes one plan tree — the per-worker output, size b_p
+// in Theorem 1. Annotations (cardinality, cost, buffer, order) travel
+// with the plan so the master can prune without re-deriving costs.
+func EncodePlan(p *plan.Node) []byte {
+	e := &encoder{}
+	e.header(tagPlan)
+	encodePlanBody(e, p)
+	return e.buf
+}
+
+func encodePlanBody(e *encoder, p *plan.Node) {
+	if p.IsScan {
+		e.u8(0)
+		e.u16(uint16(p.Table))
+	} else {
+		e.u8(1)
+		e.u8(uint8(p.Alg))
+		e.i32(int32(p.Pred))
+	}
+	e.i32(int32(p.Order))
+	e.f64(p.Card)
+	e.f64(p.Cost)
+	e.f64(p.Buffer)
+	if !p.IsScan {
+		encodePlanBody(e, p.Left)
+		encodePlanBody(e, p.Right)
+	}
+}
+
+// DecodePlan parses a plan message.
+func DecodePlan(b []byte) (*plan.Node, error) {
+	d := &decoder{b: b}
+	d.header(tagPlan)
+	p := decodePlanBody(d, 0)
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+const maxPlanDepth = 2 * bitset.MaxTables
+
+func decodePlanBody(d *decoder, depth int) *plan.Node {
+	if depth > maxPlanDepth {
+		d.fail("plan nesting deeper than %d", maxPlanDepth)
+		return nil
+	}
+	kind := d.u8()
+	n := &plan.Node{}
+	switch kind {
+	case 0:
+		n.IsScan = true
+		n.Table = int(d.u16())
+		if n.Table >= bitset.MaxTables {
+			d.fail("scan table %d out of range", n.Table)
+			return nil
+		}
+		n.Pred = plan.NoPred
+		n.Tables = bitset.Single(n.Table)
+	case 1:
+		n.Alg = cost.JoinAlg(d.u8())
+		if !n.Alg.Valid() {
+			d.fail("invalid join algorithm %d", int(n.Alg))
+			return nil
+		}
+		n.Pred = int(d.i32())
+	default:
+		d.fail("invalid plan node kind %d", kind)
+		return nil
+	}
+	n.Order = int(d.i32())
+	n.Card = d.f64()
+	n.Cost = d.f64()
+	n.Buffer = d.f64()
+	if d.err != nil {
+		return nil
+	}
+	if !n.IsScan {
+		n.Left = decodePlanBody(d, depth+1)
+		n.Right = decodePlanBody(d, depth+1)
+		if d.err != nil {
+			return nil
+		}
+		if n.Left.Tables.Intersects(n.Right.Tables) {
+			d.fail("operands overlap: %v and %v", n.Left.Tables, n.Right.Tables)
+			return nil
+		}
+		n.Tables = n.Left.Tables.Union(n.Right.Tables)
+	}
+	return n
+}
+
+// encodeStats / decodeStats serialize the work counters.
+func encodeStats(e *encoder, s plan.Stats) {
+	e.u64(s.SetsProcessed)
+	e.u64(s.SplitsTried)
+	e.u64(s.PlansKept)
+	e.u64(s.PlansPruned)
+	e.u64(s.MemoEntries)
+}
+
+func decodeStats(d *decoder) plan.Stats {
+	return plan.Stats{
+		SetsProcessed: d.u64(),
+		SplitsTried:   d.u64(),
+		PlansKept:     d.u64(),
+		PlansPruned:   d.u64(),
+		MemoEntries:   d.u64(),
+	}
+}

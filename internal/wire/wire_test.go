@@ -1,0 +1,257 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mpq/internal/core"
+	"mpq/internal/cost"
+	"mpq/internal/dp"
+	"mpq/internal/partition"
+	"mpq/internal/plan"
+	"mpq/internal/query"
+	"mpq/internal/workload"
+)
+
+func genQuery(t testing.TB, n int, seed int64) *query.Query {
+	t.Helper()
+	return workload.MustGenerate(workload.NewParams(n, workload.Star), seed)
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		q := genQuery(t, 8, seed)
+		b := EncodeQuery(q)
+		got, err := DecodeQuery(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.N() != q.N() || len(got.Preds) != len(q.Preds) {
+			t.Fatal("shape mismatch after round trip")
+		}
+		for i := range q.Tables {
+			if got.Tables[i] != q.Tables[i] {
+				t.Fatalf("table %d: %+v != %+v", i, got.Tables[i], q.Tables[i])
+			}
+		}
+		for i := range q.Preds {
+			if got.Preds[i] != q.Preds[i] {
+				t.Fatalf("pred %d: %+v != %+v", i, got.Preds[i], q.Preds[i])
+			}
+		}
+	}
+}
+
+func TestQueryDecodeRejectsCorruption(t *testing.T) {
+	q := genQuery(t, 6, 1)
+	good := EncodeQuery(q)
+
+	// Truncations at every prefix length must error, never panic.
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := DecodeQuery(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Trailing garbage.
+	if _, err := DecodeQuery(append(append([]byte{}, good...), 0xFF)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	// Bad magic / version / tag.
+	bad := append([]byte{}, good...)
+	bad[0] ^= 0xFF
+	if _, err := DecodeQuery(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	bad = append([]byte{}, good...)
+	bad[2] = 99
+	if _, err := DecodeQuery(bad); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	bad = append([]byte{}, good...)
+	bad[3] = tagPlan
+	if _, err := DecodeQuery(bad); err == nil {
+		t.Fatal("wrong tag accepted")
+	}
+}
+
+// Fuzz-style: random byte strings never panic the decoders.
+func TestDecodersNeverPanicOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 5000; i++ {
+		b := make([]byte, rng.Intn(200))
+		rng.Read(b)
+		_, _ = DecodeQuery(b)
+		_, _ = DecodePlan(b)
+		_, _ = DecodeJobRequest(b)
+		_, _ = DecodeJobResponse(b)
+	}
+}
+
+func bestPlan(t testing.TB, q *query.Query, space partition.Space) *plan.Node {
+	t.Helper()
+	res, err := dp.Serial(q, space, dp.Options{InterestingOrders: true, Pruner: dp.OrderAware{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Best()
+}
+
+func TestPlanRoundTrip(t *testing.T) {
+	for _, space := range []partition.Space{partition.Linear, partition.Bushy} {
+		q := genQuery(t, 7, 3)
+		p := bestPlan(t, q, space)
+		b := EncodePlan(p)
+		got, err := DecodePlan(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != p.String() {
+			t.Fatalf("structure changed: %s != %s", got, p)
+		}
+		if got.Cost != p.Cost || got.Card != p.Card || got.Buffer != p.Buffer || got.Order != p.Order {
+			t.Fatal("annotations changed")
+		}
+		// The decoded plan must still validate against the query.
+		if err := got.Validate(q, cost.Default()); err != nil {
+			t.Fatalf("decoded plan invalid: %v", err)
+		}
+	}
+}
+
+func TestPlanDecodeRejectsCorruption(t *testing.T) {
+	q := genQuery(t, 5, 0)
+	p := bestPlan(t, q, partition.Linear)
+	good := EncodePlan(p)
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := DecodePlan(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestJobRequestRoundTrip(t *testing.T) {
+	q := genQuery(t, 8, 5)
+	req := &JobRequest{
+		Spec: core.JobSpec{
+			Space:             partition.Linear,
+			Workers:           8,
+			Objective:         core.MultiObjective,
+			Alpha:             2.5,
+			InterestingOrders: true,
+		},
+		PartID: 5,
+		Query:  q,
+	}
+	b := EncodeJobRequest(req)
+	got, err := DecodeJobRequest(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spec != req.Spec || got.PartID != req.PartID {
+		t.Fatalf("spec mismatch: %+v vs %+v", got.Spec, req.Spec)
+	}
+	if got.Query.N() != q.N() {
+		t.Fatal("query mismatch")
+	}
+}
+
+func TestJobRequestRejectsInvalidSpec(t *testing.T) {
+	q := genQuery(t, 4, 0)
+	req := &JobRequest{
+		Spec:   core.JobSpec{Space: partition.Linear, Workers: 64}, // > max for n=4
+		PartID: 0,
+		Query:  q,
+	}
+	b := EncodeJobRequest(req)
+	if _, err := DecodeJobRequest(b); err == nil {
+		t.Fatal("invalid spec accepted on decode")
+	}
+}
+
+func TestJobResponseRoundTrip(t *testing.T) {
+	q := genQuery(t, 7, 2)
+	res, err := core.RunWorker(q, core.JobSpec{
+		Space: partition.Linear, Workers: 4, Objective: core.MultiObjective, Alpha: 1,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := &JobResponse{Plans: res.Plans, Stats: res.Stats}
+	b := EncodeJobResponse(resp)
+	got, err := DecodeJobResponse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Plans) != len(resp.Plans) {
+		t.Fatalf("plan count %d != %d", len(got.Plans), len(resp.Plans))
+	}
+	if got.Stats != resp.Stats {
+		t.Fatalf("stats mismatch: %+v vs %+v", got.Stats, resp.Stats)
+	}
+	for i := range got.Plans {
+		if got.Plans[i].String() != resp.Plans[i].String() {
+			t.Fatal("plan structure changed")
+		}
+	}
+}
+
+func TestJobResponseError(t *testing.T) {
+	resp := &JobResponse{Err: "worker exploded"}
+	got, err := DecodeJobResponse(EncodeJobResponse(resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Err != "worker exploded" || len(got.Plans) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+// The paper's Theorem 1: message sizes are linear in query size; the
+// request is query + two integers + spec, so it must stay within a small
+// constant of the bare query encoding.
+func TestRequestOverheadIsConstant(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32} {
+		q := genQuery(t, n, 0)
+		qb := len(EncodeQuery(q))
+		rb := len(EncodeJobRequest(&JobRequest{
+			Spec:   core.JobSpec{Space: partition.Linear, Workers: 2},
+			Query:  q,
+			PartID: 1,
+		}))
+		if rb-qb > 64 {
+			t.Fatalf("n=%d: request overhead %d bytes", n, rb-qb)
+		}
+	}
+}
+
+// Property: query encoding is deterministic and injective w.r.t. seeds.
+func TestQuickQueryEncodingDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		q := workload.MustGenerate(workload.NewParams(6, workload.Chain), seed%1000)
+		a := EncodeQuery(q)
+		b := EncodeQuery(q)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeDecodeQuery(b *testing.B) {
+	q := genQuery(b, 20, 0)
+	for i := 0; i < b.N; i++ {
+		enc := EncodeQuery(q)
+		if _, err := DecodeQuery(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Package workload generates random join queries by the method of
+// Steinbrunn et al. [19], which the paper uses for all its experiments
+// (§6.1): random table cardinalities and attribute domain sizes, equality
+// predicates with selectivity 1/max(domain), and configurable join-graph
+// shapes (chain, star, cycle, clique).
+//
+// Generation is fully deterministic given (Params, seed), so every
+// experiment is reproducible and workers could regenerate queries from a
+// seed instead of receiving them over the network.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mpq/internal/catalog"
+	"mpq/internal/query"
+)
+
+// Shape is the join-graph structure (Figure 3 compares chain, star and
+// cycle; star is the paper's default).
+type Shape int
+
+const (
+	// Star connects table 0 to every other table (the default in §6.1).
+	Star Shape = iota
+	// Chain connects table i to table i+1.
+	Chain
+	// Cycle is a chain plus an edge closing the loop.
+	Cycle
+	// Clique connects every table pair.
+	Clique
+)
+
+// Shapes lists all join-graph shapes in a stable order.
+var Shapes = [...]Shape{Star, Chain, Cycle, Clique}
+
+// String names the shape as in Figure 3.
+func (s Shape) String() string {
+	switch s {
+	case Star:
+		return "Star"
+	case Chain:
+		return "Chain"
+	case Cycle:
+		return "Cycle"
+	case Clique:
+		return "Clique"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(s))
+	}
+}
+
+// ParseShape converts a shape name (case-sensitive, as produced by
+// String) back to a Shape.
+func ParseShape(s string) (Shape, error) {
+	for _, sh := range Shapes {
+		if sh.String() == s {
+			return sh, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown join graph shape %q", s)
+}
+
+// Params configures query generation. NewParams supplies the documented
+// defaults (log-uniform cardinalities in [10, 100000], log-uniform
+// attribute domains in [2, 1000], 4 attributes per table).
+type Params struct {
+	Tables        int
+	Shape         Shape
+	MinCard       float64
+	MaxCard       float64
+	MinDomain     int64
+	MaxDomain     int64
+	AttrsPerTable int
+}
+
+// NewParams returns the default parameters for an n-table query.
+func NewParams(n int, shape Shape) Params {
+	return Params{
+		Tables:        n,
+		Shape:         shape,
+		MinCard:       10,
+		MaxCard:       100000,
+		MinDomain:     2,
+		MaxDomain:     1000,
+		AttrsPerTable: 4,
+	}
+}
+
+// Validate reports the first problem with the parameters.
+func (p Params) Validate() error {
+	if p.Tables < 1 {
+		return fmt.Errorf("workload: need at least 1 table, got %d", p.Tables)
+	}
+	if !(p.MinCard > 0) || p.MaxCard < p.MinCard {
+		return fmt.Errorf("workload: invalid cardinality range [%g, %g]", p.MinCard, p.MaxCard)
+	}
+	if p.MinDomain < 1 || p.MaxDomain < p.MinDomain {
+		return fmt.Errorf("workload: invalid domain range [%d, %d]", p.MinDomain, p.MaxDomain)
+	}
+	if p.AttrsPerTable < 1 {
+		return fmt.Errorf("workload: need at least 1 attribute per table")
+	}
+	switch p.Shape {
+	case Star, Chain, Cycle, Clique:
+	default:
+		return fmt.Errorf("workload: invalid shape %d", int(p.Shape))
+	}
+	return nil
+}
+
+// edges returns the join-graph edge list for the shape.
+func (p Params) edges() [][2]int {
+	n := p.Tables
+	var out [][2]int
+	switch p.Shape {
+	case Chain:
+		for i := 0; i+1 < n; i++ {
+			out = append(out, [2]int{i, i + 1})
+		}
+	case Star:
+		for i := 1; i < n; i++ {
+			out = append(out, [2]int{0, i})
+		}
+	case Cycle:
+		for i := 0; i+1 < n; i++ {
+			out = append(out, [2]int{i, i + 1})
+		}
+		if n > 2 {
+			out = append(out, [2]int{n - 1, 0})
+		}
+	case Clique:
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// logUniform draws from [lo, hi] with uniform density in log space, the
+// Steinbrunn et al. convention for cardinalities and domains.
+func logUniform(rng *rand.Rand, lo, hi float64) float64 {
+	if lo == hi {
+		return lo
+	}
+	return math.Exp(math.Log(lo) + rng.Float64()*(math.Log(hi)-math.Log(lo)))
+}
+
+// Generate builds the catalog and query for the given parameters and
+// seed. The same (params, seed) always yields the same query.
+func Generate(p Params, seed int64) (*catalog.Catalog, *query.Query, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	cat := catalog.New()
+	tables := make([]query.Table, p.Tables)
+	for i := range tables {
+		card := math.Round(logUniform(rng, p.MinCard, p.MaxCard))
+		attrs := make([]catalog.Attribute, p.AttrsPerTable)
+		for a := range attrs {
+			dom := int64(math.Round(logUniform(rng, float64(p.MinDomain), float64(p.MaxDomain))))
+			// A column cannot have more distinct values than rows.
+			if float64(dom) > card {
+				dom = int64(card)
+			}
+			attrs[a] = catalog.Attribute{Name: fmt.Sprintf("a%d", a), Domain: dom}
+		}
+		name := fmt.Sprintf("T%d", i)
+		if _, err := cat.AddTable(catalog.Table{Name: name, Cardinality: card, Attributes: attrs}); err != nil {
+			return nil, nil, err
+		}
+		tables[i] = query.Table{Name: name, Cardinality: card}
+	}
+
+	q, err := query.New(tables)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range p.edges() {
+		ai := rng.Intn(p.AttrsPerTable)
+		bi := rng.Intn(p.AttrsPerTable)
+		sel, err := cat.EqSelectivity(e[0], ai, e[1], bi)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := q.AddPredicate(query.Predicate{
+			Left: e[0], Right: e[1], LeftAttr: ai, RightAttr: bi, Selectivity: sel,
+		}); err != nil {
+			return nil, nil, err
+		}
+	}
+	q.Freeze()
+	return cat, q, nil
+}
+
+// MustGenerate panics on error; for tests and benchmarks with known-valid
+// parameters.
+func MustGenerate(p Params, seed int64) *query.Query {
+	_, q, err := Generate(p, seed)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Batch generates count queries with consecutive seeds starting at base.
+func Batch(p Params, base int64, count int) ([]*query.Query, error) {
+	out := make([]*query.Query, count)
+	for i := range out {
+		_, q, err := Generate(p, base+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = q
+	}
+	return out, nil
+}

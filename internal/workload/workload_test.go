@@ -1,0 +1,203 @@
+package workload
+
+import (
+	"testing"
+
+	"mpq/internal/bitset"
+)
+
+func TestShapeString(t *testing.T) {
+	want := map[Shape]string{Star: "Star", Chain: "Chain", Cycle: "Cycle", Clique: "Clique"}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("%d.String() = %q", int(s), s.String())
+		}
+		parsed, err := ParseShape(name)
+		if err != nil || parsed != s {
+			t.Errorf("ParseShape(%q) = %v, %v", name, parsed, err)
+		}
+	}
+	if Shape(9).String() != "Shape(9)" {
+		t.Fatal("unknown shape string")
+	}
+	if _, err := ParseShape("Tree"); err == nil {
+		t.Fatal("unknown shape parsed")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := NewParams(8, Star).Validate(); err != nil {
+		t.Fatalf("default params rejected: %v", err)
+	}
+	bad := []Params{
+		{Tables: 0, Shape: Star, MinCard: 1, MaxCard: 2, MinDomain: 1, MaxDomain: 2, AttrsPerTable: 1},
+		{Tables: 3, Shape: Star, MinCard: 0, MaxCard: 2, MinDomain: 1, MaxDomain: 2, AttrsPerTable: 1},
+		{Tables: 3, Shape: Star, MinCard: 5, MaxCard: 2, MinDomain: 1, MaxDomain: 2, AttrsPerTable: 1},
+		{Tables: 3, Shape: Star, MinCard: 1, MaxCard: 2, MinDomain: 0, MaxDomain: 2, AttrsPerTable: 1},
+		{Tables: 3, Shape: Star, MinCard: 1, MaxCard: 2, MinDomain: 3, MaxDomain: 2, AttrsPerTable: 1},
+		{Tables: 3, Shape: Star, MinCard: 1, MaxCard: 2, MinDomain: 1, MaxDomain: 2, AttrsPerTable: 0},
+		{Tables: 3, Shape: Shape(7), MinCard: 1, MaxCard: 2, MinDomain: 1, MaxDomain: 2, AttrsPerTable: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestEdgeCounts(t *testing.T) {
+	n := 7
+	cases := map[Shape]int{
+		Chain:  n - 1,
+		Star:   n - 1,
+		Cycle:  n,
+		Clique: n * (n - 1) / 2,
+	}
+	for shape, want := range cases {
+		p := NewParams(n, shape)
+		if got := len(p.edges()); got != want {
+			t.Errorf("%v edges = %d want %d", shape, got, want)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := NewParams(8, Star)
+	_, q1, err := Generate(p, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, q2, err := Generate(p, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1.N() != q2.N() || len(q1.Preds) != len(q2.Preds) {
+		t.Fatal("same seed produced different shapes")
+	}
+	for i := range q1.Tables {
+		if q1.Tables[i].Cardinality != q2.Tables[i].Cardinality {
+			t.Fatal("same seed produced different cardinalities")
+		}
+	}
+	for i := range q1.Preds {
+		if q1.Preds[i] != q2.Preds[i] {
+			t.Fatal("same seed produced different predicates")
+		}
+	}
+	_, q3, err := Generate(p, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range q1.Tables {
+		if q1.Tables[i].Cardinality != q3.Tables[i].Cardinality {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical cardinalities (suspicious)")
+	}
+}
+
+func TestGeneratedQueriesValid(t *testing.T) {
+	for _, shape := range Shapes {
+		for n := 2; n <= 10; n += 2 {
+			for seed := int64(0); seed < 5; seed++ {
+				cat, q, err := Generate(NewParams(n, shape), seed)
+				if err != nil {
+					t.Fatalf("%v n=%d seed=%d: %v", shape, n, seed, err)
+				}
+				if err := q.Validate(); err != nil {
+					t.Fatalf("%v n=%d seed=%d: invalid query: %v", shape, n, seed, err)
+				}
+				if cat.Len() != n {
+					t.Fatalf("catalog has %d tables want %d", cat.Len(), n)
+				}
+				p := NewParams(n, shape)
+				for i := 0; i < n; i++ {
+					c := q.Tables[i].Cardinality
+					if c < p.MinCard || c > p.MaxCard {
+						t.Fatalf("cardinality %g outside [%g,%g]", c, p.MinCard, p.MaxCard)
+					}
+				}
+				for _, pr := range q.Preds {
+					if pr.Selectivity <= 0 || pr.Selectivity > 1 {
+						t.Fatalf("selectivity %g out of range", pr.Selectivity)
+					}
+					// Selectivity must be 1/max(dom) for some valid domain.
+					if pr.Selectivity < 1/float64(p.MaxDomain) {
+						t.Fatalf("selectivity %g below 1/MaxDomain", pr.Selectivity)
+					}
+				}
+				// All shapes except Clique produce connected graphs with
+				// exactly the declared edges; all shapes are connected.
+				if n >= 2 && !q.Connected(bitset.Range(n)) {
+					t.Fatalf("%v query disconnected", shape)
+				}
+			}
+		}
+	}
+}
+
+func TestDomainCappedByCardinality(t *testing.T) {
+	p := NewParams(6, Star)
+	p.MinCard, p.MaxCard = 10, 20
+	p.MinDomain, p.MaxDomain = 500, 1000
+	cat, _, err := Generate(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cat.Len(); i++ {
+		tbl := cat.Table(i)
+		for _, a := range tbl.Attributes {
+			if float64(a.Domain) > tbl.Cardinality {
+				t.Fatalf("table %s: domain %d exceeds cardinality %g", tbl.Name, a.Domain, tbl.Cardinality)
+			}
+		}
+	}
+}
+
+func TestGenerateRejectsInvalidParams(t *testing.T) {
+	if _, _, err := Generate(Params{}, 0); err == nil {
+		t.Fatal("zero params accepted")
+	}
+}
+
+func TestBatch(t *testing.T) {
+	qs, err := Batch(NewParams(5, Chain), 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 7 {
+		t.Fatalf("Batch returned %d queries", len(qs))
+	}
+	// Batch seeds are consecutive: element i equals Generate(seed 100+i).
+	_, want, _ := Generate(NewParams(5, Chain), 102)
+	if qs[2].Tables[0].Cardinality != want.Tables[0].Cardinality {
+		t.Fatal("Batch seed offset wrong")
+	}
+}
+
+func TestMustGeneratePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGenerate did not panic")
+		}
+	}()
+	MustGenerate(Params{}, 0)
+}
+
+func TestLogUniformBounds(t *testing.T) {
+	p := NewParams(20, Clique)
+	for seed := int64(0); seed < 20; seed++ {
+		_, q, err := Generate(p, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tbl := range q.Tables {
+			if tbl.Cardinality < p.MinCard || tbl.Cardinality > p.MaxCard {
+				t.Fatalf("cardinality %g out of bounds", tbl.Cardinality)
+			}
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// Package mpq is a massively-parallel query optimizer: a Go
+// implementation of "Parallelizing Query Optimization on Shared-Nothing
+// Architectures" (Trummer & Koch, VLDB 2016).
+//
+// MPQ divides the plan search space of a join query into equal-size
+// partitions using join-order constraints, optimizes every partition
+// independently with a Selinger-style dynamic program, and compares the
+// partition-optimal plans to obtain the global optimum. One task per
+// worker, one round of communication, no shared state — so it scales on
+// clusters as well as on cores.
+//
+// # Quick start
+//
+//	q := mpq.MustNewQuery([]mpq.QueryTable{
+//		{Name: "orders", Cardinality: 1e6},
+//		{Name: "customers", Cardinality: 1e4},
+//		{Name: "nations", Cardinality: 25},
+//	})
+//	q.MustAddPredicate(mpq.Predicate{Left: 0, Right: 1, Selectivity: 1e-4})
+//	q.MustAddPredicate(mpq.Predicate{Left: 1, Right: 2, Selectivity: 0.04})
+//
+//	ans, err := mpq.Optimize(q, mpq.JobSpec{Space: mpq.Linear, Workers: 2})
+//	if err != nil { ... }
+//	fmt.Println(ans.Best.Format())
+//
+// # Execution engines
+//
+//   - Optimize / OptimizeParallelism — goroutine workers in this process.
+//   - SimulateMPQ / SimulateSMA — deterministic shared-nothing cluster
+//     simulation with byte-exact network accounting (the engine behind
+//     the paper's figures; SMA is the fine-grained baseline).
+//   - ListenWorker / NewMaster — real TCP master/worker deployment.
+//
+// All engines run the same worker code and return identical plans.
+//
+// # Multi-objective optimization
+//
+// Set JobSpec.Objective to MultiObjective to approximate the Pareto
+// frontier over (time, buffer space) with the α-approximate pruning of
+// Trummer & Koch; Alpha = 1 yields the exact frontier.
+package mpq
+
+import (
+	"time"
+
+	"mpq/internal/catalog"
+	"mpq/internal/cluster"
+	"mpq/internal/core"
+	"mpq/internal/cost"
+	"mpq/internal/dp"
+	"mpq/internal/exec"
+	"mpq/internal/mo"
+	"mpq/internal/netrun"
+	"mpq/internal/partition"
+	"mpq/internal/plan"
+	"mpq/internal/pqo"
+	"mpq/internal/query"
+	"mpq/internal/wire"
+	"mpq/internal/workload"
+)
+
+// Core model types.
+type (
+	// Query is a join query: tables plus equality predicates.
+	Query = query.Query
+	// QueryTable is one base relation of a query.
+	QueryTable = query.Table
+	// Predicate is an equality join predicate with a selectivity.
+	Predicate = query.Predicate
+	// Plan is an operator-tree query plan with cost annotations.
+	Plan = plan.Node
+	// Stats counts optimizer work (sets, splits, plans, memo size).
+	Stats = plan.Stats
+	// CostModel parameterizes operator cost formulas.
+	CostModel = cost.Model
+	// Space selects the left-deep (Linear) or Bushy plan space.
+	Space = partition.Space
+	// Objective selects single- or multi-objective optimization.
+	Objective = core.Objective
+	// JobSpec describes one optimization job (space, workers, objective).
+	JobSpec = core.JobSpec
+	// Answer is the result of an optimization run.
+	Answer = core.Answer
+	// CostVector is a plan's (time, buffer) cost in multi-objective mode.
+	CostVector = mo.Vector
+)
+
+// Catalog types.
+type (
+	// Catalog stores table statistics (cardinalities, attribute domains).
+	Catalog = catalog.Catalog
+	// CatalogTable is one relation's statistics.
+	CatalogTable = catalog.Table
+	// Attribute is one column with its domain size.
+	Attribute = catalog.Attribute
+)
+
+// Cluster-simulation types.
+type (
+	// ClusterModel parameterizes the simulated shared-nothing cluster.
+	ClusterModel = cluster.Model
+	// ClusterResult is a simulated run's plans plus measured metrics.
+	ClusterResult = cluster.Result
+	// ClusterMetrics holds bytes, messages, virtual times and memory.
+	ClusterMetrics = cluster.Metrics
+)
+
+// Workload-generation types.
+type (
+	// WorkloadParams configures random query generation (Steinbrunn).
+	WorkloadParams = workload.Params
+	// Shape is a join-graph structure (Star, Chain, Cycle, Clique).
+	Shape = workload.Shape
+)
+
+// Distributed-runtime types.
+type (
+	// TCPWorker serves optimization jobs over TCP.
+	TCPWorker = netrun.Worker
+	// TCPMaster coordinates remote TCP workers.
+	TCPMaster = netrun.Master
+	// TCPAnswer is a distributed answer with measured network stats.
+	TCPAnswer = netrun.Answer
+)
+
+// Plan spaces.
+const (
+	Linear = partition.Linear
+	Bushy  = partition.Bushy
+)
+
+// Objectives.
+const (
+	SingleObjective = core.SingleObjective
+	MultiObjective  = core.MultiObjective
+)
+
+// Join-graph shapes.
+const (
+	Star   = workload.Star
+	Chain  = workload.Chain
+	Cycle  = workload.Cycle
+	Clique = workload.Clique
+)
+
+// NoOrder marks a plan output without a useful sort order.
+const NoOrder = query.NoOrder
+
+// NewQuery creates a query over the given tables.
+func NewQuery(tables []QueryTable) (*Query, error) { return query.New(tables) }
+
+// MustNewQuery is NewQuery for known-valid input; panics on error.
+func MustNewQuery(tables []QueryTable) *Query { return query.MustNew(tables) }
+
+// DefaultCostModel returns the cost model used throughout the paper
+// reproduction (Steinbrunn-style operator formulas).
+func DefaultCostModel() CostModel { return cost.Default() }
+
+// MaxWorkers returns the largest worker count the partitioning scheme
+// supports for a query of n tables: 2^⌊n/2⌋ (Linear) or 2^⌊n/3⌋ (Bushy).
+func MaxWorkers(space Space, n int) int { return partition.MaxWorkers(space, n) }
+
+// Optimize runs MPQ with one goroutine per plan-space partition and
+// returns the globally optimal plan (and, for multi-objective jobs, the
+// merged Pareto frontier).
+func Optimize(q *Query, spec JobSpec) (*Answer, error) { return core.Optimize(q, spec) }
+
+// OptimizeParallelism is Optimize with a cap on concurrently running
+// worker goroutines.
+func OptimizeParallelism(q *Query, spec JobSpec, maxParallel int) (*Answer, error) {
+	return core.OptimizeParallelism(q, spec, maxParallel)
+}
+
+// OptimizeSerial runs the classical single-node dynamic program — the
+// baseline every speedup is measured against. With interestingOrders the
+// pruning retains the best plan per sort order.
+func OptimizeSerial(q *Query, space Space, interestingOrders bool) (*Plan, error) {
+	opts := dp.Options{InterestingOrders: interestingOrders}
+	if interestingOrders {
+		opts.Pruner = dp.OrderAware{}
+	}
+	res, err := dp.Serial(q, space, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Best(), nil
+}
+
+// DefaultClusterModel returns the calibrated simulated-cluster
+// parameters used by the experiment harness.
+func DefaultClusterModel() ClusterModel { return cluster.Default() }
+
+// SimulateMPQ runs MPQ on a simulated shared-nothing cluster, returning
+// the plans plus byte-exact network and virtual-time metrics.
+func SimulateMPQ(model ClusterModel, q *Query, spec JobSpec) (*ClusterResult, error) {
+	return cluster.RunMPQ(model, q, spec)
+}
+
+// GenerateWorkload builds a random catalog and query by the Steinbrunn
+// et al. method the paper benchmarks with. Same (params, seed) — same
+// query.
+func GenerateWorkload(p WorkloadParams, seed int64) (*Catalog, *Query, error) {
+	return workload.Generate(p, seed)
+}
+
+// NewWorkloadParams returns the default generation parameters for an
+// n-table query with the given join-graph shape.
+func NewWorkloadParams(n int, shape Shape) WorkloadParams { return workload.NewParams(n, shape) }
+
+// ListenWorker starts a TCP optimization worker on addr (host:port;
+// use ":0" for an ephemeral port).
+func ListenWorker(addr string) (*TCPWorker, error) { return netrun.ListenWorker(addr) }
+
+// NewMaster returns a TCP master that distributes partitions over the
+// given worker addresses.
+func NewMaster(addrs []string, timeout time.Duration) (*TCPMaster, error) {
+	return netrun.NewMaster(addrs, timeout)
+}
+
+// EncodeQuery serializes a query into the wire format used between
+// master and workers.
+func EncodeQuery(q *Query) []byte { return wire.EncodeQuery(q) }
+
+// DecodeQuery parses a serialized query.
+func DecodeQuery(b []byte) (*Query, error) { return wire.DecodeQuery(b) }
+
+// EncodePlan serializes a plan with its cost annotations.
+func EncodePlan(p *Plan) []byte { return wire.EncodePlan(p) }
+
+// DecodePlan parses a serialized plan.
+func DecodePlan(b []byte) (*Plan, error) { return wire.DecodePlan(b) }
+
+// ExactFrontier filters plans down to their exact Pareto frontier over
+// (time, buffer).
+func ExactFrontier(plans []*Plan) []*Plan { return mo.ExactFrontier(plans) }
+
+// ValidatePlan recomputes a plan's annotations against the query and
+// cost model and reports the first inconsistency.
+func ValidatePlan(p *Plan, q *Query, m CostModel) error { return p.Validate(q, m) }
+
+// --- Parametric query optimization (see internal/pqo) ---
+
+// OptimizeParametric runs parametric MPQ: plan costs are linear in a
+// run-time parameter θ ∈ [0,1] (memory pressure; hash joins cost spill
+// times more at θ=1) and the returned frontier contains an optimal plan
+// for every θ. The paper's partitioning covers this variant unchanged
+// (§2, §4).
+func OptimizeParametric(q *Query, space Space, workers int, spill float64) ([]*Plan, error) {
+	return pqo.Optimize(q, space, workers, spill)
+}
+
+// ParametricCostAt evaluates a parametric plan's cost at θ.
+func ParametricCostAt(p *Plan, theta float64) float64 { return pqo.CostAt(p, theta) }
+
+// ParametricBest picks the frontier plan that is optimal at θ.
+func ParametricBest(frontier []*Plan, theta float64) (*Plan, error) {
+	return pqo.Best(frontier, theta)
+}
+
+// ParametricBreakpoints returns the θ values (including 0 and 1) that
+// delimit the parameter regions with a constant optimal plan.
+func ParametricBreakpoints(frontier []*Plan) ([]float64, error) {
+	return pqo.Breakpoints(frontier)
+}
+
+// --- Reference executor (see internal/exec) ---
+
+// Database is a set of materialized synthetic base tables.
+type Database = exec.DB
+
+// ExecLimits bounds executor result sizes.
+type ExecLimits = exec.Limits
+
+// Relation is an executed (intermediate) result.
+type Relation = exec.Relation
+
+// GenerateData materializes synthetic rows for every catalog table
+// (uniform attribute values over their domains; deterministic per seed).
+func GenerateData(cat *Catalog, seed int64, lim ExecLimits) (*Database, error) {
+	return exec.Generate(cat, seed, lim)
+}
+
+// ExecutePlan runs a plan over a database with real join operators and
+// returns the result relation. Equivalent plans produce identical
+// result multisets (Relation.Fingerprint).
+func ExecutePlan(p *Plan, q *Query, db *Database, lim ExecLimits) (*Relation, error) {
+	return exec.Execute(p, q, db, lim)
+}

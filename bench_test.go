@@ -30,6 +30,7 @@ func benchCfg() experiments.Config {
 // BenchmarkFig1 regenerates Figure 1 (MPQ vs SMA, time + network,
 // single objective).
 func BenchmarkFig1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		panels, err := experiments.Fig1(benchCfg())
 		if err != nil {
@@ -46,6 +47,7 @@ func BenchmarkFig1(b *testing.B) {
 // BenchmarkFig2 regenerates Figure 2 (MPQ scaling: time, W-time,
 // memory, network).
 func BenchmarkFig2(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		panels, err := experiments.Fig2(benchCfg())
 		if err != nil {
@@ -59,6 +61,7 @@ func BenchmarkFig2(b *testing.B) {
 
 // BenchmarkFig3 regenerates Figure 3 (join-graph structure impact).
 func BenchmarkFig3(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		panels, err := experiments.Fig3(benchCfg())
 		if err != nil {
@@ -70,6 +73,7 @@ func BenchmarkFig3(b *testing.B) {
 
 // BenchmarkFig4 regenerates Figure 4 (multi-objective MPQ vs SMA).
 func BenchmarkFig4(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		panels, err := experiments.Fig4(benchCfg())
 		if err != nil {
@@ -81,6 +85,7 @@ func BenchmarkFig4(b *testing.B) {
 
 // BenchmarkFig5 regenerates Figure 5 (multi-objective MPQ scaling).
 func BenchmarkFig5(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		panels, err := experiments.Fig5(benchCfg())
 		if err != nil {
@@ -94,6 +99,7 @@ func BenchmarkFig5(b *testing.B) {
 // BenchmarkTable1 regenerates Table 1 (minimal parallelism to reach
 // precision α within a time budget).
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchCfg()
 	cfg.Queries = 3 // a majority vote needs >1 query
 	opts := experiments.DefaultTable1Options(false)
@@ -106,6 +112,7 @@ func BenchmarkTable1(b *testing.B) {
 
 // BenchmarkSpeedups regenerates the §6.2 speedup numbers (virtual).
 func BenchmarkSpeedups(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Speedups(cfg, false)
@@ -127,6 +134,7 @@ func benchQuery(b *testing.B, n int) *mpq.Query {
 // 16-table query (the Figure 2 baseline workload at reduced size).
 func BenchmarkSerialLinear16(b *testing.B) {
 	q := benchQuery(b, 16)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mpq.OptimizeSerial(q, mpq.Linear, false); err != nil {
@@ -140,6 +148,7 @@ func BenchmarkSerialLinear16(b *testing.B) {
 func BenchmarkMPQLinear16Workers8(b *testing.B) {
 	q := benchQuery(b, 16)
 	spec := mpq.JobSpec{Space: mpq.Linear, Workers: 8}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mpq.Optimize(q, spec); err != nil {
@@ -151,6 +160,7 @@ func BenchmarkMPQLinear16Workers8(b *testing.B) {
 // BenchmarkSerialBushy12 is the serial bushy-space optimizer.
 func BenchmarkSerialBushy12(b *testing.B) {
 	q := benchQuery(b, 12)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mpq.OptimizeSerial(q, mpq.Bushy, false); err != nil {
@@ -163,6 +173,7 @@ func BenchmarkSerialBushy12(b *testing.B) {
 func BenchmarkMPQBushy12Workers8(b *testing.B) {
 	q := benchQuery(b, 12)
 	spec := mpq.JobSpec{Space: mpq.Bushy, Workers: 8}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mpq.Optimize(q, spec); err != nil {
@@ -177,6 +188,7 @@ func BenchmarkMPQBushy12Workers8(b *testing.B) {
 func BenchmarkWorkerPartitionLinear18of64(b *testing.B) {
 	q := benchQuery(b, 18)
 	spec := core.JobSpec{Space: partition.Linear, Workers: 64}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.RunWorker(q, spec, 17); err != nil {
@@ -190,6 +202,7 @@ func BenchmarkWorkerPartitionLinear18of64(b *testing.B) {
 func BenchmarkMultiObjectiveLinear12(b *testing.B) {
 	q := benchQuery(b, 12)
 	spec := mpq.JobSpec{Space: mpq.Linear, Workers: 8, Objective: mpq.MultiObjective, Alpha: 10}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mpq.Optimize(q, spec); err != nil {
@@ -204,6 +217,7 @@ func BenchmarkSMALinear10(b *testing.B) {
 	q := benchQuery(b, 10)
 	model := mpq.DefaultClusterModel()
 	spec := core.JobSpec{Space: partition.Linear, Workers: 8}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sma.Run(model, q, spec); err != nil {

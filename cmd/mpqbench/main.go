@@ -12,6 +12,9 @@
 //	-seed N      base workload seed
 //	-real        also measure real wall-clock speedups (speedups only)
 //	-quiet       suppress progress lines
+//	-csv         emit CSV instead of aligned text
+//	-json        emit JSON Lines (one object per table), for the
+//	             benchmark-trajectory tooling (BENCH_*.json)
 package main
 
 import (
@@ -37,8 +40,13 @@ func run() error {
 	real := flag.Bool("real", false, "measure real wall-clock speedups too")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	jsonOut := flag.Bool("json", false, "emit JSON Lines (one object per table) instead of aligned text")
 	flag.Parse()
+	if *csvOut && *jsonOut {
+		return fmt.Errorf("-csv and -json are mutually exclusive")
+	}
 	emitCSV = *csvOut
+	emitJSON = *jsonOut
 
 	cfg := experiments.Quick()
 	if *full {
@@ -126,18 +134,27 @@ func run() error {
 	return r()
 }
 
-var emitCSV bool
+var (
+	emitCSV  bool
+	emitJSON bool
+)
 
 func render(tables []*experiments.Table) {
 	for _, t := range tables {
-		if emitCSV {
+		switch {
+		case emitJSON:
+			if err := t.WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "mpqbench: json:", err)
+				os.Exit(1)
+			}
+		case emitCSV:
 			if err := t.WriteCSV(os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, "mpqbench: csv:", err)
 				os.Exit(1)
 			}
 			fmt.Println()
-			continue
+		default:
+			t.Render(os.Stdout)
 		}
-		t.Render(os.Stdout)
 	}
 }

@@ -1,0 +1,3 @@
+module mpq
+
+go 1.24

@@ -102,7 +102,9 @@ func (s JobSpec) Validate(n int) error {
 }
 
 // Pruner builds the pruning function the spec asks for — the only thing
-// that differs between the optimization variants (§4).
+// that differs between the optimization variants (§4). All three
+// families implement dp's two-phase cost-first contract: a scalar
+// Admits check per candidate, node materialization only for survivors.
 func (s JobSpec) Pruner() dp.Pruner {
 	if s.Objective == MultiObjective {
 		alpha := s.Alpha

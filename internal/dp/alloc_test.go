@@ -1,0 +1,93 @@
+package dp
+
+import (
+	"testing"
+
+	"mpq/internal/bitset"
+	"mpq/internal/cost"
+	"mpq/internal/partition"
+	"mpq/internal/plan"
+	"mpq/internal/query"
+	"mpq/internal/workload"
+)
+
+// Admission is called once per generated candidate — the optimizer's
+// hottest path — and must never allocate.
+func TestAdmitsAllocFree(t *testing.T) {
+	q := genQuery(t, 4, workload.Star, 0)
+	a := plan.Scan(cost.Default(), q, 0)
+	b := plan.Scan(cost.Default(), q, 1)
+	plans := []*plan.Node{a, b}
+	cand := Candidate{Cost: a.Cost * 2, Buffer: a.Buffer, Order: query.NoOrder}
+	var sink bool
+	for _, pr := range []Pruner{SingleBest{}, OrderAware{}} {
+		if allocs := testing.AllocsPerRun(1000, func() { sink = pr.Admits(plans, cand) }); allocs != 0 {
+			t.Errorf("%T.Admits allocates %.1f times per call", pr, allocs)
+		}
+	}
+	_ = sink
+}
+
+// Computing a candidate's scalars must not allocate either: together
+// with Admits this makes the whole pruned-candidate path free.
+func TestJoinScalarsAllocFree(t *testing.T) {
+	q := genQuery(t, 4, workload.Star, 0)
+	m := cost.Default()
+	l, r := plan.Scan(m, q, 0), plan.Scan(m, q, 1)
+	spec := plan.JoinSpec{Alg: cost.Hash, OutCard: 100, Pred: plan.NoPred, Order: query.NoOrder}
+	var c, b float64
+	if allocs := testing.AllocsPerRun(1000, func() { c, b = plan.JoinScalars(m, l, r, spec) }); allocs != 0 {
+		t.Errorf("JoinScalars allocates %.1f times per call", allocs)
+	}
+	_, _ = c, b
+}
+
+// End-to-end allocation regression for the DP inner loop: treating a
+// join result allocates for the memo entry and the kept plans only —
+// nothing per pruned candidate.
+func TestProcessSetPrunedCandidatesAllocFree(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"SingleBest", Options{}},
+		{"OrderAware", Options{InterestingOrders: true, Pruner: OrderAware{}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			q := genQuery(t, 12, workload.Star, 0)
+			cs := partition.Unconstrained(partition.Linear, 12)
+			eng, err := NewEngine(q, cs, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			enum := cs.NewEnumerator()
+			for k := 2; k < 12; k++ {
+				enum.ForEachAdmissible(k, func(u bitset.Set) bool {
+					eng.ProcessSet(u)
+					return true
+				})
+			}
+			// Re-processing the full set replaces its memo entry; the
+			// sub-plans it combines are unchanged, so every run generates
+			// the same candidates and keeps the same number of plans.
+			all := q.All()
+			before := eng.Stats()
+			eng.ProcessSet(all)
+			after := eng.Stats()
+			kept := after.PlansKept - before.PlansKept
+			pruned := after.PlansPruned - before.PlansPruned
+			if pruned < 10 {
+				t.Fatalf("only %d pruned candidates; measurement would be vacuous", pruned)
+			}
+			allocs := testing.AllocsPerRun(20, func() { eng.ProcessSet(all) })
+			// Budget: the memo entry, a few slice growths for the retained
+			// plans, and one node per kept plan. Anything scaling with
+			// pruned (here %d ≫ kept) would blow this bound.
+			budget := float64(kept) + 5
+			if allocs > budget {
+				t.Fatalf("ProcessSet allocates %.1f times per run (kept=%d, pruned=%d, budget=%.0f): pruned candidates are not allocation-free",
+					allocs, kept, pruned, budget)
+			}
+		})
+	}
+}

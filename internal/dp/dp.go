@@ -9,6 +9,26 @@
 // only in the pruning function. Running the engine on the unconstrained
 // partition with one worker reproduces the classical serial algorithm
 // ([17] for left-deep, [25] for bushy spaces).
+//
+// # Cost-first candidate evaluation
+//
+// Pruning is a two-phase, cost-first protocol. For every candidate join
+// the engine first computes only the scalar annotations a plan node would
+// carry — cost, buffer and output order, via plan.JoinScalars — and asks
+// the Pruner's Admits whether a plan with those scalars would survive
+// against the plans already retained for the table set. Only admitted
+// candidates are materialized as plan.Node values (plan.Join) and handed
+// to Insert. Since the vast majority of candidates are pruned (for
+// SingleBest, all but the running minimum), the hot loop performs pure
+// float arithmetic with zero heap allocations per pruned candidate; node
+// construction cost is paid only for survivors. The split between Admits
+// and Insert must agree — Admits answers exactly "would Insert keep this
+// plan?" — which the engine relies on for its kept/pruned accounting.
+//
+// The admissible join results themselves are streamed per cardinality
+// from partition.Enumerator instead of being materialized up front,
+// keeping the master/worker memory footprint within the paper's
+// per-partition bounds (Theorem 4).
 package dp
 
 import (
@@ -23,12 +43,35 @@ import (
 	"mpq/internal/setmap"
 )
 
-// Pruner decides which plans to retain per table set. Insert offers p to
-// the retained set and returns the updated slice plus whether p survived.
-// Implementations must keep the invariant that no retained plan dominates
-// another (for their notion of dominance).
+// Candidate is the scalar summary of a prospective join plan: exactly the
+// annotations pruning decisions depend on, precomputed by the engine via
+// plan.JoinScalars without building the plan.Node.
+type Candidate struct {
+	// Cost is the cumulative time-metric cost the plan would have.
+	Cost float64
+	// Buffer is the cumulative second-metric value (buffer footprint, or
+	// the θ=1 cost under a parametric model).
+	Buffer float64
+	// Order is the output sort order (query.AttrID or query.NoOrder).
+	Order int
+}
+
+// Pruner decides which plans to retain per table set, in two phases.
+//
+// Admits is the cost-first admission check: it reports whether a plan
+// with cand's scalars would survive against the already-retained plans.
+// It is called once per generated candidate — the optimizer's hottest
+// path — and must not allocate or mutate plans.
+//
+// Insert adds p, a materialized plan for which Admits just returned true
+// against the same slice, to the retained set and returns the updated
+// slice, evicting any retained plans p dominates. The engine only calls
+// Insert after a successful Admits, so implementations may assume p
+// survives. Implementations must keep the invariant that no retained
+// plan dominates another (for their notion of dominance).
 type Pruner interface {
-	Insert(plans []*plan.Node, p *plan.Node) ([]*plan.Node, bool)
+	Admits(plans []*plan.Node, cand Candidate) bool
+	Insert(plans []*plan.Node, p *plan.Node) []*plan.Node
 }
 
 // SingleBest retains exactly one plan: the cheapest by the time metric.
@@ -36,16 +79,18 @@ type Pruner interface {
 // orders.
 type SingleBest struct{}
 
+// Admits implements Pruner: only a new strict minimum survives.
+func (SingleBest) Admits(plans []*plan.Node, cand Candidate) bool {
+	return len(plans) == 0 || cand.Cost < plans[0].Cost
+}
+
 // Insert implements Pruner.
-func (SingleBest) Insert(plans []*plan.Node, p *plan.Node) ([]*plan.Node, bool) {
+func (SingleBest) Insert(plans []*plan.Node, p *plan.Node) []*plan.Node {
 	if len(plans) == 0 {
-		return append(plans, p), true
+		return append(plans, p)
 	}
-	if p.Cost < plans[0].Cost {
-		plans[0] = p
-		return plans, true
-	}
-	return plans, false
+	plans[0] = p
+	return plans
 }
 
 // OrderAware retains the cheapest plan per distinct output order: a plan
@@ -62,21 +107,26 @@ func orderDominates(qo, po int) bool {
 	return qo == po || po == query.NoOrder
 }
 
-// Insert implements Pruner.
-func (OrderAware) Insert(plans []*plan.Node, p *plan.Node) ([]*plan.Node, bool) {
+// Admits implements Pruner: the candidate is dominated iff a retained
+// plan is at most as expensive and its order can substitute.
+func (OrderAware) Admits(plans []*plan.Node, cand Candidate) bool {
 	for _, q := range plans {
-		if q.Cost <= p.Cost && orderDominates(q.Order, p.Order) {
-			return plans, false
+		if q.Cost <= cand.Cost && orderDominates(q.Order, cand.Order) {
+			return false
 		}
 	}
-	// p survives; evict plans it dominates.
+	return true
+}
+
+// Insert implements Pruner: p survives; evict plans it dominates.
+func (OrderAware) Insert(plans []*plan.Node, p *plan.Node) []*plan.Node {
 	out := plans[:0]
 	for _, q := range plans {
 		if !(p.Cost <= q.Cost && orderDominates(p.Order, q.Order)) {
 			out = append(out, q)
 		}
 	}
-	return append(out, p), true
+	return append(out, p)
 }
 
 // Options configures one dynamic-programming run.
@@ -148,13 +198,14 @@ func Run(q *query.Query, cs *partition.ConstraintSet, opts Options) (*Result, er
 		return nil, err
 	}
 	n := q.N()
-	byCard := cs.AdmissibleSets()
+	enum := cs.NewEnumerator()
 	for k := 2; k <= n; k++ {
-		for _, u := range byCard[k] {
+		done := enum.ForEachAdmissible(k, func(u bitset.Set) bool {
 			eng.ProcessSet(u)
-			if eng.LimitExceeded() {
-				return nil, fmt.Errorf("%w after %d units", ErrWorkLimit, eng.Stats().WorkUnits())
-			}
+			return !eng.LimitExceeded()
+		})
+		if !done {
+			return nil, fmt.Errorf("%w after %d units", ErrWorkLimit, eng.Stats().WorkUnits())
 		}
 	}
 	return eng.Finish()
@@ -189,6 +240,9 @@ func NewEngine(q *query.Query, cs *partition.ConstraintSet, opts Options) (*Engi
 
 	n := q.N()
 	res := &Result{}
+	// Size the memo from the closed-form admissible-set count so it never
+	// rehashes mid-run: the memo stores at most one entry per admissible
+	// set (the empty set lives out of line in the map).
 	memo := setmap.New[*entry](int(cs.CountAdmissible()))
 	for t := 0; t < n; t++ {
 		sp := plan.Scan(opts.Model, q, t)
@@ -299,8 +353,8 @@ func (w *worker) trySplits(u bitset.Set) {
 	}
 }
 
-// combine generates plans for every operand-plan pair and join algorithm
-// of the split (left, right) and offers them to the pruner.
+// combine generates candidate plans for every operand-plan pair and join
+// algorithm of the split (left, right) and offers them to the pruner.
 func (w *worker) combine(e *entry, u, left, right bitset.Set, le, re *entry) {
 	w.res.Stats.SplitsTried++
 	if e.card < 0 {
@@ -313,44 +367,48 @@ func (w *worker) combine(e *entry, u, left, right bitset.Set, le, re *entry) {
 	for _, lp := range le.plans {
 		for _, rp := range re.plans {
 			// Nested-loop join: preserves the outer order.
-			w.offer(e, plan.Join(w.opts.Model, lp, rp, plan.JoinSpec{
+			w.offer(e, lp, rp, plan.JoinSpec{
 				Alg: cost.NestedLoop, OutCard: e.card, Pred: plan.NoPred, Order: lp.Order,
-			}))
+			})
 			// Hash join: order destroyed.
-			w.offer(e, plan.Join(w.opts.Model, lp, rp, plan.JoinSpec{
+			w.offer(e, lp, rp, plan.JoinSpec{
 				Alg: cost.Hash, OutCard: e.card, Pred: plan.NoPred, Order: query.NoOrder,
-			}))
+			})
 			// Sort-merge join: needs a merge predicate.
 			if !hasPred {
 				continue
 			}
 			if !w.opts.InterestingOrders {
-				w.offer(e, plan.Join(w.opts.Model, lp, rp, plan.JoinSpec{
+				w.offer(e, lp, rp, plan.JoinSpec{
 					Alg: cost.SortMerge, OutCard: e.card, Pred: plan.NoPred, Order: query.NoOrder,
-				}))
+				})
 				continue
 			}
 			for _, pi := range preds {
 				p := w.q.Preds[pi]
 				la, ra := plan.MergeAttrs(p, left)
 				order := plan.CanonicalMergeOrder(p)
-				w.offer(e, plan.Join(w.opts.Model, lp, rp, plan.JoinSpec{
+				w.offer(e, lp, rp, plan.JoinSpec{
 					Alg: cost.SortMerge, OutCard: e.card, Pred: pi, Order: order,
 					LSorted: lp.Order == la, RSorted: rp.Order == ra,
-				}))
+				})
 			}
 		}
 	}
 }
 
-func (w *worker) offer(e *entry, p *plan.Node) {
-	var kept bool
-	e.plans, kept = w.opts.Pruner.Insert(e.plans, p)
-	if kept {
-		w.res.Stats.PlansKept++
-	} else {
+// offer evaluates one candidate join cost-first: the scalar annotations
+// are computed without building a node and checked against the pruner;
+// only admitted candidates are materialized with plan.Join. Pruned
+// candidates therefore cost zero heap allocations.
+func (w *worker) offer(e *entry, lp, rp *plan.Node, spec plan.JoinSpec) {
+	c, buf := plan.JoinScalars(w.opts.Model, lp, rp, spec)
+	if !w.opts.Pruner.Admits(e.plans, Candidate{Cost: c, Buffer: buf, Order: spec.Order}) {
 		w.res.Stats.PlansPruned++
+		return
 	}
+	e.plans = w.opts.Pruner.Insert(e.plans, plan.JoinWithScalars(lp, rp, spec, c, buf))
+	w.res.Stats.PlansKept++
 }
 
 // Serial runs the classical (unpartitioned) dynamic program for the given

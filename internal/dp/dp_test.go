@@ -413,27 +413,41 @@ func TestBestOnEmptyResult(t *testing.T) {
 	}
 }
 
+// offerTo drives the two-phase Pruner protocol the way the engine does:
+// admission on the scalars first, materialized insert only for survivors.
+func offerTo(pr Pruner, plans []*plan.Node, p *plan.Node) ([]*plan.Node, bool) {
+	if !pr.Admits(plans, Candidate{Cost: p.Cost, Buffer: p.Buffer, Order: p.Order}) {
+		return plans, false
+	}
+	return pr.Insert(plans, p), true
+}
+
 func TestSingleBestKeepsCheapest(t *testing.T) {
 	q := genQuery(t, 4, workload.Star, 0)
 	a := plan.Scan(cost.Default(), q, 0)
 	b := plan.Scan(cost.Default(), q, 1)
 	var plans []*plan.Node
 	var kept bool
-	plans, kept = SingleBest{}.Insert(plans, a)
+	plans, kept = offerTo(SingleBest{}, plans, a)
 	if !kept || len(plans) != 1 {
 		t.Fatal("first insert")
 	}
 	cheaper := *b
 	cheaper.Cost = a.Cost / 2
-	plans, kept = SingleBest{}.Insert(plans, &cheaper)
+	plans, kept = offerTo(SingleBest{}, plans, &cheaper)
 	if !kept || len(plans) != 1 || plans[0] != &cheaper {
 		t.Fatal("cheaper plan should replace")
 	}
 	expensive := *b
 	expensive.Cost = a.Cost * 2
-	plans, kept = SingleBest{}.Insert(plans, &expensive)
+	plans, kept = offerTo(SingleBest{}, plans, &expensive)
 	if kept || plans[0] != &cheaper {
 		t.Fatal("more expensive plan should be pruned")
+	}
+	equal := *b
+	equal.Cost = cheaper.Cost
+	if _, kept = offerTo(SingleBest{}, plans, &equal); kept {
+		t.Fatal("equal-cost plan should be pruned (strict minimum)")
 	}
 }
 
@@ -449,6 +463,7 @@ func binom(n, k int) int {
 }
 
 func BenchmarkSerialLinear12(b *testing.B) {
+	b.ReportAllocs()
 	q := genQuery(b, 12, workload.Star, 0)
 	for i := 0; i < b.N; i++ {
 		if _, err := Serial(q, partition.Linear, Options{}); err != nil {
@@ -458,6 +473,7 @@ func BenchmarkSerialLinear12(b *testing.B) {
 }
 
 func BenchmarkPartitionedLinear12m16(b *testing.B) {
+	b.ReportAllocs()
 	q := genQuery(b, 12, workload.Star, 0)
 	cs, err := partition.ForPartition(partition.Linear, 12, 3, 16)
 	if err != nil {
@@ -471,6 +487,7 @@ func BenchmarkPartitionedLinear12m16(b *testing.B) {
 }
 
 func BenchmarkSerialBushy10(b *testing.B) {
+	b.ReportAllocs()
 	q := genQuery(b, 10, workload.Star, 0)
 	for i := 0; i < b.N; i++ {
 		if _, err := Serial(q, partition.Bushy, Options{}); err != nil {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"encoding/csv"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -41,5 +42,37 @@ func TestWriteCSVNoCaption(t *testing.T) {
 	}
 	if strings.Count(buf.String(), "#") != 1 {
 		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	tbl := &Table{
+		Title:   "Figure X",
+		Caption: "a caption",
+		Columns: []string{"workers", "time"},
+		Rows:    [][]string{{"1", "10.5"}, {"2", "6.1"}},
+	}
+	var buf bytes.Buffer
+	if err := tbl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Title   string     `json:"title"`
+		Caption string     `json:"caption"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if got.Title != "Figure X" || got.Caption != "a caption" {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if len(got.Columns) != 2 || len(got.Rows) != 2 || got.Rows[1][1] != "6.1" {
+		t.Fatalf("round trip: %+v", got)
+	}
+	// One object per line (JSON Lines): exactly one trailing newline.
+	if strings.Count(buf.String(), "\n") != 1 {
+		t.Fatalf("not a single JSON line:\n%s", buf.String())
 	}
 }

@@ -14,6 +14,7 @@ package experiments
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -88,6 +89,20 @@ type Table struct {
 	Caption string
 	Columns []string
 	Rows    [][]string
+}
+
+// WriteJSON writes the table as one JSON object. cmd/mpqbench -json
+// emits one such object per table (JSON Lines), the machine-readable
+// form consumed by benchmark-trajectory tooling.
+func (t *Table) WriteJSON(w io.Writer) error {
+	type jsonTable struct {
+		Title   string     `json:"title"`
+		Caption string     `json:"caption,omitempty"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(jsonTable{Title: t.Title, Caption: t.Caption, Columns: t.Columns, Rows: t.Rows})
 }
 
 // WriteCSV writes the table as CSV (title and caption as # comments),

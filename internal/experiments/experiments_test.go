@@ -8,6 +8,17 @@ import (
 	"time"
 )
 
+// figureScale skips t under -short: the guarded figure reproductions
+// take tens of seconds each even at the tiny() scale. TestFig3 and
+// TestFig4 (sub-second and ~1s) keep running as the short-mode smoke
+// coverage of the experiment harness.
+func figureScale(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("figure-scale experiment; run without -short")
+	}
+}
+
 // tiny returns a configuration small enough for unit tests.
 func tiny() Config {
 	c := Quick()
@@ -73,6 +84,7 @@ func TestTableRender(t *testing.T) {
 }
 
 func TestFig1ShapesHold(t *testing.T) {
+	figureScale(t)
 	panels, err := Fig1(tiny())
 	if err != nil {
 		t.Fatal(err)
@@ -104,6 +116,7 @@ func TestFig1ShapesHold(t *testing.T) {
 }
 
 func TestFig2ShapesHold(t *testing.T) {
+	figureScale(t)
 	panels, err := Fig2(tiny())
 	if err != nil {
 		t.Fatal(err)
@@ -196,6 +209,7 @@ func TestFig4MPQBeatsSMA(t *testing.T) {
 }
 
 func TestFig5ScalingSteady(t *testing.T) {
+	figureScale(t)
 	panels, err := Fig5(tiny())
 	if err != nil {
 		t.Fatal(err)
@@ -220,6 +234,7 @@ func TestFig5ScalingSteady(t *testing.T) {
 }
 
 func TestTable1GradientHolds(t *testing.T) {
+	figureScale(t)
 	cfg := tiny()
 	opts := DefaultTable1Options(false)
 	res, err := Table1(cfg, opts)
@@ -277,6 +292,7 @@ func TestTable1CellString(t *testing.T) {
 }
 
 func TestSpeedupsPositive(t *testing.T) {
+	figureScale(t)
 	cfg := tiny()
 	cfg.Queries = 2
 	rows, err := Speedups(cfg, false)

@@ -62,27 +62,35 @@ type ParetoPruner struct {
 
 var _ dp.Pruner = ParetoPruner{}
 
-// Insert implements dp.Pruner: the candidate is discarded iff an
-// incumbent α-dominates it; a kept candidate evicts incumbents it
-// exactly dominates.
-func (pp ParetoPruner) Insert(plans []*plan.Node, p *plan.Node) ([]*plan.Node, bool) {
+// Admits implements dp.Pruner's cost-first admission check: the
+// candidate is discarded iff an incumbent α-dominates its scalars (and
+// the incumbent's order can substitute for the candidate's). It performs
+// no allocations — the DP calls it once per generated candidate.
+func (pp ParetoPruner) Admits(plans []*plan.Node, cand dp.Candidate) bool {
 	alpha := pp.Alpha
 	if alpha < 1 {
 		alpha = 1
 	}
-	pv := VecOf(p)
+	cv := Vector{Time: cand.Cost, Buffer: cand.Buffer}
 	for _, q := range plans {
-		if VecOf(q).AlphaDominates(pv, alpha) && orderDominates(q.Order, p.Order) {
-			return plans, false
+		if VecOf(q).AlphaDominates(cv, alpha) && orderDominates(q.Order, cand.Order) {
+			return false
 		}
 	}
+	return true
+}
+
+// Insert implements dp.Pruner: p was admitted, so it joins the frontier
+// and evicts incumbents it exactly dominates.
+func (pp ParetoPruner) Insert(plans []*plan.Node, p *plan.Node) []*plan.Node {
+	pv := VecOf(p)
 	out := plans[:0]
 	for _, q := range plans {
 		if !(pv.Dominates(VecOf(q)) && orderDominates(p.Order, q.Order)) {
 			out = append(out, q)
 		}
 	}
-	return append(out, p), true
+	return append(out, p)
 }
 
 // Merge combines per-partition frontiers into one (the master's

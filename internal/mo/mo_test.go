@@ -6,9 +6,19 @@ import (
 	"testing"
 
 	"mpq/internal/cost"
+	"mpq/internal/dp"
 	"mpq/internal/plan"
 	"mpq/internal/query"
 )
+
+// offerTo drives the two-phase dp.Pruner protocol the way the DP engine
+// does: admission on the scalars first, insert only for survivors.
+func offerTo(pp ParetoPruner, plans []*plan.Node, p *plan.Node) ([]*plan.Node, bool) {
+	if !pp.Admits(plans, dp.Candidate{Cost: p.Cost, Buffer: p.Buffer, Order: p.Order}) {
+		return plans, false
+	}
+	return pp.Insert(plans, p), true
+}
 
 func vecPlan(time, buffer float64, order int) *plan.Node {
 	return &plan.Node{Cost: time, Buffer: buffer, Order: order}
@@ -56,21 +66,21 @@ func TestParetoPrunerKeepsIncomparable(t *testing.T) {
 	pp := ParetoPruner{Alpha: 1}
 	var plans []*plan.Node
 	var kept bool
-	plans, kept = pp.Insert(plans, vecPlan(10, 1, query.NoOrder))
+	plans, kept = offerTo(pp, plans, vecPlan(10, 1, query.NoOrder))
 	if !kept {
 		t.Fatal("first plan dropped")
 	}
-	plans, kept = pp.Insert(plans, vecPlan(1, 10, query.NoOrder))
+	plans, kept = offerTo(pp, plans, vecPlan(1, 10, query.NoOrder))
 	if !kept || len(plans) != 2 {
 		t.Fatal("incomparable plan dropped")
 	}
 	// Dominated candidate dropped.
-	plans, kept = pp.Insert(plans, vecPlan(11, 2, query.NoOrder))
+	plans, kept = offerTo(pp, plans, vecPlan(11, 2, query.NoOrder))
 	if kept || len(plans) != 2 {
 		t.Fatal("dominated plan kept")
 	}
 	// Dominating candidate evicts.
-	plans, kept = pp.Insert(plans, vecPlan(0.5, 0.5, query.NoOrder))
+	plans, kept = offerTo(pp, plans, vecPlan(0.5, 0.5, query.NoOrder))
 	if !kept || len(plans) != 1 {
 		t.Fatalf("dominating plan should evict all: %d plans", len(plans))
 	}
@@ -83,8 +93,8 @@ func TestParetoPrunerAlphaCoarsens(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	for i := 0; i < 300; i++ {
 		p := vecPlan(rng.Float64()*1000+1, rng.Float64()*1000+1, query.NoOrder)
-		exact, _ = exactP.Insert(exact, p)
-		coarse, _ = coarseP.Insert(coarse, p)
+		exact, _ = offerTo(exactP, exact, p)
+		coarse, _ = offerTo(coarseP, coarse, p)
 	}
 	if len(coarse) > len(exact) {
 		t.Fatalf("alpha=10 retained %d > exact %d", len(coarse), len(exact))
@@ -107,10 +117,10 @@ func TestParetoPrunerAlphaCoarsens(t *testing.T) {
 func TestParetoPrunerOrderCompatibility(t *testing.T) {
 	pp := ParetoPruner{Alpha: 1}
 	var plans []*plan.Node
-	plans, _ = pp.Insert(plans, vecPlan(5, 5, query.NoOrder))
+	plans, _ = offerTo(pp, plans, vecPlan(5, 5, query.NoOrder))
 	// Same vector but with an order: not dominated (order may help later).
 	var kept bool
-	plans, kept = pp.Insert(plans, vecPlan(5, 5, 42))
+	plans, kept = offerTo(pp, plans, vecPlan(5, 5, 42))
 	if !kept || len(plans) != 1 {
 		// The ordered plan dominates the unordered one with equal cost:
 		// it evicts it and takes its place.
@@ -120,12 +130,12 @@ func TestParetoPrunerOrderCompatibility(t *testing.T) {
 		t.Fatal("ordered plan should have replaced unordered equal-cost plan")
 	}
 	// Unordered plan with equal cost is dominated by the ordered one.
-	plans, kept = pp.Insert(plans, vecPlan(5, 5, query.NoOrder))
+	plans, kept = offerTo(pp, plans, vecPlan(5, 5, query.NoOrder))
 	if kept || len(plans) != 1 {
 		t.Fatal("unordered equal-cost plan should be pruned")
 	}
 	// A different order with equal cost is incomparable.
-	plans, kept = pp.Insert(plans, vecPlan(5, 5, 43))
+	plans, kept = offerTo(pp, plans, vecPlan(5, 5, 43))
 	if !kept || len(plans) != 2 {
 		t.Fatal("differently-ordered plan should be retained")
 	}
@@ -213,7 +223,7 @@ func TestQuickPrunerFrontierInvariant(t *testing.T) {
 		for i := 0; i < 200; i++ {
 			p := vecPlan(rng.Float64()*100+1, rng.Float64()*100+1, query.NoOrder)
 			inserted = append(inserted, p)
-			plans, _ = pp.Insert(plans, p)
+			plans, _ = offerTo(pp, plans, p)
 		}
 		if !IsFrontier(plans) {
 			t.Fatalf("alpha=%g: retained set is not a frontier", alpha)
@@ -241,4 +251,18 @@ func TestVecOf(t *testing.T) {
 	if v.Time != p.Cost || v.Buffer != p.Buffer {
 		t.Fatal("VecOf mismatch")
 	}
+}
+
+// Admission must be allocation-free: the DP calls it once per generated
+// candidate, and the multi-objective frontier makes that loop cubic in
+// the plans per table set (§5.4).
+func TestParetoAdmitsAllocFree(t *testing.T) {
+	pp := ParetoPruner{Alpha: 2}
+	plans := []*plan.Node{vecPlan(10, 1, query.NoOrder), vecPlan(1, 10, query.NoOrder)}
+	cand := dp.Candidate{Cost: 50, Buffer: 50, Order: query.NoOrder}
+	var sink bool
+	if allocs := testing.AllocsPerRun(1000, func() { sink = pp.Admits(plans, cand) }); allocs != 0 {
+		t.Errorf("ParetoPruner.Admits allocates %.1f times per call", allocs)
+	}
+	_ = sink
 }

@@ -227,7 +227,6 @@ func (cs *ConstraintSet) InnerAllowed(u bitset.Set, t int) bool {
 // admissible subsets of that group (Algorithm 4's ConstrainedPowerSet).
 func (cs *ConstraintSet) groups() [][]bitset.Set {
 	var out [][]bitset.Set
-	g := cs.Space.groupSize()
 	covered := bitset.Empty()
 	for ci, c := range cs.List {
 		var subs []bitset.Set
@@ -242,7 +241,6 @@ func (cs *ConstraintSet) groups() [][]bitset.Set {
 	// Unconstrained groups: remaining pairs/triples carry no constraint,
 	// so each remaining table contributes {∅, {t}} independently; we
 	// group them per-table for a flatter product tree.
-	_ = g
 	for t := 0; t < cs.N; t++ {
 		if !covered.Contains(t) {
 			out = append(out, []bitset.Set{bitset.Empty(), bitset.Single(t)})
@@ -251,26 +249,102 @@ func (cs *ConstraintSet) groups() [][]bitset.Set {
 	return out
 }
 
+// Enumerator streams the admissible join results of one partition,
+// cardinality by cardinality, without ever materializing the full
+// ~4^(n/2) (linear) or ~8^(n/3) (bushy) admissible-set list — the
+// O(per-partition) memory the paper's Theorem 4 assumes. It drives the
+// same group-product recursion as Algorithm 4 (admissible subsets of
+// each disjoint constrained group, crossed with the free tables) with
+// cardinality bounds pruning branches that cannot reach the requested
+// set size, so every visited branch yields at least one output.
+//
+// Build one Enumerator per DP run and reuse it across cardinalities:
+//
+//	en := cs.NewEnumerator()
+//	for k := 2; k <= cs.N; k++ {
+//		en.ForEachAdmissible(k, func(u bitset.Set) bool {
+//			process(u) // e.g. dp's Engine.ProcessSet
+//			return true
+//		})
+//	}
+type Enumerator struct {
+	groups [][]bitset.Set
+	// maxTail[i] is the largest table count groups[i:] can contribute;
+	// a partial product with cnt tables is pruned when cnt+maxTail < k.
+	maxTail []int
+}
+
+// NewEnumerator returns a streaming enumerator for this partition's
+// admissible join results. The enumerator is stateless between calls and
+// safe to reuse, but not for concurrent use.
+func (cs *ConstraintSet) NewEnumerator() *Enumerator {
+	groups := cs.groups()
+	maxTail := make([]int, len(groups)+1)
+	for i := len(groups) - 1; i >= 0; i-- {
+		max := 0
+		for _, sub := range groups[i] {
+			if c := sub.Count(); c > max {
+				max = c
+			}
+		}
+		maxTail[i] = maxTail[i+1] + max
+	}
+	return &Enumerator{groups: groups, maxTail: maxTail}
+}
+
+// ForEachAdmissible calls fn for every admissible join result with
+// exactly k tables, in the same deterministic order in which
+// AdmissibleSets fills its k-th bucket. fn returns whether enumeration
+// should continue; ForEachAdmissible reports whether it ran to
+// completion (false iff fn stopped it).
+func (en *Enumerator) ForEachAdmissible(k int, fn func(u bitset.Set) bool) bool {
+	var rec func(gi int, acc bitset.Set, cnt int) bool
+	rec = func(gi int, acc bitset.Set, cnt int) bool {
+		if cnt+en.maxTail[gi] < k {
+			return true // this branch cannot reach k tables
+		}
+		if gi == len(en.groups) {
+			return fn(acc) // cnt == k: <k pruned above, >k skipped below
+		}
+		for _, sub := range en.groups[gi] {
+			c := sub.Count()
+			if cnt+c > k {
+				continue
+			}
+			if !rec(gi+1, acc.Union(sub), cnt+c) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0, bitset.Empty(), 0)
+}
+
+// ForEachAdmissible streams the admissible join results with exactly k
+// tables; see Enumerator.ForEachAdmissible. Callers iterating several
+// cardinalities should build one Enumerator with NewEnumerator and reuse
+// it instead.
+func (cs *ConstraintSet) ForEachAdmissible(k int, fn func(u bitset.Set) bool) bool {
+	return cs.NewEnumerator().ForEachAdmissible(k, fn)
+}
+
 // AdmissibleSets enumerates every admissible join result of the partition
 // (Algorithm 4), bucketed by cardinality: the k-th slice holds all
 // admissible table sets with exactly k tables. Bucket 0 holds the empty
-// set and bucket 1 all singletons that survive the constraints; the DP
-// uses buckets 2..n.
+// set and bucket 1 all singletons that survive the constraints.
+//
+// This eagerly materializes the whole admissible-set list and is kept
+// for tests, tools and ablations; the DP and the SMA baseline stream the
+// same sets per cardinality through Enumerator instead.
 func (cs *ConstraintSet) AdmissibleSets() [][]bitset.Set {
 	byCard := make([][]bitset.Set, cs.N+1)
-	groups := cs.groups()
-	var rec func(gi int, acc bitset.Set)
-	rec = func(gi int, acc bitset.Set) {
-		if gi == len(groups) {
-			k := acc.Count()
-			byCard[k] = append(byCard[k], acc)
-			return
-		}
-		for _, sub := range groups[gi] {
-			rec(gi+1, acc.Union(sub))
-		}
+	en := cs.NewEnumerator()
+	for k := 0; k <= cs.N; k++ {
+		en.ForEachAdmissible(k, func(u bitset.Set) bool {
+			byCard[k] = append(byCard[k], u)
+			return true
+		})
 	}
-	rec(0, bitset.Empty())
 	return byCard
 }
 

@@ -481,6 +481,7 @@ func TestUnconstrainedCoversEverything(t *testing.T) {
 }
 
 func BenchmarkAdmissibleSetsLinear16(b *testing.B) {
+	b.ReportAllocs()
 	cs, err := ForPartition(Linear, 16, 5, 64)
 	if err != nil {
 		b.Fatal(err)
@@ -492,6 +493,7 @@ func BenchmarkAdmissibleSetsLinear16(b *testing.B) {
 }
 
 func BenchmarkForEachLeftBushy12(b *testing.B) {
+	b.ReportAllocs()
 	cs, err := ForPartition(Bushy, 12, 3, 16)
 	if err != nil {
 		b.Fatal(err)
@@ -504,4 +506,82 @@ func BenchmarkForEachLeftBushy12(b *testing.B) {
 		sp.ForEachLeft(u, func(bitset.Set) { n++ })
 	}
 	_ = n
+}
+
+// The streaming enumerator must yield, per cardinality, exactly the
+// sets of that size violating no constraint (checked over the full
+// powerset, independently of AdmissibleSets, which is now itself built
+// on the enumerator). Note Admissible itself special-cases singletons;
+// the enumeration, like the original Algorithm 4, does not.
+func TestForEachAdmissibleMatchesPredicate(t *testing.T) {
+	admissible := func(cs *ConstraintSet, s bitset.Set) bool {
+		for _, c := range cs.List {
+			if violates(cs.Space, c, s) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, space := range []Space{Linear, Bushy} {
+		for _, m := range []int{1, 2, 4} {
+			for n := 2; n <= 8; n++ {
+				if m > MaxWorkers(space, n) {
+					continue
+				}
+				cs, err := ForPartition(space, n, m-1, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				en := cs.NewEnumerator()
+				for k := 0; k <= n; k++ {
+					want := map[bitset.Set]bool{}
+					bitset.Range(n).Subsets(func(s bitset.Set) {
+						if s.Count() == k && admissible(cs, s) {
+							want[s] = true
+						}
+					})
+					var got []bitset.Set
+					if !en.ForEachAdmissible(k, func(u bitset.Set) bool {
+						got = append(got, u)
+						return true
+					}) {
+						t.Fatal("enumeration reported an early stop that never happened")
+					}
+					if len(got) != len(want) {
+						t.Fatalf("%v n=%d m=%d k=%d: enumerated %d sets, predicate admits %d",
+							space, n, m, k, len(got), len(want))
+					}
+					seen := map[bitset.Set]bool{}
+					for _, u := range got {
+						if u.Count() != k {
+							t.Fatalf("%v n=%d m=%d k=%d: enumerated %v with wrong cardinality", space, n, m, k, u)
+						}
+						if seen[u] {
+							t.Fatalf("%v n=%d m=%d k=%d: %v enumerated twice", space, n, m, k, u)
+						}
+						seen[u] = true
+						if !want[u] {
+							t.Fatalf("%v n=%d m=%d k=%d: %v violates a constraint", space, n, m, k, u)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Returning false from the callback stops the enumeration immediately.
+func TestForEachAdmissibleEarlyStop(t *testing.T) {
+	cs := Unconstrained(Linear, 8)
+	count := 0
+	done := cs.ForEachAdmissible(3, func(bitset.Set) bool {
+		count++
+		return count < 5
+	})
+	if done {
+		t.Fatal("stopped enumeration reported as complete")
+	}
+	if count != 5 {
+		t.Fatalf("callback ran %d times, want 5", count)
+	}
 }

@@ -75,11 +75,29 @@ type JoinSpec struct {
 	RSorted bool // right input already sorted on the merge attribute
 }
 
-// Join builds a join node over operands l (outer) and r (inner).
-func Join(m cost.Model, l, r *Node, spec JoinSpec) *Node {
+// JoinScalars returns the Cost and Buffer annotations the node built by
+// Join(m, l, r, spec) would carry, without constructing it. The dynamic
+// program's cost-first pruning protocol evaluates every candidate join
+// through this function and materializes a Node only for candidates that
+// survive admission, so the two must (and, by sharing this code path, do)
+// agree bit for bit.
+func JoinScalars(m cost.Model, l, r *Node, spec JoinSpec) (costv, buffer float64) {
 	opCost := m.JoinCost(spec.Alg, l.Card, r.Card, spec.LSorted, spec.RSorted)
 	opBuf := m.JoinSecond(spec.Alg, l.Card, r.Card, spec.LSorted, spec.RSorted)
-	buf := m.CombineSecond(l.Buffer, r.Buffer, opBuf)
+	return l.Cost + r.Cost + opCost, m.CombineSecond(l.Buffer, r.Buffer, opBuf)
+}
+
+// Join builds a join node over operands l (outer) and r (inner).
+func Join(m cost.Model, l, r *Node, spec JoinSpec) *Node {
+	c, buf := JoinScalars(m, l, r, spec)
+	return JoinWithScalars(l, r, spec, c, buf)
+}
+
+// JoinWithScalars builds the node Join would, reusing cost and buffer
+// values the caller already obtained from JoinScalars for this exact
+// (l, r, spec) — the DP's survivor path, which has just admitted the
+// candidate on those scalars and need not recompute them.
+func JoinWithScalars(l, r *Node, spec JoinSpec, costv, buffer float64) *Node {
 	return &Node{
 		Alg:    spec.Alg,
 		Pred:   spec.Pred,
@@ -87,8 +105,8 @@ func Join(m cost.Model, l, r *Node, spec JoinSpec) *Node {
 		Right:  r,
 		Tables: l.Tables.Union(r.Tables),
 		Card:   spec.OutCard,
-		Cost:   l.Cost + r.Cost + opCost,
-		Buffer: buf,
+		Cost:   costv,
+		Buffer: buffer,
 		Order:  spec.Order,
 	}
 }

@@ -54,6 +54,11 @@ func mix(x uint64) uint64 {
 	return x
 }
 
+// Cap returns the current table capacity (number of slots). A map built
+// with New(hint) holding at most hint entries never grows past its
+// initial capacity — the no-rehash guarantee the DP memo relies on.
+func (m *Map[V]) Cap() int { return len(m.keys) }
+
 // Len returns the number of stored entries.
 func (m *Map[V]) Len() int {
 	if m.hasZero {

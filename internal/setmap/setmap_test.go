@@ -221,3 +221,37 @@ func BenchmarkGetVsBuiltin(b *testing.B) {
 		}
 	})
 }
+
+// A Get hit is on the DP's candidate path and must never allocate.
+func TestGetHitAllocFree(t *testing.T) {
+	m := New[int](256)
+	for i := 1; i <= 256; i++ {
+		m.Put(bitset.Set(i), i)
+	}
+	var v int
+	var ok bool
+	if allocs := testing.AllocsPerRun(1000, func() { v, ok = m.Get(bitset.Set(123)) }); allocs != 0 {
+		t.Errorf("Get hit allocates %.1f times per call", allocs)
+	}
+	if !ok || v != 123 {
+		t.Fatalf("Get(123) = %d, %v", v, ok)
+	}
+}
+
+// A map sized with New(hint) must never rehash while holding at most
+// hint entries — the DP memo is sized from CountAdmissible and relies
+// on this.
+func TestSizedMapNeverGrows(t *testing.T) {
+	const hint = 1000
+	m := New[int](hint)
+	c0 := m.Cap()
+	for i := 1; i <= hint; i++ {
+		m.Put(bitset.Set(i), i)
+	}
+	if m.Cap() != c0 {
+		t.Fatalf("map sized for %d entries grew from %d to %d slots", hint, c0, m.Cap())
+	}
+	if m.Len() != hint {
+		t.Fatalf("Len = %d want %d", m.Len(), hint)
+	}
+}

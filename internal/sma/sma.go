@@ -105,11 +105,19 @@ func Run(model cluster.Model, q *query.Query, spec core.JobSpec) (*cluster.Resul
 		delta = append(delta, deltaEntry{set: bitset.Single(t), plan: eng.PlansFor(bitset.Single(t))[0]})
 	}
 
-	byCard := cs.AdmissibleSets()
+	// Stream the admissible sets of each round's cardinality instead of
+	// materializing all ~2^n of them up front: the master only ever holds
+	// one round's task list in memory.
+	enum := cs.NewEnumerator()
+	var sets []bitset.Set
 	var virtual time.Duration
 	// Initial statistics distribution (query + selectivities), like MPQ.
 	for k := 2; k <= n; k++ {
-		sets := byCard[k]
+		sets = sets[:0]
+		enum.ForEachAdmissible(k, func(u bitset.Set) bool {
+			sets = append(sets, u)
+			return true
+		})
 		if len(sets) == 0 {
 			continue
 		}

@@ -78,7 +78,10 @@ func runMaster(args []string) error {
 	partitions := fs.Int("partitions", 0, "plan-space partitions (default: number of workers rounded down to a power of two)")
 	multi := fs.Bool("mo", false, "multi-objective optimization")
 	alpha := fs.Float64("alpha", 10, "approximation factor for -mo")
-	timeout := fs.Duration("timeout", 2*time.Minute, "per-worker timeout")
+	timeout := fs.Duration("timeout", 2*time.Minute, "per-job deadline (dial + send + compute + receive)")
+	retries := fs.Int("retries", netrun.DefaultMaxAttempts, "attempts per partition before giving up")
+	workerFailures := fs.Int("max-worker-failures", netrun.DefaultMaxWorkerFailures,
+		"consecutive failures before a worker is excluded for the query")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -113,7 +116,11 @@ func runMaster(args []string) error {
 		jspec.Alpha = *alpha
 	}
 
-	master, err := netrun.NewMaster(addrs, *timeout)
+	master, err := netrun.NewMasterWithOptions(addrs, netrun.Options{
+		Timeout:           *timeout,
+		MaxAttempts:       *retries,
+		MaxWorkerFailures: *workerFailures,
+	})
 	if err != nil {
 		return err
 	}
@@ -126,6 +133,9 @@ func runMaster(args []string) error {
 		q.N(), len(addrs), m, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("network: %d bytes sent, %d received, %d messages\n",
 		ans.Net.BytesSent, ans.Net.BytesReceived, ans.Net.Messages)
+	if ans.Redispatched > 0 {
+		fmt.Printf("recovered from failures: %d job(s) re-dispatched\n", ans.Redispatched)
+	}
 	if ans.Frontier != nil {
 		fmt.Printf("Pareto frontier: %d plans\n", len(ans.Frontier))
 	}

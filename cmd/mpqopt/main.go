@@ -51,6 +51,8 @@ func run() error {
 	alpha := flag.Float64("alpha", 10, "approximation factor for -mo")
 	orders := flag.Bool("orders", false, "track interesting orders")
 	engine := flag.String("engine", "local", "execution engine: local (goroutines) or sim (cluster simulation)")
+	kill := flag.Int("kill", 0, "sim engine: crash this many workers mid-query and measure recovery")
+	detect := flag.Duration("detect", 0, "sim engine: failure-detection timeout for -kill (default 10s)")
 	dot := flag.Bool("dot", false, "emit the best plan as a Graphviz digraph instead of a tree")
 	flag.Parse()
 
@@ -96,13 +98,25 @@ func run() error {
 		printAnswer(render(ans.Best), ans.Frontier, ans.Stats.WorkUnits(), fmt.Sprintf(
 			"wall %v (slowest worker %v)", ans.Elapsed.Round(1000), ans.MaxWorkerElapsed.Round(1000)))
 	case "sim":
-		res, err := cluster.RunMPQ(cluster.Default(), q, jspec)
+		if *kill < 0 || *kill >= *workers {
+			return fmt.Errorf("-kill %d must leave at least one of %d workers alive", *kill, *workers)
+		}
+		faults := cluster.Faults{DetectTimeout: *detect}
+		for i := 0; i < *kill; i++ {
+			faults.Dead = append(faults.Dead, i)
+		}
+		res, err := cluster.RunMPQWithFaults(cluster.Default(), q, jspec, faults)
 		if err != nil {
 			return err
 		}
-		printAnswer(render(res.Best), res.Frontier, res.Metrics.Work.WorkUnits(), fmt.Sprintf(
+		line := fmt.Sprintf(
 			"virtual %v, network %d bytes in %d messages, peak memo %d relations",
-			res.Metrics.VirtualTime.Round(1000), res.Metrics.Bytes, res.Metrics.Messages, res.Metrics.MaxMemoEntries))
+			res.Metrics.VirtualTime.Round(1000), res.Metrics.Bytes, res.Metrics.Messages, res.Metrics.MaxMemoEntries)
+		if *kill > 0 {
+			line += fmt.Sprintf("; killed %d worker(s): %d re-dispatches, recovery overhead %v",
+				*kill, res.Metrics.Redispatches, res.Metrics.RecoveryOverhead.Round(1000))
+		}
+		printAnswer(render(res.Best), res.Frontier, res.Metrics.Work.WorkUnits(), line)
 	default:
 		return fmt.Errorf("unknown engine %q", *engine)
 	}

@@ -115,6 +115,120 @@ func (m Model) MPQTime(reqBytes, respBytes []int, units []uint64) (total, maxWor
 	return masterRecvBusy, maxWorker
 }
 
+// Faults mirrors the failure model of the TCP runtime (internal/netrun)
+// in virtual time: scripted worker deaths plus the master's detection
+// timeout, so Fig-style experiments can quantify recovery overhead
+// without a wall clock.
+type Faults struct {
+	// Dead lists virtual workers (partition indices) that crash after
+	// receiving their request and never answer. At least one worker must
+	// survive.
+	Dead []int
+	// DetectTimeout is the virtual time after a request's arrival at
+	// which the master declares an unanswered worker dead and
+	// re-dispatches its partition to a survivor. Zero means
+	// DefaultDetectTimeout.
+	DetectTimeout time.Duration
+}
+
+// DefaultDetectTimeout is the virtual failure-detection timeout used
+// when Faults.DetectTimeout is zero.
+const DefaultDetectTimeout = 10 * time.Second
+
+// Validate checks the fault script against m workers.
+func (f Faults) Validate(m int) error {
+	if f.DetectTimeout < 0 {
+		return fmt.Errorf("cluster: negative detect timeout %v", f.DetectTimeout)
+	}
+	seen := make(map[int]bool, len(f.Dead))
+	for _, d := range f.Dead {
+		if d < 0 || d >= m {
+			return fmt.Errorf("cluster: dead worker %d out of range [0,%d)", d, m)
+		}
+		if seen[d] {
+			return fmt.Errorf("cluster: worker %d listed dead twice", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) >= m {
+		return fmt.Errorf("cluster: all %d workers dead, nothing can recover", m)
+	}
+	return nil
+}
+
+// faultSchedule evaluates the MPQ schedule with scripted worker deaths:
+// round one is MPQTime's schedule restricted to the survivors; each dead
+// partition is then re-dispatched — the master's send NIC becomes free,
+// waits for the detection timeout, re-serializes the request to a
+// survivor chosen round-robin, and the survivor runs the extra partition
+// after finishing its own share. With no deaths this reduces exactly to
+// MPQTime.
+func (m Model) faultSchedule(reqBytes, respBytes []int, units []uint64, dead map[int]bool, detect time.Duration) (total, maxWorker time.Duration) {
+	n := len(reqBytes)
+	var masterSendBusy, masterRecvBusy time.Duration
+	starts := make([]time.Duration, n)
+	arrivals := make([]time.Duration, n) // request arrival, before task setup
+	for i, rb := range reqBytes {
+		masterSendBusy += m.DispatchPerTask + m.transfer(rb)
+		arrivals[i] = masterSendBusy + m.Latency
+		starts[i] = arrivals[i] + m.TaskSetup
+	}
+	// Round one: responses from the survivors only.
+	computeBusy := make([]time.Duration, n) // per-worker total busy time
+	free := make([]time.Duration, n)        // when a survivor finishes its share
+	survivors := make([]int, 0, n)
+	for i := range reqBytes {
+		if dead[i] {
+			continue
+		}
+		survivors = append(survivors, i)
+		computeT := m.compute(units[i])
+		computeBusy[i] = computeT
+		free[i] = starts[i] + computeT
+		arrival := free[i] + m.Latency
+		if arrival > masterRecvBusy {
+			masterRecvBusy = arrival
+		}
+		masterRecvBusy += m.transfer(respBytes[i])
+	}
+	// Recovery round: re-dispatch each dead partition.
+	sendFree := masterSendBusy
+	si := 0
+	for i := range reqBytes {
+		if !dead[i] {
+			continue
+		}
+		// Detection runs from the request's arrival at the (crashed)
+		// worker, as documented on Faults.DetectTimeout — not from the end
+		// of its task setup, which the crash may have interrupted.
+		detectAt := arrivals[i] + detect
+		if detectAt > sendFree {
+			sendFree = detectAt
+		}
+		sendFree += m.DispatchPerTask + m.transfer(reqBytes[i])
+		s := survivors[si%len(survivors)]
+		si++
+		begin := sendFree + m.Latency + m.TaskSetup
+		if free[s] > begin {
+			begin = free[s]
+		}
+		fin := begin + m.compute(units[i])
+		free[s] = fin
+		computeBusy[s] += m.compute(units[i])
+		arrival := fin + m.Latency
+		if arrival > masterRecvBusy {
+			masterRecvBusy = arrival
+		}
+		masterRecvBusy += m.transfer(respBytes[i])
+	}
+	for _, cb := range computeBusy {
+		if cb > maxWorker {
+			maxWorker = cb
+		}
+	}
+	return masterRecvBusy, maxWorker
+}
+
 // Metrics is the simulator's measurement record — one row of the paper's
 // figures.
 type Metrics struct {
@@ -136,6 +250,14 @@ type Metrics struct {
 	MaxMemoEntries uint64
 	// Work aggregates the DP work counters over all workers.
 	Work plan.Stats
+	// Redispatches counts partitions whose worker died and whose job was
+	// re-sent to a survivor (zero in a failure-free run).
+	Redispatches int
+	// RecoveryOverhead is VirtualTime minus what the same run would have
+	// taken failure-free — the cost of detection plus re-dispatch (zero
+	// in a failure-free run). Computed from the schedule, not by
+	// re-running the optimizer.
+	RecoveryOverhead time.Duration
 }
 
 // Result is the outcome of one simulated optimization.
@@ -151,6 +273,18 @@ type Result struct {
 // the master decodes and FinalPrunes. One round, no worker↔worker
 // traffic.
 func RunMPQ(model Model, q *query.Query, spec core.JobSpec) (*Result, error) {
+	return RunMPQWithFaults(model, q, spec, Faults{})
+}
+
+// RunMPQWithFaults simulates Algorithm 1 under the scripted failure
+// model: dead workers receive their request, crash, and never answer;
+// the master detects each death DetectTimeout after the request arrived
+// and re-dispatches the partition to a surviving worker (round-robin),
+// which runs it after its own share. The chosen plans are bit-identical
+// to the failure-free run — partitions are disjoint and workers
+// stateless — while VirtualTime, traffic, and Redispatches expose the
+// recovery overhead.
+func RunMPQWithFaults(model Model, q *query.Query, spec core.JobSpec, faults Faults) (*Result, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
@@ -158,6 +292,9 @@ func RunMPQ(model Model, q *query.Query, spec core.JobSpec) (*Result, error) {
 		return nil, err
 	}
 	if err := spec.Validate(q.N()); err != nil {
+		return nil, err
+	}
+	if err := faults.Validate(spec.Workers); err != nil {
 		return nil, err
 	}
 	q.Freeze()
@@ -209,7 +346,19 @@ func RunMPQ(model Model, q *query.Query, spec core.JobSpec) (*Result, error) {
 	}
 	wg.Wait()
 
-	met := Metrics{Rounds: 1}
+	dead := make(map[int]bool, len(faults.Dead))
+	for _, d := range faults.Dead {
+		dead[d] = true
+	}
+	detect := faults.DetectTimeout
+	if detect == 0 {
+		detect = DefaultDetectTimeout
+	}
+
+	met := Metrics{Rounds: 1, Redispatches: len(dead)}
+	if len(dead) > 0 {
+		met.Rounds = 2 // the re-dispatch adds one extra communication round
+	}
 	out := &Result{}
 	frontiers := make([][]*plan.Node, 0, m)
 	reqBytes := make([]int, m)
@@ -223,6 +372,13 @@ func RunMPQ(model Model, q *query.Query, spec core.JobSpec) (*Result, error) {
 		}
 		met.Bytes += uint64(len(r.req) + r.respBytes)
 		met.Messages += 2
+		if dead[partID] {
+			// The job is sent twice: the crashed worker got the request but
+			// never answered, and the survivor both receives the request
+			// again and sends the one response.
+			met.Bytes += uint64(len(r.req))
+			met.Messages++
+		}
 		met.Work.Add(r.resp.Stats)
 		if r.resp.Stats.MemoEntries > met.MaxMemoEntries {
 			met.MaxMemoEntries = r.resp.Stats.MemoEntries
@@ -233,9 +389,13 @@ func RunMPQ(model Model, q *query.Query, spec core.JobSpec) (*Result, error) {
 		frontiers = append(frontiers, r.resp.Plans)
 		planCount += len(r.resp.Plans)
 	}
-	total, maxWorker := model.MPQTime(reqBytes, respBytes, units)
+	total, maxWorker := model.faultSchedule(reqBytes, respBytes, units, dead, detect)
 	met.VirtualTime = total + time.Duration(planCount)*model.FinalPrunePerPlan
 	met.MaxWorkerTime = maxWorker
+	if len(dead) > 0 {
+		cleanTotal, _ := model.MPQTime(reqBytes, respBytes, units)
+		met.RecoveryOverhead = total - cleanTotal
+	}
 
 	best, frontier, err := core.FinalPrune(spec, frontiers)
 	if err != nil {

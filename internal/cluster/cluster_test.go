@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"math"
 	"testing"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"mpq/internal/dp"
 	"mpq/internal/partition"
 	"mpq/internal/query"
+	"mpq/internal/wire"
 	"mpq/internal/workload"
 )
 
@@ -176,6 +178,116 @@ func TestMemoryMetricMatchesDP(t *testing.T) {
 	}
 	if res.Metrics.MaxMemoEntries != ref.Stats.MemoEntries {
 		t.Fatalf("memory metric %d != DP %d", res.Metrics.MaxMemoEntries, ref.Stats.MemoEntries)
+	}
+}
+
+func TestFaultsValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		faults Faults
+		m      int
+		ok     bool
+	}{
+		{"no faults", Faults{}, 4, true},
+		{"one death", Faults{Dead: []int{2}}, 4, true},
+		{"minority dead", Faults{Dead: []int{0, 1, 2}}, 4, true},
+		{"out of range", Faults{Dead: []int{4}}, 4, false},
+		{"negative index", Faults{Dead: []int{-1}}, 4, false},
+		{"duplicate", Faults{Dead: []int{1, 1}}, 4, false},
+		{"all dead", Faults{Dead: []int{0, 1, 2, 3}}, 4, false},
+		{"negative detect", Faults{DetectTimeout: -time.Second}, 4, false},
+	}
+	for _, c := range cases {
+		err := c.faults.Validate(c.m)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+// Dead workers change the schedule, never the answer: the recovered run
+// must return bit-identical plans while exposing the overhead in the
+// virtual-time and traffic metrics.
+func TestFaultedSimulationBitIdentical(t *testing.T) {
+	q := gen(t, 10, 7)
+	spec := core.JobSpec{Space: partition.Linear, Workers: 8}
+	clean, err := RunMPQ(Default(), q, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, deadSet := range [][]int{{0}, {3, 5}, {0, 1, 2, 3, 4, 5, 6}} {
+		faults := Faults{Dead: deadSet, DetectTimeout: 5 * time.Second}
+		res, err := RunMPQWithFaults(Default(), q, spec, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wire.EncodePlan(res.Best), wire.EncodePlan(clean.Best)) {
+			t.Fatalf("dead=%v: recovered plan differs", deadSet)
+		}
+		if res.Metrics.Redispatches != len(deadSet) {
+			t.Fatalf("dead=%v: Redispatches = %d", deadSet, res.Metrics.Redispatches)
+		}
+		if res.Metrics.Rounds != 2 {
+			t.Fatalf("dead=%v: rounds = %d, want 2", deadSet, res.Metrics.Rounds)
+		}
+		if res.Metrics.VirtualTime <= clean.Metrics.VirtualTime {
+			t.Fatalf("dead=%v: recovery is free: %v <= %v",
+				deadSet, res.Metrics.VirtualTime, clean.Metrics.VirtualTime)
+		}
+		if got, want := res.Metrics.RecoveryOverhead, res.Metrics.VirtualTime-clean.Metrics.VirtualTime; got != want {
+			t.Fatalf("dead=%v: RecoveryOverhead = %v, want %v", deadSet, got, want)
+		}
+		if res.Metrics.Bytes <= clean.Metrics.Bytes {
+			t.Fatalf("dead=%v: no re-dispatch traffic accounted", deadSet)
+		}
+		if want := 2*spec.Workers + len(deadSet); res.Metrics.Messages != want {
+			t.Fatalf("dead=%v: messages = %d, want %d", deadSet, res.Metrics.Messages, want)
+		}
+	}
+}
+
+// The survivors absorb the dead workers' partitions, so the slowest
+// worker's busy time grows with the death count — the recovery-overhead
+// curve a Fig-style experiment would plot.
+func TestRecoveryOverheadGrowsWithDeaths(t *testing.T) {
+	q := gen(t, 12, 2)
+	spec := core.JobSpec{Space: partition.Linear, Workers: 8}
+	var baseline, prev time.Duration = -1, -1
+	for _, k := range []int{0, 1, 2, 4} {
+		dead := make([]int, k)
+		for i := range dead {
+			dead[i] = i
+		}
+		res, err := RunMPQWithFaults(Default(), q, spec, Faults{Dead: dead})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wtime := res.Metrics.MaxWorkerTime
+		if k == 0 {
+			baseline = wtime
+		} else if wtime <= baseline {
+			t.Fatalf("k=%d: W-time %v not above failure-free %v", k, wtime, baseline)
+		}
+		// Symmetric partitions can tie across k, but recovery never gets
+		// cheaper with more deaths.
+		if wtime < prev {
+			t.Fatalf("k=%d: W-time %v fell from %v", k, wtime, prev)
+		}
+		prev = wtime
+	}
+}
+
+// With no deaths the fault-aware schedule must reduce exactly to
+// MPQTime — the failure-free figures may not shift.
+func TestFaultScheduleReducesToMPQTime(t *testing.T) {
+	model := Default()
+	reqs := []int{300, 310, 290, 305}
+	resps := []int{120, 800, 95, 400}
+	units := []uint64{1000, 50000, 800, 20000}
+	wantTotal, wantMax := model.MPQTime(reqs, resps, units)
+	gotTotal, gotMax := model.faultSchedule(reqs, resps, units, nil, DefaultDetectTimeout)
+	if gotTotal != wantTotal || gotMax != wantMax {
+		t.Fatalf("faultSchedule (%v, %v) != MPQTime (%v, %v)", gotTotal, gotMax, wantTotal, wantMax)
 	}
 }
 

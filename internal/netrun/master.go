@@ -1,0 +1,521 @@
+package netrun
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"slices"
+	"sort"
+	"sync"
+	"time"
+
+	"mpq/internal/core"
+	"mpq/internal/plan"
+	"mpq/internal/query"
+	"mpq/internal/wire"
+)
+
+// Defaults for Options fields left at zero.
+const (
+	DefaultTimeout           = 2 * time.Minute
+	DefaultMaxAttempts       = 3
+	DefaultMaxWorkerFailures = 2
+)
+
+// Options configures a Master beyond its worker addresses.
+type Options struct {
+	// Weights are per-worker performance weights: when there are more
+	// plan-space partitions than workers, worker i is assigned a share of
+	// partitions proportional to Weights[i] — the paper's provision for
+	// heterogeneous nodes (§4.1, footnote 1). nil means homogeneous.
+	Weights []float64
+	// Timeout bounds one job attempt end-to-end: dialing the worker,
+	// sending the request, worker compute, and receiving the response.
+	// Zero means DefaultTimeout; negative is an error.
+	Timeout time.Duration
+	// MaxAttempts is the per-partition attempt budget: a partition that
+	// fails this many times (across all workers) aborts the query. Zero
+	// means DefaultMaxAttempts; negative is an error.
+	MaxAttempts int
+	// MaxWorkerFailures is the number of consecutive job failures after
+	// which a worker is excluded from the rest of the query. Zero means
+	// DefaultMaxWorkerFailures; negative is an error.
+	MaxWorkerFailures int
+}
+
+// NetStats records measured traffic of one distributed optimization.
+type NetStats struct {
+	BytesSent     uint64 // master → workers, payloads + frame headers
+	BytesReceived uint64 // workers → master
+	Messages      int
+}
+
+// Answer extends the in-process answer with measured network statistics.
+type Answer struct {
+	core.Answer
+	Net NetStats
+	// Redispatched counts job attempts that failed at the transport level
+	// and were re-queued onto another worker (or retried). Zero in a
+	// failure-free run.
+	Redispatched int
+}
+
+// Master coordinates remote workers.
+type Master struct {
+	addrs             []string
+	weights           []float64
+	timeout           time.Duration
+	maxAttempts       int
+	maxWorkerFailures int
+}
+
+// NewMaster returns a master that will distribute work over the given
+// worker addresses. timeout bounds each worker's end-to-end job time
+// (zero means DefaultTimeout).
+func NewMaster(addrs []string, timeout time.Duration) (*Master, error) {
+	return NewMasterWithOptions(addrs, Options{Timeout: timeout})
+}
+
+// NewWeightedMaster additionally takes per-worker performance weights;
+// see Options.Weights. nil weights mean homogeneous workers.
+func NewWeightedMaster(addrs []string, weights []float64, timeout time.Duration) (*Master, error) {
+	return NewMasterWithOptions(addrs, Options{Weights: weights, Timeout: timeout})
+}
+
+// NewMasterWithOptions returns a master with full fault-tolerance
+// configuration.
+func NewMasterWithOptions(addrs []string, opts Options) (*Master, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("netrun: no worker addresses")
+	}
+	seen := make(map[string]struct{}, len(addrs))
+	for _, a := range addrs {
+		if _, dup := seen[a]; dup {
+			return nil, fmt.Errorf("netrun: duplicate worker address %q", a)
+		}
+		seen[a] = struct{}{}
+	}
+	if opts.Weights != nil {
+		if len(opts.Weights) != len(addrs) {
+			return nil, fmt.Errorf("netrun: %d weights for %d workers", len(opts.Weights), len(addrs))
+		}
+		for i, w := range opts.Weights {
+			if !(w > 0) {
+				return nil, fmt.Errorf("netrun: weight %d is %g, must be positive", i, w)
+			}
+		}
+	}
+	if opts.Timeout < 0 {
+		return nil, fmt.Errorf("netrun: negative timeout %v", opts.Timeout)
+	}
+	if opts.MaxAttempts < 0 {
+		return nil, fmt.Errorf("netrun: negative attempt budget %d", opts.MaxAttempts)
+	}
+	if opts.MaxWorkerFailures < 0 {
+		return nil, fmt.Errorf("netrun: negative worker failure limit %d", opts.MaxWorkerFailures)
+	}
+	ms := &Master{
+		addrs:             addrs,
+		weights:           opts.Weights,
+		timeout:           opts.Timeout,
+		maxAttempts:       opts.MaxAttempts,
+		maxWorkerFailures: opts.MaxWorkerFailures,
+	}
+	if ms.timeout == 0 {
+		ms.timeout = DefaultTimeout
+	}
+	if ms.maxAttempts == 0 {
+		ms.maxAttempts = DefaultMaxAttempts
+	}
+	if ms.maxWorkerFailures == 0 {
+		ms.maxWorkerFailures = DefaultMaxWorkerFailures
+	}
+	return ms, nil
+}
+
+// assignPartitions splits partition IDs 0..m-1 over the workers. With
+// nil weights it round-robins; with weights it hands out contiguous
+// shares proportional to each worker's performance (largest-remainder
+// rounding, every worker with weight > 0 and m >= workers gets at least
+// one partition when possible).
+func (ms *Master) assignPartitions(m int) [][]int {
+	k := len(ms.addrs)
+	out := make([][]int, k)
+	if ms.weights == nil {
+		for p := 0; p < m; p++ {
+			out[p%k] = append(out[p%k], p)
+		}
+		return out
+	}
+	var total float64
+	for _, w := range ms.weights {
+		total += w
+	}
+	// Largest-remainder apportionment of m partitions.
+	counts := make([]int, k)
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, k)
+	assigned := 0
+	for i, w := range ms.weights {
+		exact := float64(m) * w / total
+		counts[i] = int(exact)
+		rems[i] = rem{idx: i, frac: exact - float64(counts[i])}
+		assigned += counts[i]
+	}
+	sort.Slice(rems, func(a, b int) bool { return rems[a].frac > rems[b].frac })
+	for i := 0; assigned < m; i++ {
+		counts[rems[i%k].idx]++
+		assigned++
+	}
+	p := 0
+	for i, c := range counts {
+		for j := 0; j < c; j++ {
+			out[i] = append(out[i], p)
+			p++
+		}
+	}
+	return out
+}
+
+// job is one (partition, retry state) unit of work.
+type job struct {
+	partID   int
+	attempts int   // failed attempts so far
+	failedOn []int // workers that already failed this partition
+}
+
+// jobResult is one job attempt's outcome, reported by a worker loop.
+type jobResult struct {
+	worker  int
+	job     job
+	resp    *wire.JobResponse
+	elapsed time.Duration
+	sent    uint64
+	rcvd    uint64
+	msgs    int
+	err     error
+	fatal   bool // deterministic failure: retrying cannot help
+}
+
+// connReg tracks the master's live connections so an aborting
+// coordinator can force-close them and unblock worker loops stuck in
+// read; ctx cancellation aborts dials still in flight (a dialing
+// connection is not yet in the registry).
+type connReg struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+func (r *connReg) add(c net.Conn) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		c.Close()
+		return
+	}
+	r.conns[c] = struct{}{}
+}
+
+func (r *connReg) drop(c net.Conn) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.conns, c)
+}
+
+func (r *connReg) closeAll() {
+	r.cancel()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	for c := range r.conns {
+		c.Close()
+	}
+	r.conns = map[net.Conn]struct{}{}
+}
+
+// workerLoop executes jobs for one worker address: it dials lazily,
+// keeps the connection across jobs, and reports every outcome on
+// results. At most one job is in flight per worker, so a results buffer
+// with one slot per worker can never block a loop after the coordinator
+// stops receiving.
+func (ms *Master) workerLoop(ni int, q *query.Query, spec core.JobSpec, give <-chan job, results chan<- jobResult, reg *connReg) {
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			reg.drop(conn)
+			conn.Close()
+		}
+	}()
+	for jb := range give {
+		results <- ms.runJob(ni, q, spec, jb, &conn, reg)
+	}
+}
+
+// runJob performs one job attempt under the per-job deadline.
+func (ms *Master) runJob(ni int, q *query.Query, spec core.JobSpec, jb job, connp *net.Conn, reg *connReg) jobResult {
+	addr := ms.addrs[ni]
+	res := jobResult{worker: ni, job: jb}
+	t0 := time.Now()
+	deadline := t0.Add(ms.timeout)
+	// fail records a transport-level error and drops the connection: the
+	// stream may be out of sync, and the next attempt should redial.
+	fail := func(err error) jobResult {
+		res.err = err
+		res.elapsed = time.Since(t0)
+		if *connp != nil {
+			reg.drop(*connp)
+			(*connp).Close()
+			*connp = nil
+		}
+		return res
+	}
+	if *connp == nil {
+		d := net.Dialer{Deadline: deadline}
+		c, err := d.DialContext(reg.ctx, "tcp", addr)
+		if err != nil {
+			return fail(fmt.Errorf("dial %s: %w", addr, err))
+		}
+		*connp = c
+		reg.add(c)
+	}
+	conn := *connp
+	payload := wire.EncodeJobRequest(&wire.JobRequest{Spec: spec, PartID: jb.partID, Query: q})
+	conn.SetDeadline(deadline)
+	if err := WriteFrame(conn, payload); err != nil {
+		return fail(fmt.Errorf("send to %s: %w", addr, err))
+	}
+	res.sent = uint64(len(payload) + 4)
+	res.msgs++
+	respB, err := ReadFrame(conn)
+	if err != nil {
+		return fail(fmt.Errorf("receive from %s: %w", addr, err))
+	}
+	res.rcvd = uint64(len(respB) + 4)
+	res.msgs++
+	tag, err := wire.MessageTag(respB)
+	if err != nil {
+		return fail(fmt.Errorf("from %s: %w", addr, err))
+	}
+	switch tag {
+	case wire.TagWorkerError:
+		we, err := wire.DecodeWorkerError(respB)
+		if err != nil {
+			return fail(fmt.Errorf("decode from %s: %w", addr, err))
+		}
+		// The frame itself arrived intact, so the connection stays usable.
+		res.err = fmt.Errorf("worker %s partition %d: %w", addr, jb.partID, we)
+		res.fatal = we.Code == wire.ErrJobFailed
+		res.elapsed = time.Since(t0)
+		return res
+	case wire.TagJobResponse:
+		resp, err := wire.DecodeJobResponse(respB)
+		if err != nil {
+			return fail(fmt.Errorf("decode from %s: %w", addr, err))
+		}
+		if resp.Err != "" {
+			// Legacy in-band error. Current workers always use the explicit
+			// WorkerError frame, so this only fires on version skew; without
+			// an error code we cannot tell transit damage from a
+			// deterministic failure, and guessing "retryable" could burn the
+			// whole retry budget on a job every worker rejects. Fail fast.
+			res.err = fmt.Errorf("worker %s partition %d: %s", addr, jb.partID, resp.Err)
+			res.fatal = true
+			res.elapsed = time.Since(t0)
+			return res
+		}
+		res.resp = resp
+		res.elapsed = time.Since(t0)
+		return res
+	default:
+		return fail(fmt.Errorf("unexpected message tag %d from %s", tag, addr))
+	}
+}
+
+// Optimize runs MPQ over the remote workers. The spec's Workers field
+// sets the number of plan-space partitions; if it exceeds the number of
+// worker addresses, partitions are assigned round-robin (or by weight)
+// and executed sequentially per worker.
+//
+// Optimize survives worker failures: see the package comment for the
+// failure model. Whenever at least one worker survives and the retry
+// budget suffices, the returned plan is bit-identical to a failure-free
+// run, because responses are aggregated in partition-ID order.
+func (ms *Master) Optimize(q *query.Query, spec core.JobSpec) (*Answer, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(q.N()); err != nil {
+		return nil, err
+	}
+	q.Freeze() // the query is shared across worker goroutines
+	start := time.Now()
+	m := spec.Workers
+	k := len(ms.addrs)
+
+	// Seed each worker's own queue with its static share — preserving the
+	// weighted apportionment — and re-dispatch failures dynamically.
+	queues := make([][]job, k)
+	for ni, parts := range ms.assignPartitions(m) {
+		for _, p := range parts {
+			queues[ni] = append(queues[ni], job{partID: p})
+		}
+	}
+
+	gives := make([]chan job, k)
+	results := make(chan jobResult, k)
+	regCtx, regCancel := context.WithCancel(context.Background())
+	reg := &connReg{ctx: regCtx, cancel: regCancel, conns: map[net.Conn]struct{}{}}
+	var wg sync.WaitGroup
+	for ni := 0; ni < k; ni++ {
+		gives[ni] = make(chan job, 1)
+		wg.Add(1)
+		go func(ni int) {
+			defer wg.Done()
+			ms.workerLoop(ni, q, spec, gives[ni], results, reg)
+		}(ni)
+	}
+	defer func() {
+		for _, g := range gives {
+			close(g)
+		}
+		reg.closeAll() // cancels in-flight dials, closes open conns
+		wg.Wait()
+	}()
+
+	type partDone struct {
+		resp    *wire.JobResponse
+		elapsed time.Duration
+	}
+	done := make([]partDone, m)
+	nDone := 0
+	alive := make([]bool, k)
+	idle := make([]bool, k)
+	for i := range alive {
+		alive[i], idle[i] = true, true
+	}
+	aliveCount := k
+	consecFails := make([]int, k)
+	var retryQ []job
+	outstanding := 0
+	ans := &Answer{}
+
+	// failedOnAllAlive reports whether every surviving worker has already
+	// failed this job; if so, any survivor may retry it (the alternative
+	// is giving up while budget remains).
+	failedOnAllAlive := func(jb job) bool {
+		for ni := 0; ni < k; ni++ {
+			if alive[ni] && !slices.Contains(jb.failedOn, ni) {
+				return false
+			}
+		}
+		return true
+	}
+
+	dispatch := func() {
+		for ni := 0; ni < k; ni++ {
+			if !alive[ni] || !idle[ni] {
+				continue
+			}
+			var jb job
+			ok := false
+			if len(queues[ni]) > 0 {
+				jb, queues[ni] = queues[ni][0], queues[ni][1:]
+				ok = true
+			} else {
+				for i := range retryQ {
+					r := retryQ[i]
+					if !slices.Contains(r.failedOn, ni) || failedOnAllAlive(r) {
+						jb = r
+						retryQ = append(retryQ[:i], retryQ[i+1:]...)
+						ok = true
+						break
+					}
+				}
+			}
+			if ok {
+				idle[ni] = false
+				outstanding++
+				gives[ni] <- jb
+			}
+		}
+	}
+
+	for nDone < m {
+		if aliveCount == 0 {
+			return nil, fmt.Errorf("netrun: all %d workers failed with %d of %d partitions unanswered",
+				k, m-nDone, m)
+		}
+		dispatch()
+		if outstanding == 0 {
+			// Unreachable while a worker is alive: an idle survivor always
+			// accepts pending work. Guard against coordination bugs anyway.
+			return nil, fmt.Errorf("netrun: stalled with %d of %d partitions unanswered", m-nDone, m)
+		}
+		res := <-results
+		outstanding--
+		idle[res.worker] = true
+		ans.Net.BytesSent += res.sent
+		ans.Net.BytesReceived += res.rcvd
+		ans.Net.Messages += res.msgs
+		if res.err == nil {
+			consecFails[res.worker] = 0
+			done[res.job.partID] = partDone{resp: res.resp, elapsed: res.elapsed}
+			nDone++
+			continue
+		}
+		if res.fatal {
+			return nil, fmt.Errorf("netrun: %w", res.err)
+		}
+		// Transport-level failure: hold the worker accountable and
+		// re-dispatch the partition.
+		consecFails[res.worker]++
+		if consecFails[res.worker] >= ms.maxWorkerFailures {
+			alive[res.worker] = false
+			aliveCount--
+			// Hand the excluded worker's untouched share to the survivors.
+			retryQ = append(retryQ, queues[res.worker]...)
+			queues[res.worker] = nil
+		}
+		jb := res.job
+		jb.attempts++
+		jb.failedOn = append(jb.failedOn, res.worker)
+		if jb.attempts >= ms.maxAttempts {
+			return nil, fmt.Errorf("netrun: partition %d failed %d times, giving up: %w",
+				jb.partID, jb.attempts, res.err)
+		}
+		ans.Redispatched++
+		retryQ = append(retryQ, jb)
+	}
+
+	// Aggregate in partition-ID order: arrival order varies with retries
+	// and scheduling, but the answer must not.
+	frontiers := make([][]*plan.Node, 0, m)
+	for partID := 0; partID < m; partID++ {
+		pd := done[partID]
+		ans.Stats.Add(pd.resp.Stats)
+		if pd.resp.Stats.WorkUnits() > ans.MaxWorkerStats.WorkUnits() {
+			ans.MaxWorkerStats = pd.resp.Stats
+		}
+		if pd.elapsed > ans.MaxWorkerElapsed {
+			ans.MaxWorkerElapsed = pd.elapsed
+		}
+		ans.PerWorker = append(ans.PerWorker, core.WorkerReport{
+			PartID: partID, Plans: len(pd.resp.Plans), Stats: pd.resp.Stats, Elapsed: pd.elapsed,
+		})
+		frontiers = append(frontiers, pd.resp.Plans)
+	}
+	best, frontier, err := core.FinalPrune(spec, frontiers)
+	if err != nil {
+		return nil, err
+	}
+	ans.Best, ans.Frontier = best, frontier
+	ans.Elapsed = time.Since(start)
+	return ans, nil
+}

@@ -8,27 +8,49 @@
 // messages of internal/wire. A worker is stateless between queries; there
 // is no session setup beyond the TCP handshake, no worker↔worker
 // communication, and no shared state.
+//
+// # Failure model
+//
+// The master is fault tolerant. Plan-space partitions are disjoint and
+// workers are stateless, so a partition whose worker crashes, hangs, or
+// returns a damaged frame can be re-dispatched to any surviving worker
+// without affecting the optimality argument of Algorithm 1. Concretely:
+//
+//   - Every job attempt has an end-to-end deadline (Options.Timeout)
+//     covering dial, send, and receive. A hung worker is indistinguishable
+//     from a slow one until the deadline fires; then its job is retried
+//     elsewhere.
+//   - Transport-level failures (dial errors, resets, timeouts, truncated
+//     or corrupt frames, and wire.ErrBadRequest worker errors, which mean
+//     the request was damaged in transit) are retryable: the partition
+//     goes back into a re-dispatch queue, preferring workers that have
+//     not yet failed it. Each partition has an attempt budget
+//     (Options.MaxAttempts); exhausting it aborts the query.
+//   - Deterministic failures (wire.ErrJobFailed worker errors — the job
+//     decoded but the optimizer rejected it) are fatal immediately: every
+//     worker would fail identically.
+//   - A worker that fails Options.MaxWorkerFailures consecutive jobs is
+//     excluded for the rest of the query and its unstarted share is
+//     re-dispatched to the survivors.
+//
+// Results are aggregated in partition-ID order regardless of arrival
+// order or retries, so whenever at least one worker survives the answer
+// is bit-identical to a failure-free run.
 package netrun
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
-	"net"
-	"sort"
-	"sync"
-	"time"
-
-	"mpq/internal/core"
-	"mpq/internal/plan"
-	"mpq/internal/query"
-	"mpq/internal/wire"
 )
 
 // MaxFrameBytes caps a frame payload; the paper configured 1 GB maximum
 // message sizes for SMA's sake, and we keep the same ceiling.
 const MaxFrameBytes = 1 << 30
+
+// frameChunk bounds how much ReadFrame allocates ahead of the bytes
+// that have actually arrived.
+const frameChunk = 64 << 10
 
 // WriteFrame writes one length-prefixed frame.
 func WriteFrame(w io.Writer, payload []byte) error {
@@ -44,328 +66,48 @@ func WriteFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
-// ReadFrame reads one length-prefixed frame.
+// ReadFrame reads one length-prefixed frame. The payload buffer grows as
+// bytes actually arrive, so a malicious or corrupted length prefix
+// cannot force a huge up-front allocation.
 func ReadFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrameBytes {
-		return nil, fmt.Errorf("netrun: frame of %d bytes exceeds maximum %d", n, MaxFrameBytes)
+	n32 := binary.BigEndian.Uint32(hdr[:])
+	if n32 > MaxFrameBytes {
+		// Compare before converting: on 32-bit platforms int(n32) can wrap
+		// negative and would slip past this guard.
+		return nil, fmt.Errorf("netrun: frame of %d bytes exceeds maximum %d", n32, MaxFrameBytes)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, err
+	n := int(n32)
+	capHint := n
+	if capHint > frameChunk {
+		capHint = frameChunk
+	}
+	payload := make([]byte, 0, capHint)
+	for len(payload) < n {
+		step := n - len(payload)
+		if step > frameChunk {
+			step = frameChunk
+		}
+		if cap(payload)-len(payload) < step {
+			newCap := 2 * cap(payload)
+			if newCap < len(payload)+step {
+				newCap = len(payload) + step
+			}
+			if newCap > n {
+				newCap = n
+			}
+			grown := make([]byte, len(payload), newCap)
+			copy(grown, payload)
+			payload = grown
+		}
+		start := len(payload)
+		payload = payload[:start+step]
+		if _, err := io.ReadFull(r, payload[start:]); err != nil {
+			return nil, err
+		}
 	}
 	return payload, nil
-}
-
-// Worker is a TCP optimization worker. It serves job requests until
-// closed; each connection handles frames sequentially (a worker node
-// optimizes one partition at a time, like one Spark executor).
-type Worker struct {
-	ln     net.Listener
-	wg     sync.WaitGroup
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
-}
-
-// ListenWorker starts a worker on addr (e.g. "127.0.0.1:0") and begins
-// accepting connections in the background.
-func ListenWorker(addr string) (*Worker, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("netrun: listen: %w", err)
-	}
-	w := &Worker{ln: ln, conns: map[net.Conn]struct{}{}}
-	w.wg.Add(1)
-	go w.acceptLoop()
-	return w, nil
-}
-
-// Addr returns the worker's listen address.
-func (w *Worker) Addr() string { return w.ln.Addr().String() }
-
-func (w *Worker) acceptLoop() {
-	defer w.wg.Done()
-	for {
-		conn, err := w.ln.Accept()
-		if err != nil {
-			return // listener closed
-		}
-		w.mu.Lock()
-		if w.closed {
-			w.mu.Unlock()
-			conn.Close()
-			return
-		}
-		w.conns[conn] = struct{}{}
-		w.mu.Unlock()
-		w.wg.Add(1)
-		go w.serveConn(conn)
-	}
-}
-
-func (w *Worker) serveConn(conn net.Conn) {
-	defer w.wg.Done()
-	defer func() {
-		w.mu.Lock()
-		delete(w.conns, conn)
-		w.mu.Unlock()
-		conn.Close()
-	}()
-	for {
-		payload, err := ReadFrame(conn)
-		if err != nil {
-			return // EOF or closed
-		}
-		resp := handleRequest(payload)
-		if err := WriteFrame(conn, wire.EncodeJobResponse(resp)); err != nil {
-			return
-		}
-	}
-}
-
-// handleRequest decodes and executes one job; failures are reported
-// in-band so the master can distinguish worker errors from dead links.
-func handleRequest(payload []byte) *wire.JobResponse {
-	req, err := wire.DecodeJobRequest(payload)
-	if err != nil {
-		return &wire.JobResponse{Err: fmt.Sprintf("decode: %v", err)}
-	}
-	res, err := core.RunWorker(req.Query, req.Spec, req.PartID)
-	if err != nil {
-		return &wire.JobResponse{Err: err.Error()}
-	}
-	return &wire.JobResponse{Plans: res.Plans, Stats: res.Stats}
-}
-
-// Close stops accepting and tears down open connections.
-func (w *Worker) Close() error {
-	w.mu.Lock()
-	w.closed = true
-	conns := make([]net.Conn, 0, len(w.conns))
-	for c := range w.conns {
-		conns = append(conns, c)
-	}
-	w.mu.Unlock()
-	err := w.ln.Close()
-	for _, c := range conns {
-		c.Close()
-	}
-	w.wg.Wait()
-	return err
-}
-
-// NetStats records measured traffic of one distributed optimization.
-type NetStats struct {
-	BytesSent     uint64 // master → workers, payloads + frame headers
-	BytesReceived uint64 // workers → master
-	Messages      int
-}
-
-// Answer extends the in-process answer with measured network statistics.
-type Answer struct {
-	core.Answer
-	Net NetStats
-}
-
-// Master coordinates remote workers.
-type Master struct {
-	addrs   []string
-	weights []float64
-	timeout time.Duration
-}
-
-// NewMaster returns a master that will distribute work over the given
-// worker addresses. timeout bounds each worker's end-to-end job time
-// (zero means 2 minutes).
-func NewMaster(addrs []string, timeout time.Duration) (*Master, error) {
-	return NewWeightedMaster(addrs, nil, timeout)
-}
-
-// NewWeightedMaster additionally takes per-worker performance weights:
-// when there are more plan-space partitions than workers, worker i is
-// assigned a share of partitions proportional to weights[i] — the
-// paper's provision for heterogeneous nodes (§4.1, footnote 1). nil
-// weights mean homogeneous workers.
-func NewWeightedMaster(addrs []string, weights []float64, timeout time.Duration) (*Master, error) {
-	if len(addrs) == 0 {
-		return nil, errors.New("netrun: no worker addresses")
-	}
-	if weights != nil {
-		if len(weights) != len(addrs) {
-			return nil, fmt.Errorf("netrun: %d weights for %d workers", len(weights), len(addrs))
-		}
-		for i, w := range weights {
-			if !(w > 0) {
-				return nil, fmt.Errorf("netrun: weight %d is %g, must be positive", i, w)
-			}
-		}
-	}
-	if timeout <= 0 {
-		timeout = 2 * time.Minute
-	}
-	return &Master{addrs: addrs, weights: weights, timeout: timeout}, nil
-}
-
-// assignPartitions splits partition IDs 0..m-1 over the workers. With
-// nil weights it round-robins; with weights it hands out contiguous
-// shares proportional to each worker's performance (largest-remainder
-// rounding, every worker with weight > 0 and m >= workers gets at least
-// one partition when possible).
-func (ms *Master) assignPartitions(m int) [][]int {
-	k := len(ms.addrs)
-	out := make([][]int, k)
-	if ms.weights == nil {
-		for p := 0; p < m; p++ {
-			out[p%k] = append(out[p%k], p)
-		}
-		return out
-	}
-	var total float64
-	for _, w := range ms.weights {
-		total += w
-	}
-	// Largest-remainder apportionment of m partitions.
-	counts := make([]int, k)
-	type rem struct {
-		idx  int
-		frac float64
-	}
-	rems := make([]rem, k)
-	assigned := 0
-	for i, w := range ms.weights {
-		exact := float64(m) * w / total
-		counts[i] = int(exact)
-		rems[i] = rem{idx: i, frac: exact - float64(counts[i])}
-		assigned += counts[i]
-	}
-	sort.Slice(rems, func(a, b int) bool { return rems[a].frac > rems[b].frac })
-	for i := 0; assigned < m; i++ {
-		counts[rems[i%k].idx]++
-		assigned++
-	}
-	p := 0
-	for i, c := range counts {
-		for j := 0; j < c; j++ {
-			out[i] = append(out[i], p)
-			p++
-		}
-	}
-	return out
-}
-
-// Optimize runs MPQ over the remote workers. The spec's Workers field
-// sets the number of plan-space partitions; if it exceeds the number of
-// worker addresses, partitions are assigned round-robin and executed
-// sequentially per worker (several executors per node, as in the paper's
-// Spark deployment, would simply mean more addresses).
-func (ms *Master) Optimize(q *query.Query, spec core.JobSpec) (*Answer, error) {
-	if err := q.Validate(); err != nil {
-		return nil, err
-	}
-	if err := spec.Validate(q.N()); err != nil {
-		return nil, err
-	}
-	start := time.Now()
-	m := spec.Workers
-
-	type nodeResult struct {
-		resps   map[int]*wire.JobResponse // partID -> response
-		sent    uint64
-		rcvd    uint64
-		msgs    int
-		elapsed map[int]time.Duration
-		err     error
-	}
-	perNode := make([]nodeResult, len(ms.addrs))
-	assignment := ms.assignPartitions(m)
-
-	var wg sync.WaitGroup
-	for ni := range ms.addrs {
-		parts := assignment[ni]
-		if len(parts) == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(ni int, parts []int) {
-			defer wg.Done()
-			nr := nodeResult{resps: map[int]*wire.JobResponse{}, elapsed: map[int]time.Duration{}}
-			defer func() { perNode[ni] = nr }()
-			conn, err := net.DialTimeout("tcp", ms.addrs[ni], ms.timeout)
-			if err != nil {
-				nr.err = fmt.Errorf("dial %s: %w", ms.addrs[ni], err)
-				return
-			}
-			defer conn.Close()
-			for _, partID := range parts {
-				t0 := time.Now()
-				payload := wire.EncodeJobRequest(&wire.JobRequest{Spec: spec, PartID: partID, Query: q})
-				conn.SetDeadline(time.Now().Add(ms.timeout))
-				if err := WriteFrame(conn, payload); err != nil {
-					nr.err = fmt.Errorf("send to %s: %w", ms.addrs[ni], err)
-					return
-				}
-				nr.sent += uint64(len(payload) + 4)
-				respB, err := ReadFrame(conn)
-				if err != nil {
-					nr.err = fmt.Errorf("receive from %s: %w", ms.addrs[ni], err)
-					return
-				}
-				nr.rcvd += uint64(len(respB) + 4)
-				nr.msgs += 2
-				resp, err := wire.DecodeJobResponse(respB)
-				if err != nil {
-					nr.err = fmt.Errorf("decode from %s: %w", ms.addrs[ni], err)
-					return
-				}
-				if resp.Err != "" {
-					nr.err = fmt.Errorf("worker %s partition %d: %s", ms.addrs[ni], partID, resp.Err)
-					return
-				}
-				nr.resps[partID] = resp
-				nr.elapsed[partID] = time.Since(t0)
-			}
-		}(ni, parts)
-	}
-	wg.Wait()
-
-	ans := &Answer{}
-	frontiers := make([][]*plan.Node, 0, m)
-	got := 0
-	for _, nr := range perNode {
-		if nr.err != nil {
-			return nil, fmt.Errorf("netrun: %w", nr.err)
-		}
-		ans.Net.BytesSent += nr.sent
-		ans.Net.BytesReceived += nr.rcvd
-		ans.Net.Messages += nr.msgs
-		for partID, resp := range nr.resps {
-			got++
-			ans.Stats.Add(resp.Stats)
-			if resp.Stats.WorkUnits() > ans.MaxWorkerStats.WorkUnits() {
-				ans.MaxWorkerStats = resp.Stats
-			}
-			if e := nr.elapsed[partID]; e > ans.MaxWorkerElapsed {
-				ans.MaxWorkerElapsed = e
-			}
-			ans.PerWorker = append(ans.PerWorker, core.WorkerReport{
-				PartID: partID, Plans: len(resp.Plans), Stats: resp.Stats, Elapsed: nr.elapsed[partID],
-			})
-			frontiers = append(frontiers, resp.Plans)
-		}
-	}
-	if got != m {
-		return nil, fmt.Errorf("netrun: %d of %d partitions answered", got, m)
-	}
-	best, frontier, err := core.FinalPrune(spec, frontiers)
-	if err != nil {
-		return nil, err
-	}
-	ans.Best, ans.Frontier = best, frontier
-	ans.Elapsed = time.Since(start)
-	return ans, nil
 }

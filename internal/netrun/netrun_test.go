@@ -195,12 +195,12 @@ func TestWorkerSurvivesGarbageFrame(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := wire.DecodeJobResponse(respB)
+	we, err := wire.DecodeWorkerError(respB)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(resp.Err, "decode") {
-		t.Fatalf("expected decode error, got %+v", resp)
+	if we.Code != wire.ErrBadRequest || !strings.Contains(we.Msg, "decode") {
+		t.Fatalf("expected bad-request decode error, got %+v", we)
 	}
 	// The worker must still serve valid requests on the same connection.
 	q := gen(t, 6, 0)
@@ -215,7 +215,7 @@ func TestWorkerSurvivesGarbageFrame(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err = wire.DecodeJobResponse(respB)
+	resp, err := wire.DecodeJobResponse(respB)
 	if err != nil {
 		t.Fatal(err)
 	}

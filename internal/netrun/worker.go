@@ -1,0 +1,114 @@
+package netrun
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"mpq/internal/core"
+	"mpq/internal/wire"
+)
+
+// Worker is a TCP optimization worker. It serves job requests until
+// closed; each connection handles frames sequentially (a worker node
+// optimizes one partition at a time, like one Spark executor).
+type Worker struct {
+	ln     net.Listener
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// ListenWorker starts a worker on addr (e.g. "127.0.0.1:0") and begins
+// accepting connections in the background.
+func ListenWorker(addr string) (*Worker, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netrun: listen: %w", err)
+	}
+	w := &Worker{ln: ln, conns: map[net.Conn]struct{}{}}
+	w.wg.Add(1)
+	go w.acceptLoop()
+	return w, nil
+}
+
+// Addr returns the worker's listen address.
+func (w *Worker) Addr() string { return w.ln.Addr().String() }
+
+func (w *Worker) acceptLoop() {
+	defer w.wg.Done()
+	for {
+		conn, err := w.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			conn.Close()
+			return
+		}
+		w.conns[conn] = struct{}{}
+		w.mu.Unlock()
+		w.wg.Add(1)
+		go w.serveConn(conn)
+	}
+}
+
+func (w *Worker) serveConn(conn net.Conn) {
+	defer w.wg.Done()
+	defer func() {
+		w.mu.Lock()
+		delete(w.conns, conn)
+		w.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		payload, err := ReadFrame(conn)
+		if err != nil {
+			return // EOF or closed
+		}
+		if err := WriteFrame(conn, handleRequest(payload)); err != nil {
+			return
+		}
+	}
+}
+
+// handleRequest decodes and executes one job. Failures are reported with
+// an explicit wire.WorkerError frame so the master can distinguish a
+// request damaged in transit (ErrBadRequest — the master validates jobs
+// before sending, so re-dispatch can help) from a deterministic job
+// failure (ErrJobFailed — every worker would fail identically).
+func handleRequest(payload []byte) []byte {
+	req, err := wire.DecodeJobRequest(payload)
+	if err != nil {
+		return wire.EncodeWorkerError(&wire.WorkerError{
+			Code: wire.ErrBadRequest, Msg: fmt.Sprintf("decode: %v", err),
+		})
+	}
+	res, err := core.RunWorker(req.Query, req.Spec, req.PartID)
+	if err != nil {
+		return wire.EncodeWorkerError(&wire.WorkerError{
+			Code: wire.ErrJobFailed, Msg: err.Error(),
+		})
+	}
+	return wire.EncodeJobResponse(&wire.JobResponse{Plans: res.Plans, Stats: res.Stats})
+}
+
+// Close stops accepting and tears down open connections.
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	w.closed = true
+	conns := make([]net.Conn, 0, len(w.conns))
+	for c := range w.conns {
+		conns = append(conns, c)
+	}
+	w.mu.Unlock()
+	err := w.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	w.wg.Wait()
+	return err
+}

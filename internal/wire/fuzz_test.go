@@ -25,6 +25,7 @@ func seedCorpus(f *testing.F) {
 	}
 	f.Add(EncodePlan(res.Best()))
 	f.Add(EncodeJobResponse(&JobResponse{Plans: res.Plans, Stats: res.Stats}))
+	f.Add(EncodeWorkerError(&WorkerError{Code: ErrBadRequest, Msg: "decode: bad magic"}))
 	f.Add([]byte{})
 	f.Add([]byte{0x50, 0x4d, 1, 1})
 }
@@ -68,6 +69,23 @@ func FuzzDecodeJobRequest(f *testing.F) {
 		}
 		if err := r.Spec.Validate(r.Query.N()); err != nil {
 			t.Fatalf("decoder accepted invalid spec: %v", err)
+		}
+	})
+}
+
+func FuzzDecodeWorkerError(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		w, err := DecodeWorkerError(b)
+		if err != nil {
+			return
+		}
+		got, err := DecodeWorkerError(EncodeWorkerError(w))
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if got.Code != w.Code || got.Msg != w.Msg {
+			t.Fatal("re-encode changed the message")
 		}
 	})
 }

@@ -1,6 +1,8 @@
 package wire
 
 import (
+	"fmt"
+
 	"mpq/internal/core"
 	"mpq/internal/cost"
 	"mpq/internal/partition"
@@ -29,7 +31,7 @@ type JobResponse struct {
 // EncodeJobRequest serializes a request.
 func EncodeJobRequest(r *JobRequest) []byte {
 	e := &encoder{}
-	e.header(tagJobRequest)
+	e.header(TagJobRequest)
 	e.u8(uint8(r.Spec.Space))
 	e.u32(uint32(r.Spec.Workers))
 	e.u8(uint8(r.Spec.Objective))
@@ -49,7 +51,7 @@ func EncodeJobRequest(r *JobRequest) []byte {
 // DecodeJobRequest parses a request.
 func DecodeJobRequest(b []byte) (*JobRequest, error) {
 	d := &decoder{b: b}
-	d.header(tagJobRequest)
+	d.header(TagJobRequest)
 	r := &JobRequest{}
 	r.Spec.Space = partition.Space(d.u8())
 	r.Spec.Workers = int(d.u32())
@@ -73,10 +75,77 @@ func DecodeJobRequest(b []byte) (*JobRequest, error) {
 	return r, nil
 }
 
+// ErrCode classifies a worker-side failure so the master can decide
+// whether re-dispatching the partition to another worker can help.
+type ErrCode uint8
+
+const (
+	// ErrBadRequest means the request frame did not decode on the worker.
+	// The master validates every job before sending, so this indicates the
+	// frame was damaged in transit (or version skew) — retryable.
+	ErrBadRequest ErrCode = 1
+	// ErrJobFailed means the request decoded but the optimizer rejected or
+	// failed the job. Workers are deterministic, so another worker would
+	// fail identically — fatal, never retried.
+	ErrJobFailed ErrCode = 2
+)
+
+// String names the error code.
+func (c ErrCode) String() string {
+	switch c {
+	case ErrBadRequest:
+		return "bad-request"
+	case ErrJobFailed:
+		return "job-failed"
+	default:
+		return fmt.Sprintf("ErrCode(%d)", uint8(c))
+	}
+}
+
+// WorkerError is the explicit worker-to-master failure frame: instead of
+// smuggling errors inside a JobResponse, a failing worker answers with
+// this dedicated message so the master can separate deterministic job
+// failures (fatal) from transport damage (retryable) without guessing
+// from error strings.
+type WorkerError struct {
+	Code ErrCode
+	Msg  string
+}
+
+// Error formats the frame as a Go error string.
+func (w *WorkerError) Error() string {
+	return fmt.Sprintf("worker error (%v): %s", w.Code, w.Msg)
+}
+
+// EncodeWorkerError serializes a worker-error frame.
+func EncodeWorkerError(w *WorkerError) []byte {
+	e := &encoder{}
+	e.header(TagWorkerError)
+	e.u8(uint8(w.Code))
+	e.str(w.Msg)
+	return e.buf
+}
+
+// DecodeWorkerError parses a worker-error frame.
+func DecodeWorkerError(b []byte) (*WorkerError, error) {
+	d := &decoder{b: b}
+	d.header(TagWorkerError)
+	w := &WorkerError{Code: ErrCode(d.u8()), Msg: d.str()}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	switch w.Code {
+	case ErrBadRequest, ErrJobFailed:
+	default:
+		return nil, fmt.Errorf("wire: unknown worker error code %d", uint8(w.Code))
+	}
+	return w, nil
+}
+
 // EncodeJobResponse serializes a response.
 func EncodeJobResponse(r *JobResponse) []byte {
 	e := &encoder{}
-	e.header(tagJobResponse)
+	e.header(TagJobResponse)
 	e.str(r.Err)
 	encodeStats(e, r.Stats)
 	e.u32(uint32(len(r.Plans)))
@@ -89,7 +158,7 @@ func EncodeJobResponse(r *JobResponse) []byte {
 // DecodeJobResponse parses a response.
 func DecodeJobResponse(b []byte) (*JobResponse, error) {
 	d := &decoder{b: b}
-	d.header(tagJobResponse)
+	d.header(TagJobResponse)
 	r := &JobResponse{}
 	r.Err = d.str()
 	r.Stats = decodeStats(d)

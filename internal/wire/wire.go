@@ -24,21 +24,45 @@ const Version = 1
 
 const magic = 0x4D50 // "MP"
 
-// message type tags.
+// Message type tags. They are exported so transports can classify a
+// frame (MessageTag) without decoding the body — the master needs this
+// to tell a worker-error frame from a job response.
 const (
-	tagQuery       = 1
-	tagPlan        = 2
-	tagJobRequest  = 3
-	tagJobResponse = 4
+	TagQuery       uint8 = 1
+	TagPlan        uint8 = 2
+	TagJobRequest  uint8 = 3
+	TagJobResponse uint8 = 4
+	TagWorkerError uint8 = 5
 )
+
+// MessageTag reports the message type tag of an encoded message after
+// checking the magic and version, without decoding the body.
+func MessageTag(b []byte) (uint8, error) {
+	if len(b) < 4 {
+		return 0, fmt.Errorf("wire: message of %d bytes has no header", len(b))
+	}
+	if m := binary.LittleEndian.Uint16(b); m != magic {
+		return 0, fmt.Errorf("wire: bad magic 0x%04x", m)
+	}
+	if v := b[2]; v != Version {
+		return 0, fmt.Errorf("wire: unsupported version %d", v)
+	}
+	return b[3], nil
+}
 
 // encoder appends primitive values to a byte slice.
 type encoder struct {
 	buf []byte
 }
 
-func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
-func (e *encoder) bool(v bool)  { e.u8(map[bool]uint8{false: 0, true: 1}[v]) }
+func (e *encoder) u8(v uint8) { e.buf = append(e.buf, v) }
+func (e *encoder) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
 func (e *encoder) u16(v uint16) { e.buf = binary.LittleEndian.AppendUint16(e.buf, v) }
 func (e *encoder) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
 func (e *encoder) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
@@ -162,7 +186,7 @@ func (d *decoder) finish() error {
 // paper's network analysis (Theorem 1).
 func EncodeQuery(q *query.Query) []byte {
 	e := &encoder{}
-	e.header(tagQuery)
+	e.header(TagQuery)
 	encodeQueryBody(e, q)
 	return e.buf
 }
@@ -186,7 +210,7 @@ func encodeQueryBody(e *encoder, q *query.Query) {
 // DecodeQuery parses a query message.
 func DecodeQuery(b []byte) (*query.Query, error) {
 	d := &decoder{b: b}
-	d.header(tagQuery)
+	d.header(TagQuery)
 	q := decodeQueryBody(d)
 	if err := d.finish(); err != nil {
 		return nil, err
@@ -246,7 +270,7 @@ func decodeQueryBody(d *decoder) *query.Query {
 // with the plan so the master can prune without re-deriving costs.
 func EncodePlan(p *plan.Node) []byte {
 	e := &encoder{}
-	e.header(tagPlan)
+	e.header(TagPlan)
 	encodePlanBody(e, p)
 	return e.buf
 }
@@ -273,7 +297,7 @@ func encodePlanBody(e *encoder, p *plan.Node) {
 // DecodePlan parses a plan message.
 func DecodePlan(b []byte) (*plan.Node, error) {
 	d := &decoder{b: b}
-	d.header(tagPlan)
+	d.header(TagPlan)
 	p := decodePlanBody(d, 0)
 	if err := d.finish(); err != nil {
 		return nil, err

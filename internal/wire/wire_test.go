@@ -69,7 +69,7 @@ func TestQueryDecodeRejectsCorruption(t *testing.T) {
 		t.Fatal("bad version accepted")
 	}
 	bad = append([]byte{}, good...)
-	bad[3] = tagPlan
+	bad[3] = TagPlan
 	if _, err := DecodeQuery(bad); err == nil {
 		t.Fatal("wrong tag accepted")
 	}

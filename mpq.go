@@ -121,6 +121,12 @@ type (
 	TCPMaster = netrun.Master
 	// TCPAnswer is a distributed answer with measured network stats.
 	TCPAnswer = netrun.Answer
+	// MasterOptions configures the fault-tolerant TCP master: per-job
+	// deadline, per-partition retry budget, worker-exclusion threshold,
+	// and per-worker weights.
+	MasterOptions = netrun.Options
+	// ClusterFaults scripts worker deaths for the cluster simulator.
+	ClusterFaults = cluster.Faults
 )
 
 // Plan spaces.
@@ -215,6 +221,23 @@ func ListenWorker(addr string) (*TCPWorker, error) { return netrun.ListenWorker(
 // given worker addresses.
 func NewMaster(addrs []string, timeout time.Duration) (*TCPMaster, error) {
 	return netrun.NewMaster(addrs, timeout)
+}
+
+// NewMasterWithOptions returns a TCP master with full fault-tolerance
+// configuration: per-job deadlines, partition re-dispatch with a retry
+// budget, and exclusion of repeatedly failing workers. See the
+// internal/netrun package documentation for the failure model.
+func NewMasterWithOptions(addrs []string, opts MasterOptions) (*TCPMaster, error) {
+	return netrun.NewMasterWithOptions(addrs, opts)
+}
+
+// SimulateMPQWithFaults runs MPQ on the simulated cluster while the
+// scripted workers die mid-query: the master detects each death after
+// faults.DetectTimeout of virtual time and re-dispatches the partition
+// to a survivor. Plans are bit-identical to the failure-free run; the
+// metrics expose the recovery overhead.
+func SimulateMPQWithFaults(model ClusterModel, q *Query, spec JobSpec, faults ClusterFaults) (*ClusterResult, error) {
+	return cluster.RunMPQWithFaults(model, q, spec, faults)
 }
 
 // EncodeQuery serializes a query into the wire format used between

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	mpqbench -experiment fig1|fig2|fig3|fig4|fig5|table1|speedups|all [flags]
+//	mpqbench -experiment fig1|fig2|fig3|fig4|fig5|table1|speedups|workloads|all [flags]
 //
 // Flags:
 //
@@ -33,7 +33,7 @@ func main() {
 }
 
 func run() error {
-	experiment := flag.String("experiment", "all", "which experiment to run (fig1..fig5, table1, speedups, all)")
+	experiment := flag.String("experiment", "all", "which experiment to run (fig1..fig5, table1, speedups, workloads, all)")
 	full := flag.Bool("full", false, "paper-scale sizes (slow)")
 	queries := flag.Int("queries", 0, "queries per data point (0 = scale default)")
 	seed := flag.Int64("seed", 0, "base workload seed")
@@ -117,10 +117,18 @@ func run() error {
 			render([]*experiments.Table{experiments.SpeedupsTable(rows, *real)})
 			return nil
 		},
+		"workloads": func() error {
+			rows, err := experiments.Workloads(cfg)
+			if err != nil {
+				return err
+			}
+			render([]*experiments.Table{experiments.WorkloadsTable(rows)})
+			return nil
+		},
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "table1", "speedups"} {
+		for _, name := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "table1", "speedups", "workloads"} {
 			if err := runners[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -1,10 +1,16 @@
-// Command mpqgen generates random benchmark queries by the Steinbrunn
-// et al. method (the paper's workload, §6.1) and writes them as JSON
-// specs for cmd/mpqopt, optionally with the backing catalog.
+// Command mpqgen generates benchmark queries as JSON specs for
+// cmd/mpqopt, optionally with the backing catalog: random queries by the
+// Steinbrunn et al. method (the paper's workload, §6.1) or fixed
+// TPC-style schema queries at a configurable scale factor.
 //
 // Usage:
 //
 //	mpqgen -tables 12 -shape Star -seed 7 -out query.json -catalog cat.json
+//	mpqgen -tables 13 -shape Snowflake -branching 3 -correlation 0.8
+//	mpqgen -schema tpch -sf 10 -out query.json
+//	mpqgen -schema-file myschema.json -sf 0.1
+//
+// See docs/workloads.md for the full workload guide.
 package main
 
 import (
@@ -12,7 +18,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
+	"mpq/internal/catalog"
+	"mpq/internal/query"
 	"mpq/internal/spec"
 	"mpq/internal/workload"
 )
@@ -25,29 +34,80 @@ func main() {
 }
 
 func run() error {
-	tables := flag.Int("tables", 8, "number of tables")
-	shape := flag.String("shape", "Star", "join graph shape (Star, Chain, Cycle, Clique)")
+	tables := flag.Int("tables", 8, "number of tables (random workloads)")
+	shape := flag.String("shape", "Star",
+		"join graph shape ("+strings.Join(workload.ShapeNames(), ", ")+")")
 	seed := flag.Int64("seed", 0, "generation seed")
 	out := flag.String("out", "-", "query spec output file (- for stdout)")
 	catOut := flag.String("catalog", "", "also write the catalog JSON here")
 	minCard := flag.Float64("min-card", 0, "override minimum table cardinality")
 	maxCard := flag.Float64("max-card", 0, "override maximum table cardinality")
+	branching := flag.Int("branching", 0, "override Snowflake fan-out (default 3)")
+	correlation := flag.Float64("correlation", 0,
+		"predicate correlation in [-1,1]: 0 = independent selectivities, >0 correlated (less selective), <0 anti-correlated")
+	schemaName := flag.String("schema", "",
+		"generate the canonical join query of a built-in TPC-style schema ("+
+			strings.Join(catalog.SchemaNames(), ", ")+") instead of a random workload")
+	schemaFile := flag.String("schema-file", "", "like -schema, but load the schema definition from a JSON file")
+	sf := flag.Float64("sf", 1, "scale factor for -schema/-schema-file")
 	flag.Parse()
 
-	sh, err := workload.ParseShape(*shape)
-	if err != nil {
-		return err
-	}
-	params := workload.NewParams(*tables, sh)
-	if *minCard > 0 {
-		params.MinCard = *minCard
-	}
-	if *maxCard > 0 {
-		params.MaxCard = *maxCard
-	}
-	cat, q, err := workload.Generate(params, *seed)
-	if err != nil {
-		return err
+	var (
+		cat     *catalog.Catalog
+		q       *query.Query
+		summary string
+	)
+	switch {
+	case *schemaName != "" && *schemaFile != "":
+		return fmt.Errorf("-schema and -schema-file are mutually exclusive")
+	case *schemaName != "" || *schemaFile != "":
+		// Schema queries are fixed: reject random-workload flags rather
+		// than silently ignoring them.
+		randomFlags := map[string]bool{
+			"tables": true, "shape": true, "seed": true,
+			"min-card": true, "max-card": true, "branching": true, "correlation": true,
+		}
+		var conflict error
+		flag.Visit(func(f *flag.Flag) {
+			if randomFlags[f.Name] && conflict == nil {
+				conflict = fmt.Errorf("-%s only applies to random workloads; it cannot be combined with -schema/-schema-file", f.Name)
+			}
+		})
+		if conflict != nil {
+			return conflict
+		}
+		sch, err := loadSchema(*schemaName, *schemaFile)
+		if err != nil {
+			return err
+		}
+		cat, q, err = workload.FromSchema(sch, *sf)
+		if err != nil {
+			return err
+		}
+		summary = fmt.Sprintf("generated %d-table %s query at scale factor %g (%d predicates)",
+			q.N(), sch.Name, *sf, len(q.Preds))
+	default:
+		sh, err := workload.ParseShape(*shape)
+		if err != nil {
+			return err
+		}
+		params := workload.NewParams(*tables, sh)
+		if *minCard > 0 {
+			params.MinCard = *minCard
+		}
+		if *maxCard > 0 {
+			params.MaxCard = *maxCard
+		}
+		if *branching > 0 {
+			params.Branching = *branching
+		}
+		params.Correlation = *correlation
+		cat, q, err = workload.Generate(params, *seed)
+		if err != nil {
+			return err
+		}
+		summary = fmt.Sprintf("generated %d-table %v query (seed %d, %d predicates)",
+			*tables, sh, *seed, len(q.Preds))
 	}
 
 	if err := withWriter(*out, func(w io.Writer) error {
@@ -60,9 +120,20 @@ func run() error {
 			return err
 		}
 	}
-	fmt.Fprintf(os.Stderr, "generated %d-table %v query (seed %d, %d predicates)\n",
-		*tables, sh, *seed, len(q.Preds))
+	fmt.Fprintln(os.Stderr, summary)
 	return nil
+}
+
+func loadSchema(name, file string) (*catalog.Schema, error) {
+	if name != "" {
+		return catalog.BuiltinSchema(name)
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return catalog.ReadSchemaJSON(f)
 }
 
 func withWriter(path string, fn func(io.Writer) error) error {

@@ -72,7 +72,8 @@ func runMaster(args []string) error {
 	workers := fs.String("workers", "", "comma-separated worker addresses")
 	queryFile := fs.String("query", "", "JSON query spec (- for stdin)")
 	tables := fs.Int("tables", 0, "generate a random query with this many tables")
-	shape := fs.String("shape", "Star", "join graph shape for -tables")
+	shape := fs.String("shape", "Star",
+		"join graph shape for -tables ("+strings.Join(workload.ShapeNames(), ", ")+")")
 	seed := fs.Int64("seed", 0, "workload seed for -tables")
 	space := fs.String("space", "linear", "plan space: linear or bushy")
 	partitions := fs.Int("partitions", 0, "plan-space partitions (default: number of workers rounded down to a power of two)")

@@ -6,6 +6,7 @@
 //
 //	mpqopt -query q.json [flags]
 //	mpqopt -tables 12 -shape Star -seed 3 [flags]
+//	mpqopt -schema tpch -sf 1 [flags]
 //
 // Flags:
 //
@@ -23,6 +24,7 @@ import (
 	"os"
 	"strings"
 
+	"mpq/internal/catalog"
 	"mpq/internal/cluster"
 	"mpq/internal/core"
 	"mpq/internal/mo"
@@ -43,8 +45,13 @@ func main() {
 func run() error {
 	queryFile := flag.String("query", "", "JSON query spec file (- for stdin)")
 	tables := flag.Int("tables", 0, "generate a random query with this many tables")
-	shape := flag.String("shape", "Star", "join graph shape for -tables (Star, Chain, Cycle, Clique)")
+	shape := flag.String("shape", "Star",
+		"join graph shape for -tables ("+strings.Join(workload.ShapeNames(), ", ")+")")
 	seed := flag.Int64("seed", 0, "workload seed for -tables")
+	schemaName := flag.String("schema", "",
+		"optimize the canonical join query of a built-in TPC-style schema ("+
+			strings.Join(catalog.SchemaNames(), ", ")+")")
+	sf := flag.Float64("sf", 1, "scale factor for -schema")
 	space := flag.String("space", "linear", "plan space: linear or bushy")
 	workers := flag.Int("workers", 1, "number of plan-space partitions (power of two)")
 	multi := flag.Bool("mo", false, "multi-objective optimization (time + buffer)")
@@ -56,7 +63,7 @@ func run() error {
 	dot := flag.Bool("dot", false, "emit the best plan as a Graphviz digraph instead of a tree")
 	flag.Parse()
 
-	q, err := loadQuery(*queryFile, *tables, *shape, *seed)
+	q, err := loadQuery(*queryFile, *tables, *shape, *seed, *schemaName, *sf)
 	if err != nil {
 		return err
 	}
@@ -123,12 +130,25 @@ func run() error {
 	return nil
 }
 
-func loadQuery(file string, tables int, shape string, seed int64) (*query.Query, error) {
+func loadQuery(file string, tables int, shape string, seed int64, schemaName string, sf float64) (*query.Query, error) {
+	sources := 0
+	for _, set := range []bool{file != "", tables != 0, schemaName != ""} {
+		if set {
+			sources++
+		}
+	}
 	switch {
-	case file == "" && tables == 0:
-		return nil, fmt.Errorf("provide -query FILE or -tables N")
-	case file != "" && tables != 0:
-		return nil, fmt.Errorf("-query and -tables are mutually exclusive")
+	case sources == 0:
+		return nil, fmt.Errorf("provide -query FILE, -tables N or -schema NAME")
+	case sources > 1:
+		return nil, fmt.Errorf("-query, -tables and -schema are mutually exclusive")
+	case schemaName != "":
+		sch, err := catalog.BuiltinSchema(schemaName)
+		if err != nil {
+			return nil, err
+		}
+		_, q, err := workload.FromSchema(sch, sf)
+		return q, err
 	case file == "-":
 		return spec.Read(os.Stdin)
 	case file != "":

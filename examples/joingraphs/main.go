@@ -17,8 +17,8 @@ import (
 func main() {
 	const n = 12
 	fmt.Printf("optimizing %d-table queries, one per join-graph shape (Linear space, 8 workers)\n\n", n)
-	fmt.Printf("%-8s %-12s %-12s %-10s %-24s\n", "shape", "work units", "best cost", "joins", "join order")
-	for _, shape := range []mpq.Shape{mpq.Chain, mpq.Star, mpq.Cycle, mpq.Clique} {
+	fmt.Printf("%-10s %-12s %-12s %-10s %-24s\n", "shape", "work units", "best cost", "joins", "join order")
+	for _, shape := range []mpq.Shape{mpq.Chain, mpq.Star, mpq.Cycle, mpq.Clique, mpq.Snowflake} {
 		_, q, err := mpq.GenerateWorkload(mpq.NewWorkloadParams(n, shape), 11)
 		if err != nil {
 			log.Fatal(err)
@@ -27,10 +27,23 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-8v %-12d %-12.4g %-10d %v\n",
+		fmt.Printf("%-10v %-12d %-12.4g %-10d %v\n",
 			shape, ans.Stats.WorkUnits(), ans.Best.Cost, ans.Best.CountJoins(), ans.Best.JoinOrder())
 	}
 
 	fmt.Println("\nwork units differ by only a few percent across shapes — the")
 	fmt.Println("plan-space size depends on the table count, not the predicates.")
+
+	// The fixed TPC-style schemas give realistic statistics instead of
+	// random ones (see docs/workloads.md).
+	_, tpch, err := mpq.SchemaWorkload(mpq.TPCHSchema(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ans, err := mpq.Optimize(tpch, mpq.JobSpec{Space: mpq.Linear, Workers: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nTPC-H sf=1 (%d tables): best cost %.4g, join order %v\n",
+		tpch.N(), ans.Best.Cost, ans.Best.JoinOrder())
 }

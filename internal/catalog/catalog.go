@@ -6,6 +6,12 @@
 // with each query or distributed ahead of time. Catalog is that statistics
 // store; internal/wire serializes the query-specific extract of it that
 // the master ships to workers.
+//
+// Catalogs come from three sources: random generation
+// (internal/workload), JSON files (ReadJSON/WriteJSON), and TPC-style
+// schema definitions instantiated at a scale factor (Schema.Build; see
+// schema.go for the built-in TPC-H/TPC-DS-style schemas and the JSON
+// schema format). docs/workloads.md walks through all three.
 package catalog
 
 import (

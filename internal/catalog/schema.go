@@ -1,0 +1,328 @@
+// TPC-style schemas: fixed table/attribute definitions whose row and
+// domain counts grow with a scale factor, as in the TPC-H and TPC-DS
+// benchmark specifications. A Schema is the generator-side description;
+// Build instantiates it into a Catalog at a concrete scale factor.
+//
+// Schemas are plain JSON-serializable values, so custom schemas can be
+// loaded from files (ReadSchemaJSON) and the built-ins exported for
+// editing (Schema.WriteJSON). internal/workload.FromSchema turns a
+// schema into the canonical foreign-key join query over its tables.
+
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Scaling describes how a count grows with the scale factor.
+type Scaling string
+
+const (
+	// ScaleFixed counts are independent of the scale factor (e.g. the
+	// 25 nations of TPC-H, date dimensions, enumeration domains).
+	ScaleFixed Scaling = "fixed"
+	// ScaleLinear counts are multiplied by the scale factor (fact and
+	// large dimension tables, their key domains).
+	ScaleLinear Scaling = "linear"
+)
+
+// valid reports whether s is a known scaling rule; the empty string is
+// accepted as ScaleFixed so hand-written JSON can omit it.
+func (s Scaling) valid() bool {
+	return s == "" || s == ScaleFixed || s == ScaleLinear
+}
+
+// apply scales a base count by the scale factor, rounding to at least 1.
+func (s Scaling) apply(base, sf float64) float64 {
+	if s == ScaleLinear {
+		base *= sf
+	}
+	return math.Max(1, math.Round(base))
+}
+
+// SchemaAttribute is one column definition: its domain (distinct value
+// count) at scale factor 1 plus the rule for scaling it.
+type SchemaAttribute struct {
+	Name    string  `json:"name"`
+	Domain  int64   `json:"domain"`
+	Scaling Scaling `json:"scaling,omitempty"`
+}
+
+// SchemaTable is one relation definition: its cardinality at scale
+// factor 1 plus the rule for scaling it.
+type SchemaTable struct {
+	Name        string            `json:"name"`
+	Cardinality float64           `json:"cardinality"`
+	Scaling     Scaling           `json:"scaling,omitempty"`
+	Attributes  []SchemaAttribute `json:"attributes"`
+}
+
+// SchemaJoin is one canonical foreign-key equality join of the schema,
+// referencing tables and attributes by name.
+type SchemaJoin struct {
+	Left      string `json:"left"`
+	LeftAttr  string `json:"leftAttr"`
+	Right     string `json:"right"`
+	RightAttr string `json:"rightAttr"`
+}
+
+// Schema is a TPC-style benchmark schema: named tables with
+// scale-factor-dependent statistics and the canonical join graph that
+// connects them.
+type Schema struct {
+	Name   string        `json:"name"`
+	Tables []SchemaTable `json:"tables"`
+	Joins  []SchemaJoin  `json:"joins,omitempty"`
+}
+
+// Validate returns the first structural problem with the schema: empty
+// or duplicate names, non-positive counts, unknown scaling rules, or
+// joins referencing absent tables/attributes.
+func (s *Schema) Validate() error {
+	if len(s.Tables) == 0 {
+		return fmt.Errorf("catalog: schema %q has no tables", s.Name)
+	}
+	attrs := map[string]map[string]bool{}
+	for i, t := range s.Tables {
+		if t.Name == "" {
+			return fmt.Errorf("catalog: schema %q table %d has no name", s.Name, i)
+		}
+		if attrs[t.Name] != nil {
+			return fmt.Errorf("catalog: schema %q duplicates table %q", s.Name, t.Name)
+		}
+		if t.Cardinality <= 0 {
+			return fmt.Errorf("catalog: schema table %q cardinality %g not positive", t.Name, t.Cardinality)
+		}
+		if !t.Scaling.valid() {
+			return fmt.Errorf("catalog: schema table %q has unknown scaling %q", t.Name, t.Scaling)
+		}
+		attrs[t.Name] = map[string]bool{}
+		for j, a := range t.Attributes {
+			if a.Name == "" {
+				return fmt.Errorf("catalog: schema table %q attribute %d has no name", t.Name, j)
+			}
+			if attrs[t.Name][a.Name] {
+				return fmt.Errorf("catalog: schema table %q duplicates attribute %q", t.Name, a.Name)
+			}
+			attrs[t.Name][a.Name] = true
+			if a.Domain <= 0 {
+				return fmt.Errorf("catalog: schema attribute %q.%q domain %d not positive", t.Name, a.Name, a.Domain)
+			}
+			if !a.Scaling.valid() {
+				return fmt.Errorf("catalog: schema attribute %q.%q has unknown scaling %q", t.Name, a.Name, a.Scaling)
+			}
+		}
+	}
+	for i, j := range s.Joins {
+		for _, end := range [][2]string{{j.Left, j.LeftAttr}, {j.Right, j.RightAttr}} {
+			ta := attrs[end[0]]
+			if ta == nil {
+				return fmt.Errorf("catalog: schema join %d references unknown table %q", i, end[0])
+			}
+			if !ta[end[1]] {
+				return fmt.Errorf("catalog: schema join %d references unknown attribute %q.%q", i, end[0], end[1])
+			}
+		}
+		if j.Left == j.Right {
+			return fmt.Errorf("catalog: schema join %d joins table %q with itself", i, j.Left)
+		}
+	}
+	return nil
+}
+
+// Build instantiates the schema into a catalog at the given scale
+// factor: cardinalities and domains are scaled by their rules, rounded,
+// and domains capped by their table's cardinality (a column cannot have
+// more distinct values than rows). Build is deterministic — no random
+// draws — so the same (schema, sf) always produces the same catalog.
+func (s *Schema) Build(sf float64) (*Catalog, error) {
+	if !(sf > 0) || math.IsInf(sf, 0) {
+		return nil, fmt.Errorf("catalog: scale factor %g must be positive and finite", sf)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	c := New()
+	for _, st := range s.Tables {
+		card := st.Scaling.apply(st.Cardinality, sf)
+		t := Table{Name: st.Name, Cardinality: card}
+		for _, sa := range st.Attributes {
+			dom := int64(sa.Scaling.apply(float64(sa.Domain), sf))
+			if float64(dom) > card {
+				dom = int64(card)
+			}
+			t.Attributes = append(t.Attributes, Attribute{Name: sa.Name, Domain: dom})
+		}
+		if _, err := c.AddTable(t); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// WriteJSON serializes the schema definition (not a built catalog —
+// Catalog.WriteJSON does that) as indented JSON.
+func (s *Schema) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadSchemaJSON parses and validates a schema definition previously
+// written by Schema.WriteJSON (or hand-authored; scaling rules default
+// to "fixed" when omitted).
+func ReadSchemaJSON(r io.Reader) (*Schema, error) {
+	var s Schema
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("catalog: decode schema: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// builtinSchemas maps name → constructor for the schemas shipped with
+// the repository.
+var builtinSchemas = map[string]func() *Schema{
+	"tpch":  TPCH,
+	"tpcds": TPCDS,
+}
+
+// SchemaNames lists the built-in schema names in sorted order.
+func SchemaNames() []string {
+	out := make([]string, 0, len(builtinSchemas))
+	for name := range builtinSchemas {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BuiltinSchema returns the named built-in schema (see SchemaNames).
+func BuiltinSchema(name string) (*Schema, error) {
+	mk, ok := builtinSchemas[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown schema %q (have %v)", name, SchemaNames())
+	}
+	return mk(), nil
+}
+
+// TPCH returns a TPC-H-style schema: the eight relations of the TPC-H
+// specification with their scale-factor-1 row counts, key domains
+// scaling linearly with the scale factor, and the canonical foreign-key
+// join graph (lineitem at the center, nation/region shared by customer
+// and supplier). Statistics follow the spec's population rules; they
+// are inputs to cost estimation, not row generators.
+func TPCH() *Schema {
+	return &Schema{
+		Name: "tpch",
+		Tables: []SchemaTable{
+			{Name: "region", Cardinality: 5, Attributes: []SchemaAttribute{
+				{Name: "regionkey", Domain: 5},
+			}},
+			{Name: "nation", Cardinality: 25, Attributes: []SchemaAttribute{
+				{Name: "nationkey", Domain: 25},
+				{Name: "regionkey", Domain: 5},
+			}},
+			{Name: "supplier", Cardinality: 10000, Scaling: ScaleLinear, Attributes: []SchemaAttribute{
+				{Name: "suppkey", Domain: 10000, Scaling: ScaleLinear},
+				{Name: "nationkey", Domain: 25},
+			}},
+			{Name: "customer", Cardinality: 150000, Scaling: ScaleLinear, Attributes: []SchemaAttribute{
+				{Name: "custkey", Domain: 150000, Scaling: ScaleLinear},
+				{Name: "nationkey", Domain: 25},
+				{Name: "mktsegment", Domain: 5},
+			}},
+			{Name: "part", Cardinality: 200000, Scaling: ScaleLinear, Attributes: []SchemaAttribute{
+				{Name: "partkey", Domain: 200000, Scaling: ScaleLinear},
+				{Name: "brand", Domain: 25},
+				{Name: "type", Domain: 150},
+				{Name: "size", Domain: 50},
+			}},
+			{Name: "partsupp", Cardinality: 800000, Scaling: ScaleLinear, Attributes: []SchemaAttribute{
+				{Name: "partkey", Domain: 200000, Scaling: ScaleLinear},
+				{Name: "suppkey", Domain: 10000, Scaling: ScaleLinear},
+			}},
+			{Name: "orders", Cardinality: 1500000, Scaling: ScaleLinear, Attributes: []SchemaAttribute{
+				{Name: "orderkey", Domain: 1500000, Scaling: ScaleLinear},
+				{Name: "custkey", Domain: 99996, Scaling: ScaleLinear},
+				{Name: "orderdate", Domain: 2406},
+				{Name: "orderpriority", Domain: 5},
+			}},
+			{Name: "lineitem", Cardinality: 6000000, Scaling: ScaleLinear, Attributes: []SchemaAttribute{
+				{Name: "orderkey", Domain: 1500000, Scaling: ScaleLinear},
+				{Name: "partkey", Domain: 200000, Scaling: ScaleLinear},
+				{Name: "suppkey", Domain: 10000, Scaling: ScaleLinear},
+				{Name: "shipdate", Domain: 2526},
+				{Name: "returnflag", Domain: 3},
+			}},
+		},
+		Joins: []SchemaJoin{
+			{Left: "lineitem", LeftAttr: "orderkey", Right: "orders", RightAttr: "orderkey"},
+			{Left: "lineitem", LeftAttr: "partkey", Right: "part", RightAttr: "partkey"},
+			{Left: "lineitem", LeftAttr: "suppkey", Right: "supplier", RightAttr: "suppkey"},
+			{Left: "partsupp", LeftAttr: "partkey", Right: "part", RightAttr: "partkey"},
+			{Left: "orders", LeftAttr: "custkey", Right: "customer", RightAttr: "custkey"},
+			{Left: "customer", LeftAttr: "nationkey", Right: "nation", RightAttr: "nationkey"},
+			{Left: "supplier", LeftAttr: "nationkey", Right: "nation", RightAttr: "nationkey"},
+			{Left: "nation", LeftAttr: "regionkey", Right: "region", RightAttr: "regionkey"},
+		},
+	}
+}
+
+// TPCDS returns a TPC-DS-style snowflake schema: the store_sales fact
+// table fanning out to date, item, store and customer dimensions, with
+// customer snowflaking further into address and demographics
+// sub-dimensions — the shape that motivates the Snowflake workload
+// generator, here with the benchmark's fixed statistics instead of
+// random ones.
+func TPCDS() *Schema {
+	return &Schema{
+		Name: "tpcds",
+		Tables: []SchemaTable{
+			{Name: "store_sales", Cardinality: 2880000, Scaling: ScaleLinear, Attributes: []SchemaAttribute{
+				{Name: "sold_date_sk", Domain: 1823},
+				{Name: "item_sk", Domain: 18000, Scaling: ScaleLinear},
+				{Name: "customer_sk", Domain: 100000, Scaling: ScaleLinear},
+				{Name: "store_sk", Domain: 12, Scaling: ScaleLinear},
+			}},
+			{Name: "date_dim", Cardinality: 73049, Attributes: []SchemaAttribute{
+				{Name: "date_sk", Domain: 73049},
+				{Name: "year", Domain: 200},
+			}},
+			{Name: "item", Cardinality: 18000, Scaling: ScaleLinear, Attributes: []SchemaAttribute{
+				{Name: "item_sk", Domain: 18000, Scaling: ScaleLinear},
+				{Name: "category", Domain: 10},
+			}},
+			{Name: "store", Cardinality: 12, Scaling: ScaleLinear, Attributes: []SchemaAttribute{
+				{Name: "store_sk", Domain: 12, Scaling: ScaleLinear},
+				{Name: "county", Domain: 30},
+			}},
+			{Name: "customer", Cardinality: 100000, Scaling: ScaleLinear, Attributes: []SchemaAttribute{
+				{Name: "customer_sk", Domain: 100000, Scaling: ScaleLinear},
+				{Name: "address_sk", Domain: 50000, Scaling: ScaleLinear},
+				{Name: "cdemo_sk", Domain: 1920800},
+			}},
+			{Name: "customer_address", Cardinality: 50000, Scaling: ScaleLinear, Attributes: []SchemaAttribute{
+				{Name: "address_sk", Domain: 50000, Scaling: ScaleLinear},
+				{Name: "state", Domain: 51},
+			}},
+			{Name: "customer_demographics", Cardinality: 1920800, Attributes: []SchemaAttribute{
+				{Name: "demo_sk", Domain: 1920800},
+			}},
+		},
+		Joins: []SchemaJoin{
+			{Left: "store_sales", LeftAttr: "sold_date_sk", Right: "date_dim", RightAttr: "date_sk"},
+			{Left: "store_sales", LeftAttr: "item_sk", Right: "item", RightAttr: "item_sk"},
+			{Left: "store_sales", LeftAttr: "store_sk", Right: "store", RightAttr: "store_sk"},
+			{Left: "store_sales", LeftAttr: "customer_sk", Right: "customer", RightAttr: "customer_sk"},
+			{Left: "customer", LeftAttr: "address_sk", Right: "customer_address", RightAttr: "address_sk"},
+			{Left: "customer", LeftAttr: "cdemo_sk", Right: "customer_demographics", RightAttr: "demo_sk"},
+		},
+	}
+}

@@ -1,0 +1,237 @@
+package catalog
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with the current output")
+
+func TestBuiltinSchemasValid(t *testing.T) {
+	names := SchemaNames()
+	if len(names) == 0 {
+		t.Fatal("no built-in schemas")
+	}
+	for _, name := range names {
+		s, err := BuiltinSchema(name)
+		if err != nil {
+			t.Fatalf("BuiltinSchema(%q): %v", name, err)
+		}
+		if s.Name != name {
+			t.Errorf("schema %q reports name %q", name, s.Name)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("schema %q invalid: %v", name, err)
+		}
+	}
+	if _, err := BuiltinSchema("nope"); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+}
+
+func TestSchemaValidateRejects(t *testing.T) {
+	ok := func() *Schema {
+		return &Schema{Name: "s", Tables: []SchemaTable{
+			{Name: "a", Cardinality: 10, Attributes: []SchemaAttribute{{Name: "k", Domain: 10}}},
+			{Name: "b", Cardinality: 20, Attributes: []SchemaAttribute{{Name: "k", Domain: 10}}},
+		}, Joins: []SchemaJoin{{Left: "a", LeftAttr: "k", Right: "b", RightAttr: "k"}}}
+	}
+	if err := ok().Validate(); err != nil {
+		t.Fatalf("valid schema rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Schema)
+	}{
+		{"no tables", func(s *Schema) { s.Tables = nil }},
+		{"empty table name", func(s *Schema) { s.Tables[0].Name = "" }},
+		{"duplicate table", func(s *Schema) { s.Tables[1].Name = "a" }},
+		{"bad cardinality", func(s *Schema) { s.Tables[0].Cardinality = 0 }},
+		{"bad table scaling", func(s *Schema) { s.Tables[0].Scaling = "cubic" }},
+		{"empty attr name", func(s *Schema) { s.Tables[0].Attributes[0].Name = "" }},
+		{"duplicate attr", func(s *Schema) {
+			s.Tables[0].Attributes = append(s.Tables[0].Attributes, SchemaAttribute{Name: "k", Domain: 2})
+		}},
+		{"bad domain", func(s *Schema) { s.Tables[0].Attributes[0].Domain = -1 }},
+		{"bad attr scaling", func(s *Schema) { s.Tables[0].Attributes[0].Scaling = "log" }},
+		{"join unknown table", func(s *Schema) { s.Joins[0].Left = "zzz" }},
+		{"join unknown attr", func(s *Schema) { s.Joins[0].RightAttr = "zzz" }},
+		{"self join", func(s *Schema) { s.Joins[0].Right = "a" }},
+	}
+	for _, tc := range cases {
+		s := ok()
+		tc.mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestSchemaBuildScaling(t *testing.T) {
+	s := TPCH()
+	sf1, err := s.Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf10, err := s.Build(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	li1, _ := sf1.Lookup("lineitem")
+	li10, _ := sf10.Lookup("lineitem")
+	if got := sf10.Table(li10).Cardinality; got != 10*sf1.Table(li1).Cardinality {
+		t.Fatalf("lineitem did not scale linearly: %g", got)
+	}
+	n1, _ := sf1.Lookup("nation")
+	n10, _ := sf10.Lookup("nation")
+	if sf1.Table(n1).Cardinality != 25 || sf10.Table(n10).Cardinality != 25 {
+		t.Fatal("nation cardinality should be fixed at 25")
+	}
+	// Fractional scale factors round but never drop below one row, and
+	// domains stay capped by cardinality.
+	tiny, err := s.Build(0.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tiny.Len(); i++ {
+		tbl := tiny.Table(i)
+		if tbl.Cardinality < 1 {
+			t.Fatalf("table %q scaled below one row", tbl.Name)
+		}
+		for _, a := range tbl.Attributes {
+			if float64(a.Domain) > tbl.Cardinality {
+				t.Fatalf("%q.%q domain %d exceeds cardinality %g", tbl.Name, a.Name, a.Domain, tbl.Cardinality)
+			}
+		}
+	}
+	if _, err := s.Build(0); err == nil {
+		t.Fatal("zero scale factor accepted")
+	}
+	if _, err := s.Build(-1); err == nil {
+		t.Fatal("negative scale factor accepted")
+	}
+}
+
+func TestSchemaJSONRoundTrip(t *testing.T) {
+	for _, name := range SchemaNames() {
+		orig, err := BuiltinSchema(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := orig.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadSchemaJSON(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var again bytes.Buffer
+		if err := got.WriteJSON(&again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+			t.Fatalf("%s: schema JSON did not round-trip byte-identically", name)
+		}
+		// The round-tripped schema builds the same catalog.
+		c1, err := orig.Build(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := got.Build(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var j1, j2 bytes.Buffer
+		if err := c1.WriteJSON(&j1); err != nil {
+			t.Fatal(err)
+		}
+		if err := c2.WriteJSON(&j2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
+			t.Fatalf("%s: built catalogs differ after schema round-trip", name)
+		}
+	}
+}
+
+func TestReadSchemaJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadSchemaJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadSchemaJSON(strings.NewReader(`{"name":"x","tables":[]}`)); err == nil {
+		t.Fatal("empty schema accepted")
+	}
+}
+
+// TestCatalogJSONRoundTripSchemas pins JSON round-trips of the built
+// TPC-style catalogs: every table, cardinality and attribute survives.
+func TestCatalogJSONRoundTripSchemas(t *testing.T) {
+	for _, name := range SchemaNames() {
+		s, err := BuiltinSchema(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := s.Build(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := c.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.Len() != c.Len() {
+			t.Fatalf("%s: round trip Len = %d want %d", name, got.Len(), c.Len())
+		}
+		for i := 0; i < c.Len(); i++ {
+			a, b := c.Table(i), got.Table(i)
+			if a.Name != b.Name || a.Cardinality != b.Cardinality {
+				t.Fatalf("%s: table %d mismatch: %+v vs %+v", name, i, a, b)
+			}
+			if len(a.Attributes) != len(b.Attributes) {
+				t.Fatalf("%s: table %q attribute count mismatch", name, a.Name)
+			}
+			for j := range a.Attributes {
+				if a.Attributes[j] != b.Attributes[j] {
+					t.Fatalf("%s: %q attribute %d mismatch", name, a.Name, j)
+				}
+			}
+		}
+	}
+}
+
+// TestTPCHGolden pins the scale-factor-1 TPC-H catalog byte-for-byte
+// against testdata/tpch_sf1.golden.json, so accidental changes to the
+// built-in statistics fail CI rather than silently shifting every
+// benchmark result. Regenerate deliberately with -update.
+func TestTPCHGolden(t *testing.T) {
+	c, err := TPCH().Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "tpch_sf1.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("TPC-H sf=1 catalog drifted from %s.\nIf the change is deliberate, regenerate with:\n  go test ./internal/catalog -run TestTPCHGolden -update\ngot:\n%s", golden, buf.String())
+	}
+}

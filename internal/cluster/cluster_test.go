@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"mpq/internal/catalog"
 	"mpq/internal/core"
 	"mpq/internal/dp"
 	"mpq/internal/partition"
@@ -57,6 +58,45 @@ func TestSimulationMatchesInProcess(t *testing.T) {
 			if !approx(sim.Best.Cost, local.Best.Cost) {
 				t.Fatalf("m=%d seed=%d: sim %g != local %g", m, seed, sim.Best.Cost, local.Best.Cost)
 			}
+		}
+	}
+}
+
+// The equivalence must hold on every workload family: all join-graph
+// shapes (including the snowflake fan-out), correlated selectivities,
+// and the fixed TPC-style schema queries.
+func TestSimulationMatchesInProcessOnAllWorkloads(t *testing.T) {
+	var queries []*query.Query
+	for _, shape := range workload.Shapes {
+		params := workload.NewParams(9, shape)
+		queries = append(queries, workload.MustGenerate(params, 7))
+		params.Correlation = 0.8
+		queries = append(queries, workload.MustGenerate(params, 7))
+	}
+	for _, name := range catalog.SchemaNames() {
+		sch, err := catalog.BuiltinSchema(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, q, err := workload.FromSchema(sch, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries = append(queries, q)
+	}
+	for i, q := range queries {
+		spec := core.JobSpec{Space: partition.Linear, Workers: 4}
+		sim, err := RunMPQ(Default(), q, spec)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		local, err := core.Optimize(q, spec)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		simBytes, localBytes := wire.EncodePlan(sim.Best), wire.EncodePlan(local.Best)
+		if !bytes.Equal(simBytes, localBytes) {
+			t.Fatalf("query %d: simulated and in-process plans differ", i)
 		}
 	}
 }

@@ -26,6 +26,43 @@ func tiny() Config {
 	return c
 }
 
+// TestWorkloadsSweep checks the realistic-workload sweep: one row per
+// join-graph shape (including Snowflake), a correlated-star row, and
+// one row per built-in TPC-style schema, all with positive measurements
+// — and the sweep must be deterministic for a fixed config.
+func TestWorkloadsSweep(t *testing.T) {
+	cfg := tiny()
+	rows, err := Workloads(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.Workload] = true
+		if r.TimeMs <= 0 || r.Bytes <= 0 || r.Memo <= 0 || r.Workers < 1 {
+			t.Fatalf("%s: non-positive measurement %+v", r.Workload, r)
+		}
+	}
+	for _, want := range []string{"Star", "Chain", "Cycle", "Clique", "Snowflake", "Star(corr=0.8)", "tpch(sf=1)", "tpcds(sf=1)"} {
+		if !names[want] {
+			t.Errorf("sweep missing workload %q (have %v)", want, names)
+		}
+	}
+	again, err := Workloads(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if rows[i] != again[i] {
+			t.Fatalf("row %d not deterministic: %+v vs %+v", i, rows[i], again[i])
+		}
+	}
+	table := WorkloadsTable(rows)
+	if len(table.Rows) != len(rows) || len(table.Columns) != 7 {
+		t.Fatalf("table shape wrong: %d rows, %d cols", len(table.Rows), len(table.Columns))
+	}
+}
+
 func TestMedian(t *testing.T) {
 	if median([]float64{3, 1, 2}) != 2 {
 		t.Fatal("odd median")

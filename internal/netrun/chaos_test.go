@@ -117,8 +117,10 @@ func TestAnyMinorityFaultedBitIdentical(t *testing.T) {
 // distributed-failure-free, and the in-process engine must agree on plan
 // fingerprints and costs exactly.
 func TestEndToEndEquivalenceUnderRandomFaults(t *testing.T) {
-	shapes := []workload.Shape{workload.Star, workload.Chain, workload.Cycle, workload.Clique}
-	iters := 8
+	// Snowflake first so the short run covers the newest shape; every
+	// third iteration stresses correlated selectivities.
+	shapes := []workload.Shape{workload.Snowflake, workload.Star, workload.Chain, workload.Cycle, workload.Clique}
+	iters := 10
 	if testing.Short() {
 		iters = 4
 	}
@@ -126,7 +128,11 @@ func TestEndToEndEquivalenceUnderRandomFaults(t *testing.T) {
 	for it := 0; it < iters; it++ {
 		shape := shapes[it%len(shapes)]
 		n := 7 + it%3
-		q := workload.MustGenerate(workload.NewParams(n, shape), int64(100+it))
+		params := workload.NewParams(n, shape)
+		if it%3 == 0 {
+			params.Correlation = 0.7
+		}
+		q := workload.MustGenerate(params, int64(100+it))
 		spec := core.JobSpec{Space: partition.Linear, Workers: 8}
 		if it%2 == 1 {
 			spec = core.JobSpec{Space: partition.Bushy, Workers: 4}

@@ -5,30 +5,82 @@ import (
 	"strings"
 	"testing"
 
+	"mpq/internal/catalog"
+	"mpq/internal/query"
 	"mpq/internal/workload"
 )
 
+// specQueries covers every workload family: all random shapes
+// (including Snowflake), a correlated variant, and the TPC-style schema
+// queries.
+func specQueries(t *testing.T) map[string]*query.Query {
+	t.Helper()
+	out := map[string]*query.Query{}
+	for _, shape := range workload.Shapes {
+		params := workload.NewParams(6, shape)
+		out[shape.String()] = workload.MustGenerate(params, 3)
+		params.Correlation = 0.6
+		out[shape.String()+"-corr"] = workload.MustGenerate(params, 3)
+	}
+	for _, name := range catalog.SchemaNames() {
+		sch, err := catalog.BuiltinSchema(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, q, err := workload.FromSchema(sch, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = q
+	}
+	return out
+}
+
 func TestRoundTrip(t *testing.T) {
-	q := workload.MustGenerate(workload.NewParams(6, workload.Cycle), 3)
-	var buf bytes.Buffer
-	if err := FromQuery(q).Write(&buf); err != nil {
-		t.Fatal(err)
-	}
-	got, err := Read(&buf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got.N() != q.N() || len(got.Preds) != len(q.Preds) {
-		t.Fatal("shape changed")
-	}
-	for i := range q.Tables {
-		if got.Tables[i] != q.Tables[i] {
-			t.Fatalf("table %d changed", i)
+	for name, q := range specQueries(t) {
+		var buf bytes.Buffer
+		if err := FromQuery(q).Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.N() != q.N() || len(got.Preds) != len(q.Preds) {
+			t.Fatalf("%s: shape changed", name)
+		}
+		for i := range q.Tables {
+			if got.Tables[i] != q.Tables[i] {
+				t.Fatalf("%s: table %d changed", name, i)
+			}
+		}
+		for i := range q.Preds {
+			if got.Preds[i] != q.Preds[i] {
+				t.Fatalf("%s: pred %d changed", name, i)
+			}
 		}
 	}
-	for i := range q.Preds {
-		if got.Preds[i] != q.Preds[i] {
-			t.Fatalf("pred %d changed", i)
+}
+
+// TestSpecsDeterministic pins the determinism contract: the same
+// (Params, seed) — or (schema, sf) — must serialize to byte-identical
+// JSON specs across runs.
+func TestSpecsDeterministic(t *testing.T) {
+	first := map[string][]byte{}
+	for name, q := range specQueries(t) {
+		var buf bytes.Buffer
+		if err := FromQuery(q).Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		first[name] = buf.Bytes()
+	}
+	for name, q := range specQueries(t) {
+		var buf bytes.Buffer
+		if err := FromQuery(q).Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first[name], buf.Bytes()) {
+			t.Fatalf("%s: regenerated spec differs byte-wise", name)
 		}
 	}
 }

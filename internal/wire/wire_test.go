@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"mpq/internal/catalog"
 	"mpq/internal/core"
 	"mpq/internal/cost"
 	"mpq/internal/dp"
@@ -38,6 +39,48 @@ func TestQueryRoundTrip(t *testing.T) {
 		for i := range q.Preds {
 			if got.Preds[i] != q.Preds[i] {
 				t.Fatalf("pred %d: %+v != %+v", i, got.Preds[i], q.Preds[i])
+			}
+		}
+	}
+}
+
+// The wire extract of the catalog (names, cardinalities, attribute
+// ordinals, selectivities) must round-trip for the new workload
+// families too: snowflake graphs, correlated selectivities, and the
+// fixed TPC-style schema queries with their named tables.
+func TestQueryRoundTripNewWorkloads(t *testing.T) {
+	var queries []*query.Query
+	params := workload.NewParams(10, workload.Snowflake)
+	queries = append(queries, workload.MustGenerate(params, 4))
+	params.Correlation = -0.5
+	queries = append(queries, workload.MustGenerate(params, 4))
+	for _, name := range catalog.SchemaNames() {
+		sch, err := catalog.BuiltinSchema(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, q, err := workload.FromSchema(sch, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries = append(queries, q)
+	}
+	for qi, q := range queries {
+		got, err := DecodeQuery(EncodeQuery(q))
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		if got.N() != q.N() || len(got.Preds) != len(q.Preds) {
+			t.Fatalf("query %d: shape mismatch after round trip", qi)
+		}
+		for i := range q.Tables {
+			if got.Tables[i] != q.Tables[i] {
+				t.Fatalf("query %d table %d: %+v != %+v", qi, i, got.Tables[i], q.Tables[i])
+			}
+		}
+		for i := range q.Preds {
+			if got.Preds[i] != q.Preds[i] {
+				t.Fatalf("query %d pred %d: %+v != %+v", qi, i, got.Preds[i], q.Preds[i])
 			}
 		}
 	}

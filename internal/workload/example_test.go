@@ -1,0 +1,71 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"mpq/internal/catalog"
+	"mpq/internal/workload"
+)
+
+// Generate builds a random Steinbrunn-style query: the same (Params,
+// seed) always produces the same catalog and query.
+func ExampleGenerate() {
+	params := workload.NewParams(4, workload.Star)
+	cat, q, err := workload.Generate(params, 42)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d tables, %d predicates\n", q.N(), len(q.Preds))
+	fmt.Printf("catalog tables: %d\n", cat.Len())
+	for _, p := range q.Preds {
+		fmt.Printf("T%d ⋈ T%d  sel=%.6f\n", p.Left, p.Right, p.Selectivity)
+	}
+	// Output:
+	// 4 tables, 3 predicates
+	// catalog tables: 4
+	// T0 ⋈ T1  sel=0.045455
+	// T0 ⋈ T2  sel=0.008065
+	// T0 ⋈ T3  sel=0.005848
+}
+
+// The Snowflake shape arranges tables as a fact → dimension →
+// sub-dimension tree with Params.Branching children per node;
+// cardinalities shrink by about a decade per level.
+func ExampleGenerate_snowflake() {
+	params := workload.NewParams(7, workload.Snowflake)
+	params.Branching = 2
+	_, q, err := workload.Generate(params, 1)
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range q.Preds {
+		fmt.Printf("T%d -> T%d\n", p.Left, p.Right)
+	}
+	fact := q.Tables[0].Cardinality
+	leaf := q.Tables[6].Cardinality
+	fmt.Printf("fact is %dx larger than the last sub-dimension\n", int(fact/leaf))
+	// Output:
+	// T0 -> T1
+	// T0 -> T2
+	// T1 -> T3
+	// T1 -> T4
+	// T2 -> T5
+	// T2 -> T6
+	// fact is 120x larger than the last sub-dimension
+}
+
+// FromSchema turns a TPC-style schema into the canonical foreign-key
+// join query over its tables — no random draws, so the result depends
+// only on the schema and the scale factor.
+func ExampleFromSchema() {
+	cat, q, err := workload.FromSchema(catalog.TPCH(), 1)
+	if err != nil {
+		panic(err)
+	}
+	li, _ := cat.Lookup("lineitem")
+	fmt.Printf("%d tables, %d joins\n", q.N(), len(q.Preds))
+	fmt.Printf("lineitem: %.0f rows\n", cat.Table(li).Cardinality)
+	// Output:
+	// 8 tables, 8 joins
+	// lineitem: 6000000 rows
+}

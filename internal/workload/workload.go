@@ -1,12 +1,26 @@
-// Package workload generates random join queries by the method of
-// Steinbrunn et al. [19], which the paper uses for all its experiments
-// (§6.1): random table cardinalities and attribute domain sizes, equality
-// predicates with selectivity 1/max(domain), and configurable join-graph
-// shapes (chain, star, cycle, clique).
+// Package workload generates benchmark join queries.
 //
-// Generation is fully deterministic given (Params, seed), so every
-// experiment is reproducible and workers could regenerate queries from a
-// seed instead of receiving them over the network.
+// Two families are supported:
+//
+//   - Random queries by the method of Steinbrunn et al. [19], which the
+//     paper uses for all its experiments (§6.1): random table
+//     cardinalities and attribute domain sizes, equality predicates with
+//     selectivity 1/max(domain), and configurable join-graph shapes
+//     (chain, star, cycle, clique — plus a snowflake extension with a
+//     fact→dimension→sub-dimension fan-out). A correlation knob warps
+//     the independence selectivity estimates per edge to stress pruners
+//     with skewed cost landscapes.
+//
+//   - Fixed TPC-style schema queries (FromSchema): the canonical
+//     foreign-key join over a catalog.Schema (built-in TPC-H/TPC-DS-style
+//     or loaded from JSON) at a configurable scale factor.
+//
+// Generation is fully deterministic given (Params, seed) — same inputs,
+// byte-identical query specs — so every experiment is reproducible and
+// workers could regenerate queries from a seed instead of receiving them
+// over the network. Schema queries take no random draws at all.
+//
+// See docs/workloads.md for a guide covering every generator and flag.
 package workload
 
 import (
@@ -31,10 +45,28 @@ const (
 	Cycle
 	// Clique connects every table pair.
 	Clique
+	// Snowflake arranges the tables as a complete Params.Branching-ary
+	// tree rooted at table 0: the fact table joins the first-level
+	// dimensions, each dimension joins its sub-dimensions, and so on
+	// (table i>0 attaches to table (i-1)/Branching). Cardinalities are
+	// drawn one decade lower per level, so facts are large and leaf
+	// dimensions small — the skew of a real star/snowflake schema.
+	Snowflake
 )
 
 // Shapes lists all join-graph shapes in a stable order.
-var Shapes = [...]Shape{Star, Chain, Cycle, Clique}
+var Shapes = [...]Shape{Star, Chain, Cycle, Clique, Snowflake}
+
+// ShapeNames returns the names of all join-graph shapes, in Shapes
+// order. Command-line tools build their -shape usage strings from this
+// so the help text cannot drift from the implementation.
+func ShapeNames() []string {
+	out := make([]string, len(Shapes))
+	for i, s := range Shapes {
+		out[i] = s.String()
+	}
+	return out
+}
 
 // String names the shape as in Figure 3.
 func (s Shape) String() string {
@@ -47,6 +79,8 @@ func (s Shape) String() string {
 		return "Cycle"
 	case Clique:
 		return "Clique"
+	case Snowflake:
+		return "Snowflake"
 	default:
 		return fmt.Sprintf("Shape(%d)", int(s))
 	}
@@ -65,7 +99,8 @@ func ParseShape(s string) (Shape, error) {
 
 // Params configures query generation. NewParams supplies the documented
 // defaults (log-uniform cardinalities in [10, 100000], log-uniform
-// attribute domains in [2, 1000], 4 attributes per table).
+// attribute domains in [2, 1000], 4 attributes per table, snowflake
+// branching 3, independent selectivities).
 type Params struct {
 	Tables        int
 	Shape         Shape
@@ -74,6 +109,23 @@ type Params struct {
 	MinDomain     int64
 	MaxDomain     int64
 	AttrsPerTable int
+	// Branching is the fan-out of the Snowflake shape: every non-fact
+	// table has up to Branching children. Ignored by the other shapes.
+	// Branching 1 degenerates to a chain.
+	Branching int
+	// Correlation warps the independence selectivity estimate per edge
+	// to model correlated predicates. For each edge a factor
+	// c = Correlation·u with u ~ U[0,1) is drawn deterministically from
+	// the seed and the selectivity becomes sel^(1-c):
+	//
+	//	 0  — independence (the Steinbrunn default; no extra random
+	//	      draws, so generation is bit-identical to earlier versions);
+	//	>0  — positively correlated predicates retain more rows than
+	//	      independence predicts (c→1 approaches selectivity 1);
+	//	<0  — anti-correlated predicates retain fewer.
+	//
+	// Must lie in [-1, 1].
+	Correlation float64
 }
 
 // NewParams returns the default parameters for an n-table query.
@@ -86,6 +138,7 @@ func NewParams(n int, shape Shape) Params {
 		MinDomain:     2,
 		MaxDomain:     1000,
 		AttrsPerTable: 4,
+		Branching:     3,
 	}
 }
 
@@ -105,10 +158,30 @@ func (p Params) Validate() error {
 	}
 	switch p.Shape {
 	case Star, Chain, Cycle, Clique:
+	case Snowflake:
+		if p.Branching < 1 {
+			return fmt.Errorf("workload: snowflake branching must be >= 1, got %d", p.Branching)
+		}
 	default:
 		return fmt.Errorf("workload: invalid shape %d", int(p.Shape))
 	}
+	if p.Correlation < -1 || p.Correlation > 1 {
+		return fmt.Errorf("workload: correlation %g outside [-1, 1]", p.Correlation)
+	}
 	return nil
+}
+
+// depths returns each table's level in the snowflake tree (0 for the
+// fact table) and nil for every other shape.
+func (p Params) depths() []int {
+	if p.Shape != Snowflake {
+		return nil
+	}
+	d := make([]int, p.Tables)
+	for i := 1; i < p.Tables; i++ {
+		d[i] = d[(i-1)/p.Branching] + 1
+	}
+	return d
 }
 
 // edges returns the join-graph edge list for the shape.
@@ -137,6 +210,10 @@ func (p Params) edges() [][2]int {
 				out = append(out, [2]int{i, j})
 			}
 		}
+	case Snowflake:
+		for i := 1; i < n; i++ {
+			out = append(out, [2]int{(i - 1) / p.Branching, i})
+		}
 	}
 	return out
 }
@@ -159,9 +236,18 @@ func Generate(p Params, seed int64) (*catalog.Catalog, *query.Query, error) {
 	rng := rand.New(rand.NewSource(seed))
 
 	cat := catalog.New()
+	depths := p.depths()
 	tables := make([]query.Table, p.Tables)
 	for i := range tables {
-		card := math.Round(logUniform(rng, p.MinCard, p.MaxCard))
+		lo, hi := p.MinCard, p.MaxCard
+		if depths != nil {
+			// Snowflake: one decade lower per level, clamped to the
+			// configured range, so facts dwarf their leaf dimensions.
+			scale := math.Pow(10, float64(depths[i]))
+			lo = math.Max(p.MinCard, p.MaxCard/(10*scale))
+			hi = math.Max(lo, p.MaxCard/scale)
+		}
+		card := math.Round(logUniform(rng, lo, hi))
 		attrs := make([]catalog.Attribute, p.AttrsPerTable)
 		for a := range attrs {
 			dom := int64(math.Round(logUniform(rng, float64(p.MinDomain), float64(p.MaxDomain))))
@@ -189,6 +275,15 @@ func Generate(p Params, seed int64) (*catalog.Catalog, *query.Query, error) {
 		if err != nil {
 			return nil, nil, err
 		}
+		if p.Correlation != 0 {
+			// Correlated predicates: warp the independence estimate by a
+			// per-edge factor drawn from the same seeded stream. The
+			// extra draw happens only in correlated mode, so Correlation
+			// == 0 stays bit-identical to the historical generator.
+			// sel ∈ (0,1] and |c| < 1, so sel^(1-c) stays in (0,1].
+			c := p.Correlation * rng.Float64()
+			sel = math.Pow(sel, 1-c)
+		}
 		if err := q.AddPredicate(query.Predicate{
 			Left: e[0], Right: e[1], LeftAttr: ai, RightAttr: bi, Selectivity: sel,
 		}); err != nil {
@@ -207,6 +302,62 @@ func MustGenerate(p Params, seed int64) *query.Query {
 		panic(err)
 	}
 	return q
+}
+
+// FromSchema builds the catalog and the canonical foreign-key join
+// query of a TPC-style schema at the given scale factor. The query joins
+// every table of the schema along its declared joins, with selectivities
+// from the catalog's 1/max(domain) estimate. No random draws are taken:
+// the same (schema, sf) always yields byte-identical specs.
+func FromSchema(s *catalog.Schema, sf float64) (*catalog.Catalog, *query.Query, error) {
+	cat, err := s.Build(sf)
+	if err != nil {
+		return nil, nil, err
+	}
+	tables := make([]query.Table, cat.Len())
+	for i := range tables {
+		t := cat.Table(i)
+		tables[i] = query.Table{Name: t.Name, Cardinality: t.Cardinality}
+	}
+	q, err := query.New(tables)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, j := range s.Joins {
+		li, lai, err := resolveAttr(cat, j.Left, j.LeftAttr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("workload: schema %q join %d: %w", s.Name, i, err)
+		}
+		ri, rai, err := resolveAttr(cat, j.Right, j.RightAttr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("workload: schema %q join %d: %w", s.Name, i, err)
+		}
+		sel, err := cat.EqSelectivity(li, lai, ri, rai)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := q.AddPredicate(query.Predicate{
+			Left: li, Right: ri, LeftAttr: lai, RightAttr: rai, Selectivity: sel,
+		}); err != nil {
+			return nil, nil, fmt.Errorf("workload: schema %q join %d: %w", s.Name, i, err)
+		}
+	}
+	q.Freeze()
+	return cat, q, nil
+}
+
+// resolveAttr maps (table name, attribute name) to catalog indices.
+func resolveAttr(cat *catalog.Catalog, table, attr string) (ti, ai int, err error) {
+	ti, ok := cat.Lookup(table)
+	if !ok {
+		return 0, 0, fmt.Errorf("unknown table %q", table)
+	}
+	for i, a := range cat.Table(ti).Attributes {
+		if a.Name == attr {
+			return ti, i, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("table %q has no attribute %q", table, attr)
 }
 
 // Batch generates count queries with consecutive seeds starting at base.

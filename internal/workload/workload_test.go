@@ -7,7 +7,7 @@ import (
 )
 
 func TestShapeString(t *testing.T) {
-	want := map[Shape]string{Star: "Star", Chain: "Chain", Cycle: "Cycle", Clique: "Clique"}
+	want := map[Shape]string{Star: "Star", Chain: "Chain", Cycle: "Cycle", Clique: "Clique", Snowflake: "Snowflake"}
 	for s, name := range want {
 		if s.String() != name {
 			t.Errorf("%d.String() = %q", int(s), s.String())
@@ -25,6 +25,19 @@ func TestShapeString(t *testing.T) {
 	}
 }
 
+func TestShapeNamesMatchShapes(t *testing.T) {
+	names := ShapeNames()
+	if len(names) != len(Shapes) {
+		t.Fatalf("ShapeNames has %d entries, Shapes %d", len(names), len(Shapes))
+	}
+	for i, name := range names {
+		sh, err := ParseShape(name)
+		if err != nil || sh != Shapes[i] {
+			t.Errorf("ShapeNames[%d] = %q does not round-trip: %v, %v", i, name, sh, err)
+		}
+	}
+}
+
 func TestParamsValidate(t *testing.T) {
 	if err := NewParams(8, Star).Validate(); err != nil {
 		t.Fatalf("default params rejected: %v", err)
@@ -37,6 +50,9 @@ func TestParamsValidate(t *testing.T) {
 		{Tables: 3, Shape: Star, MinCard: 1, MaxCard: 2, MinDomain: 3, MaxDomain: 2, AttrsPerTable: 1},
 		{Tables: 3, Shape: Star, MinCard: 1, MaxCard: 2, MinDomain: 1, MaxDomain: 2, AttrsPerTable: 0},
 		{Tables: 3, Shape: Shape(7), MinCard: 1, MaxCard: 2, MinDomain: 1, MaxDomain: 2, AttrsPerTable: 1},
+		{Tables: 3, Shape: Snowflake, MinCard: 1, MaxCard: 2, MinDomain: 1, MaxDomain: 2, AttrsPerTable: 1},
+		{Tables: 3, Shape: Star, MinCard: 1, MaxCard: 2, MinDomain: 1, MaxDomain: 2, AttrsPerTable: 1, Correlation: 1.5},
+		{Tables: 3, Shape: Star, MinCard: 1, MaxCard: 2, MinDomain: 1, MaxDomain: 2, AttrsPerTable: 1, Correlation: -1.5},
 	}
 	for i, p := range bad {
 		if err := p.Validate(); err == nil {
@@ -48,15 +64,108 @@ func TestParamsValidate(t *testing.T) {
 func TestEdgeCounts(t *testing.T) {
 	n := 7
 	cases := map[Shape]int{
-		Chain:  n - 1,
-		Star:   n - 1,
-		Cycle:  n,
-		Clique: n * (n - 1) / 2,
+		Chain:     n - 1,
+		Star:      n - 1,
+		Cycle:     n,
+		Clique:    n * (n - 1) / 2,
+		Snowflake: n - 1,
 	}
 	for shape, want := range cases {
 		p := NewParams(n, shape)
 		if got := len(p.edges()); got != want {
 			t.Errorf("%v edges = %d want %d", shape, got, want)
+		}
+	}
+}
+
+func TestSnowflakeTopology(t *testing.T) {
+	// Branching 3, 13 tables: fact 0, dimensions 1-3, sub-dimensions
+	// 4-12 attached three per dimension.
+	p := NewParams(13, Snowflake)
+	want := map[[2]int]bool{}
+	for i := 1; i < 13; i++ {
+		want[[2]int{(i - 1) / 3, i}] = true
+	}
+	edges := p.edges()
+	if len(edges) != len(want) {
+		t.Fatalf("%d edges, want %d", len(edges), len(want))
+	}
+	for _, e := range edges {
+		if !want[e] {
+			t.Errorf("unexpected edge %v", e)
+		}
+	}
+	// Branching 1 degenerates to a chain.
+	p.Branching = 1
+	for i, e := range p.edges() {
+		if e != [2]int{i, i + 1} {
+			t.Fatalf("branching-1 edge %d = %v, want chain", i, e)
+		}
+	}
+}
+
+func TestSnowflakeCardinalitySkew(t *testing.T) {
+	// Cardinalities shrink by about a decade per level: with the default
+	// range [10, 100000] and branching 3, the fact table must land in
+	// the top decade and every level-2 sub-dimension at least two
+	// decades below the maximum.
+	p := NewParams(13, Snowflake)
+	for seed := int64(0); seed < 10; seed++ {
+		_, q, err := Generate(p, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fact := q.Tables[0].Cardinality; fact < p.MaxCard/10 {
+			t.Fatalf("seed %d: fact cardinality %g below top decade", seed, fact)
+		}
+		for i := 4; i < 13; i++ {
+			if c := q.Tables[i].Cardinality; c > p.MaxCard/100 {
+				t.Fatalf("seed %d: sub-dimension %d cardinality %g above MaxCard/100", seed, i, c)
+			}
+		}
+	}
+}
+
+func TestCorrelationWarpsSelectivities(t *testing.T) {
+	// Runs with Correlation = +c and -c consume identical random draws
+	// (same tables, same attribute picks, same per-edge factor u), so
+	// each predicate pair satisfies sel+ = s^(1-cu) >= s >= s^(1+cu) =
+	// sel-, with s = sqrt(sel+·sel-) the independence estimate.
+	base := NewParams(8, Star)
+	pos := base
+	pos.Correlation = 0.9
+	_, corr, err := Generate(pos, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neg := base
+	neg.Correlation = -0.9
+	_, anti, err := Generate(neg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corr.Preds) != len(anti.Preds) {
+		t.Fatal("correlation sign changed the predicate count")
+	}
+	changed := 0
+	for i := range corr.Preds {
+		sp, sn := corr.Preds[i].Selectivity, anti.Preds[i].Selectivity
+		if sp < sn {
+			t.Fatalf("pred %d: positive correlation more selective than negative (%g < %g)", i, sp, sn)
+		}
+		if sp <= 0 || sp > 1 || sn <= 0 || sn > 1 {
+			t.Fatalf("pred %d: warped selectivity out of range (%g, %g)", i, sp, sn)
+		}
+		if sp > sn {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("correlation had no effect on any predicate")
+	}
+	for i := range corr.Tables {
+		if corr.Tables[i].Cardinality != anti.Tables[i].Cardinality {
+			t.Fatal("correlation changed table cardinalities")
 		}
 	}
 }

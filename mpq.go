@@ -93,6 +93,9 @@ type (
 	CatalogTable = catalog.Table
 	// Attribute is one column with its domain size.
 	Attribute = catalog.Attribute
+	// Schema is a TPC-style schema definition: tables and joins whose
+	// statistics scale with a scale factor (see Schema.Build).
+	Schema = catalog.Schema
 )
 
 // Cluster-simulation types.
@@ -109,7 +112,8 @@ type (
 type (
 	// WorkloadParams configures random query generation (Steinbrunn).
 	WorkloadParams = workload.Params
-	// Shape is a join-graph structure (Star, Chain, Cycle, Clique).
+	// Shape is a join-graph structure (Star, Chain, Cycle, Clique,
+	// Snowflake).
 	Shape = workload.Shape
 )
 
@@ -143,10 +147,11 @@ const (
 
 // Join-graph shapes.
 const (
-	Star   = workload.Star
-	Chain  = workload.Chain
-	Cycle  = workload.Cycle
-	Clique = workload.Clique
+	Star      = workload.Star
+	Chain     = workload.Chain
+	Cycle     = workload.Cycle
+	Clique    = workload.Clique
+	Snowflake = workload.Snowflake
 )
 
 // NoOrder marks a plan output without a useful sort order.
@@ -212,6 +217,21 @@ func GenerateWorkload(p WorkloadParams, seed int64) (*Catalog, *Query, error) {
 // NewWorkloadParams returns the default generation parameters for an
 // n-table query with the given join-graph shape.
 func NewWorkloadParams(n int, shape Shape) WorkloadParams { return workload.NewParams(n, shape) }
+
+// TPCHSchema returns the built-in TPC-H-style schema (eight relations
+// with the spec's scale-factor-1 statistics and foreign-key joins).
+func TPCHSchema() *Schema { return catalog.TPCH() }
+
+// TPCDSSchema returns the built-in TPC-DS-style snowflake schema
+// (store_sales fact, dimensions and sub-dimensions).
+func TPCDSSchema() *Schema { return catalog.TPCDS() }
+
+// SchemaWorkload builds the catalog and the canonical foreign-key join
+// query of a TPC-style schema at the given scale factor. Deterministic:
+// no random draws are taken.
+func SchemaWorkload(s *Schema, sf float64) (*Catalog, *Query, error) {
+	return workload.FromSchema(s, sf)
+}
 
 // ListenWorker starts a TCP optimization worker on addr (host:port;
 // use ":0" for an ephemeral port).

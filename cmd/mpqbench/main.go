@@ -18,9 +18,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"mpq/internal/experiments"
 )
@@ -59,6 +63,14 @@ func run() error {
 	if !*quiet {
 		cfg.Progress = os.Stderr
 	}
+	// Ctrl-C cancels the sweep cleanly: the experiment in flight aborts
+	// within one data point, and every table completed so far has
+	// already been flushed to stdout (render runs per experiment), so a
+	// partial -json run is a prefix of valid JSON lines rather than a
+	// line cut mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cfg.Ctx = ctx
 
 	runners := map[string]func() error{
 		"fig1": func() error {
@@ -129,7 +141,13 @@ func run() error {
 
 	if *experiment == "all" {
 		for _, name := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "table1", "speedups", "workloads"} {
+			if err := ctx.Err(); err != nil {
+				return interrupted(err)
+			}
 			if err := runners[name](); err != nil {
+				if errors.Is(err, context.Canceled) {
+					return interrupted(err)
+				}
 				return fmt.Errorf("%s: %w", name, err)
 			}
 		}
@@ -139,7 +157,19 @@ func run() error {
 	if !ok {
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
-	return r()
+	if err := r(); err != nil {
+		if errors.Is(err, context.Canceled) {
+			return interrupted(err)
+		}
+		return err
+	}
+	return nil
+}
+
+// interrupted explains a Ctrl-C exit: the sweep stopped cleanly and
+// everything already printed is complete output.
+func interrupted(err error) error {
+	return fmt.Errorf("interrupted — completed tables were flushed, the experiment in flight was discarded: %w", err)
 }
 
 var (

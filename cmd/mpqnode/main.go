@@ -9,9 +9,20 @@
 //
 //	mpqnode master -workers host1:9991,host2:9991 -tables 16 -space linear -partitions 16
 //	mpqnode master -workers host1:9991 -query q.json
+//
+// Master batch mode (positional query files): the queries are
+// pipelined through one pool of keep-alive connections — the master
+// dials each worker once for the whole batch:
+//
+//	mpqnode master -workers host1:9991,host2:9991 q1.json q2.json q3.json
+//
+// Ctrl-C cancels a running optimization cleanly: in-flight jobs are
+// abandoned, connections closed, and the master exits with an error.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -20,10 +31,9 @@ import (
 	"syscall"
 	"time"
 
-	"mpq/internal/core"
+	"mpq"
+	"mpq/internal/cliutil"
 	"mpq/internal/netrun"
-	"mpq/internal/partition"
-	"mpq/internal/query"
 	"mpq/internal/spec"
 	"mpq/internal/workload"
 )
@@ -55,7 +65,7 @@ func runWorker(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	w, err := netrun.ListenWorker(*listen)
+	w, err := mpq.ListenWorker(*listen)
 	if err != nil {
 		return err
 	}
@@ -92,14 +102,12 @@ func runMaster(args []string) error {
 		return fmt.Errorf("provide -workers host:port[,host:port...]")
 	}
 
-	q, err := loadQuery(*queryFile, *tables, *shape, *seed)
-	if err != nil {
-		return err
-	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
-	jobSpace := partition.Linear
+	jobSpace := mpq.Linear
 	if strings.EqualFold(*space, "bushy") {
-		jobSpace = partition.Bushy
+		jobSpace = mpq.Bushy
 	} else if !strings.EqualFold(*space, "linear") {
 		return fmt.Errorf("unknown plan space %q", *space)
 	}
@@ -111,32 +119,45 @@ func runMaster(args []string) error {
 			m *= 2
 		}
 	}
-	jspec := core.JobSpec{Space: jobSpace, Workers: m}
+	jspec := mpq.JobSpec{Space: jobSpace, Workers: m}
 	if *multi {
-		jspec.Objective = core.MultiObjective
+		jspec.Objective = mpq.MultiObjective
 		jspec.Alpha = *alpha
 	}
 
-	master, err := netrun.NewMasterWithOptions(addrs, netrun.Options{
+	eng, err := mpq.NewTCPEngine(addrs, mpq.WithMasterOptions(mpq.MasterOptions{
 		Timeout:           *timeout,
 		MaxAttempts:       *retries,
 		MaxWorkerFailures: *workerFailures,
-	})
+	}))
+	if err != nil {
+		return err
+	}
+
+	// Batch mode: every positional argument is a query file; the batch
+	// shares one pool of keep-alive connections.
+	if files := fs.Args(); len(files) > 0 {
+		if *queryFile != "" || *tables != 0 {
+			return fmt.Errorf("positional query files are exclusive with -query/-tables")
+		}
+		return runBatch(ctx, eng, files, jspec, len(addrs))
+	}
+
+	q, err := loadQuery(*queryFile, *tables, *shape, *seed)
 	if err != nil {
 		return err
 	}
 	start := time.Now()
-	ans, err := master.Optimize(q, jspec)
+	ans, err := eng.Optimize(ctx, q, jspec)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			return fmt.Errorf("interrupted — optimization canceled cleanly: %w", err)
+		}
 		return err
 	}
 	fmt.Printf("optimized %d-table query over %d workers (%d partitions) in %v\n",
 		q.N(), len(addrs), m, time.Since(start).Round(time.Millisecond))
-	fmt.Printf("network: %d bytes sent, %d received, %d messages\n",
-		ans.Net.BytesSent, ans.Net.BytesReceived, ans.Net.Messages)
-	if ans.Redispatched > 0 {
-		fmt.Printf("recovered from failures: %d job(s) re-dispatched\n", ans.Redispatched)
-	}
+	fmt.Println(cliutil.Describe(ans))
 	if ans.Frontier != nil {
 		fmt.Printf("Pareto frontier: %d plans\n", len(ans.Frontier))
 	}
@@ -145,10 +166,43 @@ func runMaster(args []string) error {
 	return nil
 }
 
-func loadQuery(file string, tables int, shape string, seed int64) (*query.Query, error) {
+func runBatch(ctx context.Context, eng *mpq.TCPEngine, files []string, jspec mpq.JobSpec, numWorkers int) error {
+	jobs := make([]mpq.Job, 0, len(files))
+	for _, file := range files {
+		f, err := os.Open(file)
+		if err != nil {
+			return err
+		}
+		q, err := spec.Read(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", file, err)
+		}
+		jobs = append(jobs, mpq.Job{Query: q, Spec: jspec})
+	}
+	start := time.Now()
+	answers, err := eng.OptimizeBatch(ctx, jobs)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			return fmt.Errorf("interrupted — batch canceled cleanly: %w", err)
+		}
+		return err
+	}
+	var dials int
+	for i, ans := range answers {
+		fmt.Printf("%s: best %s (cost %.4g), %d bytes, %d messages\n",
+			files[i], ans.Best, ans.Best.Cost, ans.Net.BytesSent+ans.Net.BytesReceived, ans.Net.Messages)
+		dials += ans.Net.Dials
+	}
+	fmt.Printf("batch of %d queries over %d workers in %v — %d connection(s) dialed for the whole batch\n",
+		len(jobs), numWorkers, time.Since(start).Round(time.Millisecond), dials)
+	return nil
+}
+
+func loadQuery(file string, tables int, shape string, seed int64) (*mpq.Query, error) {
 	switch {
 	case file == "" && tables == 0:
-		return nil, fmt.Errorf("provide -query FILE or -tables N")
+		return nil, fmt.Errorf("provide -query FILE, -tables N or positional query files")
 	case file != "" && tables != 0:
 		return nil, fmt.Errorf("-query and -tables are mutually exclusive")
 	case file == "-":
@@ -165,7 +219,7 @@ func loadQuery(file string, tables int, shape string, seed int64) (*query.Query,
 		if err != nil {
 			return nil, err
 		}
-		_, q, err := workload.Generate(workload.NewParams(tables, sh), seed)
+		_, q, err := mpq.GenerateWorkload(mpq.NewWorkloadParams(tables, sh), seed)
 		return q, err
 	}
 }

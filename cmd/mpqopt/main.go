@@ -1,6 +1,9 @@
 // Command mpqopt optimizes a single join query and prints the chosen
 // plan, either from a JSON query spec (see cmd/mpqgen) or from a
-// generated random workload.
+// generated random workload. The query runs on any of the four
+// execution engines behind the unified mpq.Engine API; Ctrl-C cancels
+// a long optimization cleanly (the context aborts the dynamic program
+// and tears down workers).
 //
 // Usage:
 //
@@ -15,22 +18,24 @@
 //	-mo                    multi-objective (time + buffer) optimization
 //	-alpha A               approximation factor for -mo (default 10)
 //	-orders                track interesting orders
-//	-engine local|sim      goroutine engine or cluster simulation
+//	-engine serial|local|sim|tcp
+//	                       execution engine (default local); tcp needs
+//	                       -tcp-workers, sim accepts -kill/-detect
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
+	"mpq"
 	"mpq/internal/catalog"
-	"mpq/internal/cluster"
-	"mpq/internal/core"
-	"mpq/internal/mo"
-	"mpq/internal/partition"
-	"mpq/internal/plan"
-	"mpq/internal/query"
+	"mpq/internal/cliutil"
 	"mpq/internal/spec"
 	"mpq/internal/workload"
 )
@@ -57,80 +62,69 @@ func run() error {
 	multi := flag.Bool("mo", false, "multi-objective optimization (time + buffer)")
 	alpha := flag.Float64("alpha", 10, "approximation factor for -mo")
 	orders := flag.Bool("orders", false, "track interesting orders")
-	engine := flag.String("engine", "local", "execution engine: local (goroutines) or sim (cluster simulation)")
-	kill := flag.Int("kill", 0, "sim engine: crash this many workers mid-query and measure recovery")
-	detect := flag.Duration("detect", 0, "sim engine: failure-detection timeout for -kill (default 10s)")
 	dot := flag.Bool("dot", false, "emit the best plan as a Graphviz digraph instead of a tree")
+	ef := cliutil.Register(flag.CommandLine, "local")
 	flag.Parse()
+
+	// Ctrl-C cancels the context; the engines abort the dynamic program
+	// between cardinality levels and shut their workers down.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	q, err := loadQuery(*queryFile, *tables, *shape, *seed, *schemaName, *sf)
 	if err != nil {
 		return err
 	}
 
-	jobSpace := partition.Linear
+	jobSpace := mpq.Linear
 	switch strings.ToLower(*space) {
 	case "linear":
 	case "bushy":
-		jobSpace = partition.Bushy
+		jobSpace = mpq.Bushy
 	default:
 		return fmt.Errorf("unknown plan space %q", *space)
 	}
 
-	jspec := core.JobSpec{
+	jspec := mpq.JobSpec{
 		Space:             jobSpace,
 		Workers:           *workers,
 		InterestingOrders: *orders,
 	}
 	if *multi {
-		jspec.Objective = core.MultiObjective
+		jspec.Objective = mpq.MultiObjective
 		jspec.Alpha = *alpha
 	}
 
-	fmt.Printf("query: %d tables, %d predicates; %v space; %d workers (max %d)\n",
-		q.N(), len(q.Preds), jobSpace, *workers, partition.MaxWorkers(jobSpace, q.N()))
+	eng, err := ef.Build(*workers)
+	if err != nil {
+		return err
+	}
 
-	render := func(p *plan.Node) string {
-		if *dot {
-			return p.DOT("plan")
-		}
-		return p.Format()
+	// The serial engine always runs the unpartitioned DP; report the
+	// worker count it actually uses rather than the -workers request.
+	effectiveWorkers := *workers
+	if strings.EqualFold(ef.Engine, "serial") {
+		effectiveWorkers = 1
 	}
-	switch *engine {
-	case "local":
-		ans, err := core.Optimize(q, jspec)
-		if err != nil {
-			return err
+	fmt.Printf("query: %d tables, %d predicates; %v space; %d workers (max %d); engine %s\n",
+		q.N(), len(q.Preds), jobSpace, effectiveWorkers, mpq.MaxWorkers(jobSpace, q.N()), ef.Engine)
+
+	ans, err := eng.Optimize(ctx, q, jspec)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			return fmt.Errorf("interrupted — optimization canceled cleanly: %w", err)
 		}
-		printAnswer(render(ans.Best), ans.Frontier, ans.Stats.WorkUnits(), fmt.Sprintf(
-			"wall %v (slowest worker %v)", ans.Elapsed.Round(1000), ans.MaxWorkerElapsed.Round(1000)))
-	case "sim":
-		if *kill < 0 || *kill >= *workers {
-			return fmt.Errorf("-kill %d must leave at least one of %d workers alive", *kill, *workers)
-		}
-		faults := cluster.Faults{DetectTimeout: *detect}
-		for i := 0; i < *kill; i++ {
-			faults.Dead = append(faults.Dead, i)
-		}
-		res, err := cluster.RunMPQWithFaults(cluster.Default(), q, jspec, faults)
-		if err != nil {
-			return err
-		}
-		line := fmt.Sprintf(
-			"virtual %v, network %d bytes in %d messages, peak memo %d relations",
-			res.Metrics.VirtualTime.Round(1000), res.Metrics.Bytes, res.Metrics.Messages, res.Metrics.MaxMemoEntries)
-		if *kill > 0 {
-			line += fmt.Sprintf("; killed %d worker(s): %d re-dispatches, recovery overhead %v",
-				*kill, res.Metrics.Redispatches, res.Metrics.RecoveryOverhead.Round(1000))
-		}
-		printAnswer(render(res.Best), res.Frontier, res.Metrics.Work.WorkUnits(), line)
-	default:
-		return fmt.Errorf("unknown engine %q", *engine)
+		return err
 	}
+	render := ans.Best.Format()
+	if *dot {
+		render = ans.Best.DOT("plan")
+	}
+	printAnswer(render, ans, cliutil.Describe(ans))
 	return nil
 }
 
-func loadQuery(file string, tables int, shape string, seed int64, schemaName string, sf float64) (*query.Query, error) {
+func loadQuery(file string, tables int, shape string, seed int64, schemaName string, sf float64) (*mpq.Query, error) {
 	sources := 0
 	for _, set := range []bool{file != "", tables != 0, schemaName != ""} {
 		if set {
@@ -147,7 +141,7 @@ func loadQuery(file string, tables int, shape string, seed int64, schemaName str
 		if err != nil {
 			return nil, err
 		}
-		_, q, err := workload.FromSchema(sch, sf)
+		_, q, err := mpq.SchemaWorkload(sch, sf)
 		return q, err
 	case file == "-":
 		return spec.Read(os.Stdin)
@@ -163,17 +157,17 @@ func loadQuery(file string, tables int, shape string, seed int64, schemaName str
 		if err != nil {
 			return nil, err
 		}
-		_, q, err := workload.Generate(workload.NewParams(tables, sh), seed)
+		_, q, err := mpq.GenerateWorkload(mpq.NewWorkloadParams(tables, sh), seed)
 		return q, err
 	}
 }
 
-func printAnswer(planTree string, frontier []*plan.Node, units uint64, engineLine string) {
-	fmt.Printf("work: %d units; %s\n\n", units, engineLine)
-	if frontier != nil {
-		fmt.Printf("Pareto frontier (%d plans):\n", len(frontier))
-		for i, p := range frontier {
-			fmt.Printf("  #%d %v  %s\n", i+1, mo.VecOf(p), p)
+func printAnswer(planTree string, ans *mpq.Answer, engineLine string) {
+	fmt.Printf("work: %d units; %s\n\n", ans.Stats.WorkUnits(), engineLine)
+	if ans.Frontier != nil {
+		fmt.Printf("Pareto frontier (%d plans):\n", len(ans.Frontier))
+		for i, p := range ans.Frontier {
+			fmt.Printf("  #%d (t=%.4g, b=%.4g)  %s\n", i+1, p.Cost, p.Buffer, p)
 		}
 		fmt.Println()
 	}

@@ -1,0 +1,529 @@
+package mpq_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"mpq"
+)
+
+// startTCPEngine launches k loopback workers and returns a TCP engine
+// over them (plus the addresses, for tests that build more engines).
+func startTCPEngine(t *testing.T, k int, opts ...mpq.EngineOption) (*mpq.TCPEngine, []string) {
+	t.Helper()
+	addrs := make([]string, k)
+	for i := range addrs {
+		w, err := mpq.ListenWorker("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { w.Close() })
+		addrs[i] = w.Addr()
+	}
+	eng, err := mpq.NewTCPEngine(addrs, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, addrs
+}
+
+// engineWorkloads is the table the equivalence test sweeps: every
+// workload family the generator knows, plus the TPC-style schemas and
+// a correlated-selectivity stress, across plan spaces and objectives.
+func engineWorkloads(t *testing.T) []struct {
+	name string
+	q    *mpq.Query
+	spec mpq.JobSpec
+} {
+	t.Helper()
+	var rows []struct {
+		name string
+		q    *mpq.Query
+		spec mpq.JobSpec
+	}
+	add := func(name string, q *mpq.Query, spec mpq.JobSpec) {
+		rows = append(rows, struct {
+			name string
+			q    *mpq.Query
+			spec mpq.JobSpec
+		}{name, q, spec})
+	}
+	for i, shape := range []mpq.Shape{mpq.Star, mpq.Chain, mpq.Cycle, mpq.Clique, mpq.Snowflake} {
+		params := mpq.NewWorkloadParams(7+i%2, shape)
+		_, q, err := mpq.GenerateWorkload(params, int64(40+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		space := mpq.Linear
+		if i%2 == 1 {
+			space = mpq.Bushy
+		}
+		add(fmt.Sprintf("%v-%v", shape, space), q, mpq.JobSpec{Space: space, Workers: 4})
+	}
+	// Correlated selectivities warp the cost surface; the engines must
+	// still agree plan for plan.
+	params := mpq.NewWorkloadParams(8, mpq.Star)
+	params.Correlation = 0.7
+	_, q, err := mpq.GenerateWorkload(params, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add("Star-correlated", q, mpq.JobSpec{Space: mpq.Linear, Workers: 8})
+	// TPC-style schema queries: realistic statistics, canonical FK joins.
+	for _, sch := range []*mpq.Schema{mpq.TPCHSchema(), mpq.TPCDSSchema()} {
+		_, q, err := mpq.SchemaWorkload(sch, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		add("schema-"+sch.Name, q, mpq.JobSpec{Space: mpq.Linear, Workers: 4})
+	}
+	// Multi-objective: the merged frontier must match too.
+	_, q, err = mpq.GenerateWorkload(mpq.NewWorkloadParams(7, mpq.Chain), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add("Chain-multiobjective", q, mpq.JobSpec{
+		Space: mpq.Linear, Workers: 4,
+		Objective: mpq.MultiObjective, Alpha: 1,
+	})
+	return rows
+}
+
+// TestEngineEquivalence is the unified-API capstone, one table-driven
+// test instead of per-engine comparisons: on every workload family the
+// three partitioned engines — goroutine workers, cluster simulator,
+// TCP runtime — must return bit-identical best plans and frontiers
+// (wire encoding: same partitioning, same enumeration, same bytes),
+// and the serial baseline must agree on the optimal cost (plan ties
+// may break differently between the unpartitioned and the partitioned
+// enumeration, so serial equivalence is per cost, not per byte).
+func TestEngineEquivalence(t *testing.T) {
+	tcp, _ := startTCPEngine(t, 2)
+	engines := []struct {
+		name string
+		eng  mpq.Engine
+	}{
+		{"inprocess", mpq.NewInProcessEngine()},
+		{"inprocess-capped", mpq.NewInProcessEngine(mpq.WithParallelism(2))},
+		{"sim", mpq.NewSimEngine()},
+		{"tcp", tcp},
+	}
+	serial := mpq.NewSerialEngine()
+	ctx := context.Background()
+	for _, row := range engineWorkloads(t) {
+		t.Run(row.name, func(t *testing.T) {
+			var wantBest []byte
+			var wantFrontier [][]byte
+			var wantCost float64
+			for _, e := range engines {
+				ans, err := e.eng.Optimize(ctx, row.q, row.spec)
+				if err != nil {
+					t.Fatalf("%s: %v", e.name, err)
+				}
+				bestB := mpq.EncodePlan(ans.Best)
+				var frontB [][]byte
+				for _, p := range ans.Frontier {
+					frontB = append(frontB, mpq.EncodePlan(p))
+				}
+				if wantBest == nil {
+					wantBest, wantFrontier, wantCost = bestB, frontB, ans.Best.Cost
+					continue
+				}
+				if !bytes.Equal(bestB, wantBest) {
+					t.Fatalf("%s best plan differs from %s: %s", e.name, engines[0].name, ans.Best)
+				}
+				if len(frontB) != len(wantFrontier) {
+					t.Fatalf("%s frontier size %d != %d", e.name, len(frontB), len(wantFrontier))
+				}
+				for i := range frontB {
+					if !bytes.Equal(frontB[i], wantFrontier[i]) {
+						t.Fatalf("%s frontier plan %d differs", e.name, i)
+					}
+				}
+			}
+			ans, err := serial.Optimize(ctx, row.q, row.spec)
+			if err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+			if diff := ans.Best.Cost - wantCost; diff > 1e-9*wantCost || diff < -1e-9*wantCost {
+				t.Fatalf("serial cost %g != partitioned cost %g", ans.Best.Cost, wantCost)
+			}
+		})
+	}
+}
+
+// TestEngineAnswerMetrics checks each engine attaches its
+// substrate-specific measurements to the engine-agnostic Answer.
+func TestEngineAnswerMetrics(t *testing.T) {
+	_, q, err := mpq.GenerateWorkload(mpq.NewWorkloadParams(7, mpq.Star), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := mpq.JobSpec{Space: mpq.Linear, Workers: 4}
+	ctx := context.Background()
+
+	sim, err := mpq.NewSimEngine().Optimize(ctx, q, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Cluster == nil || sim.Cluster.Bytes == 0 || sim.Cluster.VirtualTime <= 0 {
+		t.Fatalf("sim answer metrics: %+v", sim.Cluster)
+	}
+	if sim.Net != nil {
+		t.Fatal("sim answer must not carry TCP stats")
+	}
+
+	tcp, _ := startTCPEngine(t, 2)
+	dist, err := tcp.Optimize(ctx, q, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.Net == nil || dist.Net.BytesSent == 0 || dist.Net.Messages != 8 || dist.Net.Dials != 2 {
+		t.Fatalf("tcp answer net stats: %+v", dist.Net)
+	}
+	if dist.Cluster != nil {
+		t.Fatal("tcp answer must not carry cluster metrics")
+	}
+
+	local, err := mpq.NewInProcessEngine().Optimize(ctx, q, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.Net != nil || local.Cluster != nil {
+		t.Fatal("in-process answer must not carry transport metrics")
+	}
+}
+
+// TestTCPEngineBatchBitIdentical is the batch acceptance criterion:
+// OptimizeBatch of N queries returns answers bit-identical to N
+// sequential Optimize calls, while dialing each worker once for the
+// whole batch instead of once per query — asserted via the master's
+// message/byte/dial accounting.
+func TestTCPEngineBatchBitIdentical(t *testing.T) {
+	const k = 2
+	eng, _ := startTCPEngine(t, k)
+	ctx := context.Background()
+
+	var jobs []mpq.Job
+	for i, shape := range []mpq.Shape{mpq.Star, mpq.Chain, mpq.Snowflake} {
+		_, q, err := mpq.GenerateWorkload(mpq.NewWorkloadParams(7+i, shape), int64(60+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		space := mpq.Linear
+		workers := 8
+		if i == 1 {
+			space, workers = mpq.Bushy, 4
+		}
+		jobs = append(jobs, mpq.Job{Query: q, Spec: mpq.JobSpec{Space: space, Workers: workers}})
+	}
+
+	batch, err := eng.OptimizeBatch(ctx, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(jobs) {
+		t.Fatalf("got %d answers for %d jobs", len(batch), len(jobs))
+	}
+
+	var seqBytesSent, seqBytesRcvd uint64
+	var seqMsgs, seqDials, batchDials int
+	var batchBytesSent, batchBytesRcvd uint64
+	var batchMsgs int
+	for i, job := range jobs {
+		one, err := eng.Optimize(ctx, job.Query, job.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(mpq.EncodePlan(batch[i].Best), mpq.EncodePlan(one.Best)) {
+			t.Fatalf("job %d: batch plan differs from sequential plan", i)
+		}
+		if batch[i].Stats != one.Stats {
+			t.Fatalf("job %d: batch stats %+v != sequential %+v", i, batch[i].Stats, one.Stats)
+		}
+		if len(batch[i].PerWorker) != len(one.PerWorker) {
+			t.Fatalf("job %d: per-worker report counts differ", i)
+		}
+		// The per-query traffic is identical: the same requests and
+		// responses cross the wire whether or not the queries share a
+		// batch.
+		if batch[i].Net.BytesSent != one.Net.BytesSent ||
+			batch[i].Net.BytesReceived != one.Net.BytesReceived ||
+			batch[i].Net.Messages != one.Net.Messages {
+			t.Fatalf("job %d: batch traffic %+v != sequential %+v", i, batch[i].Net, one.Net)
+		}
+		seqBytesSent += one.Net.BytesSent
+		seqBytesRcvd += one.Net.BytesReceived
+		seqMsgs += one.Net.Messages
+		seqDials += one.Net.Dials
+		batchBytesSent += batch[i].Net.BytesSent
+		batchBytesRcvd += batch[i].Net.BytesReceived
+		batchMsgs += batch[i].Net.Messages
+		batchDials += batch[i].Net.Dials
+	}
+	if batchBytesSent != seqBytesSent || batchBytesRcvd != seqBytesRcvd || batchMsgs != seqMsgs {
+		t.Fatalf("batch totals (%d/%d bytes, %d msgs) != sequential totals (%d/%d bytes, %d msgs)",
+			batchBytesSent, batchBytesRcvd, batchMsgs, seqBytesSent, seqBytesRcvd, seqMsgs)
+	}
+	// Connection reuse: the batch dialed each worker once; the three
+	// sequential calls dialed each worker once per call.
+	if batchDials != k {
+		t.Fatalf("batch dials = %d, want %d (one per worker)", batchDials, k)
+	}
+	if seqDials != k*len(jobs) {
+		t.Fatalf("sequential dials = %d, want %d", seqDials, k*len(jobs))
+	}
+}
+
+// waitGoroutines polls until the goroutine count drops back to the
+// baseline (background runtimes can lag a few scheduler ticks behind
+// the function return that logically released them).
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s", baseline, n, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCancelMidDP cancels an in-process optimization of a 16-table
+// clique partway through the dynamic program: the engine must return
+// promptly with an error wrapping context.Canceled and leave no worker
+// goroutine behind.
+func TestCancelMidDP(t *testing.T) {
+	_, q, err := mpq.GenerateWorkload(mpq.NewWorkloadParams(16, mpq.Clique), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := mpq.NewInProcessEngine()
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	// A 16-table clique takes orders of magnitude longer than 5ms; the
+	// cancel lands mid-DP.
+	timer := time.AfterFunc(5*time.Millisecond, cancel)
+	defer timer.Stop()
+	start := time.Now()
+	_, err = eng.Optimize(ctx, q, mpq.JobSpec{Space: mpq.Linear, Workers: 4})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Detection granularity is a few hundred table sets; well under a
+	// second even on a slow machine (the full run takes far longer).
+	if elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	cancel()
+	waitGoroutines(t, baseline)
+}
+
+// TestCancelBeforeStart: an already-canceled context never starts the
+// search, on every engine.
+func TestCancelBeforeStart(t *testing.T) {
+	_, q, err := mpq.GenerateWorkload(mpq.NewWorkloadParams(8, mpq.Star), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tcp, _ := startTCPEngine(t, 1)
+	for _, e := range []struct {
+		name string
+		eng  mpq.Engine
+	}{
+		{"serial", mpq.NewSerialEngine()},
+		{"inprocess", mpq.NewInProcessEngine()},
+		{"sim", mpq.NewSimEngine()},
+		{"tcp", tcp},
+	} {
+		if _, err := e.eng.Optimize(ctx, q, mpq.JobSpec{Space: mpq.Linear, Workers: 4}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", e.name, err)
+		}
+	}
+}
+
+// TestCancelMidFlightTCP cancels while a TCP job is in flight against
+// a worker that never answers: the master must abort its reads, close
+// every connection, and return context.Canceled without waiting for
+// the transport deadline — and without leaking goroutines.
+func TestCancelMidFlightTCP(t *testing.T) {
+	// A mute "worker": accepts connections, reads everything, never
+	// replies — the hardest case for unblocking, since the master is
+	// parked in ReadFrame.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				io.Copy(io.Discard, conn)
+			}(conn)
+		}
+	}()
+
+	eng, err := mpq.NewTCPEngine([]string{ln.Addr().String()},
+		mpq.WithMasterOptions(mpq.MasterOptions{Timeout: 30 * time.Second}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, q, err := mpq.GenerateWorkload(mpq.NewWorkloadParams(8, mpq.Star), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(50*time.Millisecond, cancel)
+	defer timer.Stop()
+	start := time.Now()
+	_, err = eng.Optimize(ctx, q, mpq.JobSpec{Space: mpq.Linear, Workers: 4})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v (the 30s transport deadline must not gate it)", elapsed)
+	}
+	cancel()
+	waitGoroutines(t, baseline)
+}
+
+// TestTCPEngineDeadline: a context deadline tightens the per-attempt
+// transport deadline and aborts the dispatcher, so per-job deadlines
+// flow from context.WithDeadline instead of a bespoke timeout field.
+func TestTCPEngineDeadline(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				io.Copy(io.Discard, conn)
+			}(conn)
+		}
+	}()
+	eng, err := mpq.NewTCPEngine([]string{ln.Addr().String()},
+		mpq.WithMasterOptions(mpq.MasterOptions{Timeout: 30 * time.Second}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, q, err := mpq.GenerateWorkload(mpq.NewWorkloadParams(7, mpq.Star), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = eng.Optimize(ctx, q, mpq.JobSpec{Space: mpq.Linear, Workers: 2})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline abort took %v", elapsed)
+	}
+}
+
+// TestEngineWithCostModel: an engine-level cost model applies to jobs
+// that don't choose their own, and changes the chosen plan costs
+// consistently across engines.
+func TestEngineWithCostModel(t *testing.T) {
+	_, q, err := mpq.GenerateWorkload(mpq.NewWorkloadParams(7, mpq.Chain), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mpq.DefaultCostModel()
+	m.HashFactor *= 50 // make hash joins much more expensive
+	ctx := context.Background()
+	spec := mpq.JobSpec{Space: mpq.Linear, Workers: 4}
+
+	a, err := mpq.NewInProcessEngine(mpq.WithCostModel(m)).Optimize(ctx, q, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mpq.NewSerialEngine(mpq.WithCostModel(m)).Optimize(ctx, q, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mpq.EncodePlan(a.Best), mpq.EncodePlan(b.Best)) {
+		t.Fatal("engines disagree under a shared custom cost model")
+	}
+	// The explicit spec-level model must win over the engine default.
+	specExplicit := spec
+	specExplicit.CostModel = mpq.DefaultCostModel()
+	c, err := mpq.NewInProcessEngine(mpq.WithCostModel(m)).Optimize(ctx, q, specExplicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := mpq.NewInProcessEngine().Optimize(ctx, q, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mpq.EncodePlan(c.Best), mpq.EncodePlan(d.Best)) {
+		t.Fatal("spec-level cost model did not override the engine default")
+	}
+}
+
+// TestSimEngineBatch and serial/in-process batches: answers equal the
+// one-at-a-time answers on every engine, not just TCP.
+func TestSequentialEnginesBatch(t *testing.T) {
+	var jobs []mpq.Job
+	for i, shape := range []mpq.Shape{mpq.Star, mpq.Chain} {
+		_, q, err := mpq.GenerateWorkload(mpq.NewWorkloadParams(7, shape), int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, mpq.Job{Query: q, Spec: mpq.JobSpec{Space: mpq.Linear, Workers: 4}})
+	}
+	ctx := context.Background()
+	for _, e := range []struct {
+		name string
+		eng  mpq.Engine
+	}{
+		{"serial", mpq.NewSerialEngine()},
+		{"inprocess", mpq.NewInProcessEngine()},
+		{"sim", mpq.NewSimEngine()},
+	} {
+		batch, err := e.eng.OptimizeBatch(ctx, jobs)
+		if err != nil {
+			t.Fatalf("%s: %v", e.name, err)
+		}
+		for i, job := range jobs {
+			one, err := e.eng.Optimize(ctx, job.Query, job.Spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(mpq.EncodePlan(batch[i].Best), mpq.EncodePlan(one.Best)) {
+				t.Fatalf("%s job %d: batch differs from single", e.name, i)
+			}
+		}
+	}
+}

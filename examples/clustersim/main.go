@@ -1,13 +1,15 @@
 // Cluster simulation: run MPQ on a simulated 100-node shared-nothing
-// cluster and watch the paper's scaling behaviour — worker time and
-// memory shrink as workers double, network traffic stays tiny because
-// only (query, partition ID) and one plan per worker ever cross the
-// network.
+// cluster through the SimEngine and watch the paper's scaling
+// behaviour — worker time and memory shrink as workers double, network
+// traffic stays tiny because only (query, partition ID) and one plan
+// per worker ever cross the network. Every answer carries the
+// simulator's measurement record in Answer.Cluster.
 //
 // Run with: go run ./examples/clustersim
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,36 +17,38 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A 16-table star query: 2^16 table sets — expensive enough that
 	// parallelization pays (the paper's Figure 2 regime).
 	_, q, err := mpq.GenerateWorkload(mpq.NewWorkloadParams(16, mpq.Star), 3)
 	if err != nil {
 		log.Fatal(err)
 	}
-	model := mpq.DefaultClusterModel()
+	eng := mpq.NewSimEngine(mpq.WithClusterModel(mpq.DefaultClusterModel()))
 
 	fmt.Println("MPQ on a simulated shared-nothing cluster (Linear-16, single objective)")
 	fmt.Printf("%-8s %-12s %-12s %-12s %-16s %-10s\n",
 		"workers", "time", "w-time", "net(bytes)", "memo(relations)", "speedup")
 	var serial float64
 	for m := 1; m <= mpq.MaxWorkers(mpq.Linear, q.N()) && m <= 128; m *= 2 {
-		res, err := mpq.SimulateMPQ(model, q, mpq.JobSpec{Space: mpq.Linear, Workers: m})
+		ans, err := eng.Optimize(ctx, q, mpq.JobSpec{Space: mpq.Linear, Workers: m})
 		if err != nil {
 			log.Fatal(err)
 		}
-		t := res.Metrics.VirtualTime
+		met := ans.Cluster
+		t := met.VirtualTime
 		if m == 1 {
-			serial = float64(res.Metrics.MaxWorkerTime)
+			serial = float64(met.MaxWorkerTime)
 		}
 		fmt.Printf("%-8d %-12v %-12v %-12d %-16d %-10.2f\n",
-			m, t.Round(100_000), res.Metrics.MaxWorkerTime.Round(100_000),
-			res.Metrics.Bytes, res.Metrics.MaxMemoEntries, serial/float64(t))
+			m, t.Round(100_000), met.MaxWorkerTime.Round(100_000),
+			met.Bytes, met.MaxMemoEntries, serial/float64(t))
 	}
 
 	fmt.Println("\nEvery simulated run returns the exact same optimal plan:")
-	res, err := mpq.SimulateMPQ(model, q, mpq.JobSpec{Space: mpq.Linear, Workers: 64})
+	ans, err := eng.Optimize(ctx, q, mpq.JobSpec{Space: mpq.Linear, Workers: 64})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(res.Best)
+	fmt.Println(ans.Best)
 }

@@ -1,17 +1,24 @@
 // Distributed MPQ over real TCP: this example starts four worker
 // servers on loopback sockets (in production they would be separate
-// machines — see cmd/mpqnode), points a master at them, and optimizes a
-// query with one job frame per worker and one response frame back —
-// the paper's one-round protocol on an actual network.
+// machines — see cmd/mpqnode), points a TCPEngine at them, and
+// optimizes a query with one job frame per worker and one response
+// frame back — the paper's one-round protocol on an actual network.
 //
-// It then re-runs the query while killing one worker mid-query: the
-// fault-tolerant master notices the dead node (per-job deadlines), moves
-// its partitions to the three survivors, and returns the identical plan.
+// It then demonstrates the two things the unified Engine API adds:
+//
+//   - OptimizeBatch pipelines several queries through one pool of
+//     keep-alive connections (the master dials each worker once for
+//     the whole batch — watch Answer.Net.Dials).
+//   - A re-run while killing one worker mid-query: the fault-tolerant
+//     master notices the dead node (per-job deadlines), moves its
+//     partitions to the three survivors, and returns the identical
+//     plan.
 //
 // Run with: go run ./examples/distributed
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -20,6 +27,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Start four workers. Each is a stateless TCP server; the same
 	// binary could run on four cluster nodes.
 	var addrs []string
@@ -35,7 +44,8 @@ func main() {
 		fmt.Printf("worker %d listening on %s\n", i, w.Addr())
 	}
 
-	master, err := mpq.NewMaster(addrs, 30*time.Second)
+	eng, err := mpq.NewTCPEngine(addrs,
+		mpq.WithMasterOptions(mpq.MasterOptions{Timeout: 30 * time.Second}))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,22 +58,43 @@ func main() {
 	}
 
 	start := time.Now()
-	ans, err := master.Optimize(q, mpq.JobSpec{Space: mpq.Linear, Workers: 16})
+	ans, err := eng.Optimize(ctx, q, mpq.JobSpec{Space: mpq.Linear, Workers: 16})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\noptimized 12-table query across %d TCP workers in %v\n",
 		len(addrs), time.Since(start).Round(time.Millisecond))
-	fmt.Printf("network: %d bytes sent, %d bytes received, %d messages\n",
-		ans.Net.BytesSent, ans.Net.BytesReceived, ans.Net.Messages)
+	fmt.Printf("network: %d bytes sent, %d bytes received, %d messages over %d connections\n",
+		ans.Net.BytesSent, ans.Net.BytesReceived, ans.Net.Messages, ans.Net.Dials)
 
 	// The distributed answer matches the local engine bit for bit.
-	local, err := mpq.Optimize(q, mpq.JobSpec{Space: mpq.Linear, Workers: 16})
+	local, err := mpq.NewInProcessEngine().Optimize(ctx, q, mpq.JobSpec{Space: mpq.Linear, Workers: 16})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("distributed plan: %s (cost %.4g)\n", ans.Best, ans.Best.Cost)
 	fmt.Printf("local plan      : %s (cost %.4g)\n", local.Best, local.Best.Cost)
+
+	// --- Batch walkthrough: three queries, one connection pool. ---
+	var jobs []mpq.Job
+	for seed := int64(6); seed <= 8; seed++ {
+		_, bq, err := mpq.GenerateWorkload(mpq.NewWorkloadParams(10, mpq.Star), seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		jobs = append(jobs, mpq.Job{Query: bq, Spec: mpq.JobSpec{Space: mpq.Linear, Workers: 8}})
+	}
+	answers, err := eng.OptimizeBatch(ctx, jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dials := 0
+	for i, a := range answers {
+		fmt.Printf("batch query %d: %s (cost %.4g)\n", i, a.Best, a.Best.Cost)
+		dials += a.Net.Dials
+	}
+	fmt.Printf("batch of %d queries used %d connection dials total (one per worker, reused across queries)\n",
+		len(jobs), dials)
 
 	// --- Failure walkthrough: kill a worker mid-query. ---
 	//
@@ -72,23 +103,24 @@ func main() {
 	// milliseconds after the query starts, so some of its partitions die
 	// with it and are re-dispatched to the survivors.
 	fmt.Println("\nkilling worker 0 mid-query...")
-	tolerant, err := mpq.NewMasterWithOptions(addrs, mpq.MasterOptions{Timeout: 2 * time.Second})
+	tolerant, err := mpq.NewTCPEngine(addrs,
+		mpq.WithMasterOptions(mpq.MasterOptions{Timeout: 2 * time.Second}))
 	if err != nil {
 		log.Fatal(err)
 	}
 	timer := time.AfterFunc(2*time.Millisecond, func() { workers[0].Close() })
 	defer timer.Stop()
-	survived, err := tolerant.Optimize(q, mpq.JobSpec{Space: mpq.Linear, Workers: 16})
+	survived, err := tolerant.Optimize(ctx, q, mpq.JobSpec{Space: mpq.Linear, Workers: 16})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if survived.Redispatched == 0 {
+	if survived.Net.Redispatched == 0 {
 		// The kill races the query on purpose; on a machine fast enough to
 		// finish first there is simply nothing to recover from.
 		fmt.Println("the query finished before the kill landed — nothing needed recovery")
 	} else {
 		fmt.Printf("survived: %d job(s) re-dispatched to the remaining %d workers\n",
-			survived.Redispatched, len(addrs)-1)
+			survived.Net.Redispatched, len(addrs)-1)
 	}
 	fmt.Printf("plan after failure: %s (cost %.4g)\n", survived.Best, survived.Best.Cost)
 	if survived.Best.String() == ans.Best.String() {

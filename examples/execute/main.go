@@ -1,20 +1,27 @@
 // Execute: close the loop from optimization to execution. Generate a
 // workload with its catalog, materialize synthetic data, optimize the
-// query three different ways, run all three plans on the reference
-// executor, and verify they produce the identical result multiset while
-// costing very different amounts of work.
+// query three different ways through the Engine API, run all three
+// plans on the reference executor, and verify they produce the
+// identical result multiset while costing very different amounts of
+// work.
 //
 // Run with: go run ./examples/execute
+// Try:      go run ./examples/execute -engine sim
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"mpq"
+	"mpq/internal/cliutil"
 )
 
 func main() {
+	eng := cliutil.MustParseEngine("local")
+	ctx := context.Background()
+
 	// Small cardinalities so the materialized join is tractable.
 	params := mpq.NewWorkloadParams(5, mpq.Chain)
 	params.MinCard, params.MaxCard = 50, 400
@@ -29,15 +36,16 @@ func main() {
 	}
 
 	// Three optimizers, three (possibly different) plans.
-	linear, err := mpq.OptimizeSerial(q, mpq.Linear, false)
+	serial := mpq.NewSerialEngine()
+	linear, err := serial.Optimize(ctx, q, mpq.JobSpec{Space: mpq.Linear})
 	if err != nil {
 		log.Fatal(err)
 	}
-	bushy, err := mpq.Optimize(q, mpq.JobSpec{Space: mpq.Bushy, Workers: 2})
+	bushy, err := eng.Optimize(ctx, q, mpq.JobSpec{Space: mpq.Bushy, Workers: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
-	ordered, err := mpq.OptimizeSerial(q, mpq.Linear, true)
+	ordered, err := serial.Optimize(ctx, q, mpq.JobSpec{Space: mpq.Linear, InterestingOrders: true})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,9 +56,9 @@ func main() {
 		name string
 		p    *mpq.Plan
 	}{
-		{"linear DP", linear},
+		{"linear DP", linear.Best},
 		{"bushy MPQ (2 workers)", bushy.Best},
-		{"linear DP + interesting orders", ordered},
+		{"linear DP + interesting orders", ordered.Best},
 	} {
 		res, err := mpq.ExecutePlan(entry.p, q, db, mpq.ExecLimits{})
 		if err != nil {
@@ -67,9 +75,9 @@ func main() {
 	fmt.Println("\nall plans computed the identical result multiset ✓")
 
 	// How good was the cardinality estimate?
-	res, err := mpq.ExecutePlan(linear, q, db, mpq.ExecLimits{})
+	res, err := mpq.ExecutePlan(linear.Best, q, db, mpq.ExecLimits{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("estimated result cardinality %.4g, measured %d\n", linear.Card, len(res.Rows))
+	fmt.Printf("estimated result cardinality %.4g, measured %d\n", linear.Best.Card, len(res.Rows))
 }

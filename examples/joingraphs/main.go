@@ -5,16 +5,22 @@
 // only the plans themselves differ.
 //
 // Run with: go run ./examples/joingraphs
+// Try:      go run ./examples/joingraphs -engine serial
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"mpq"
+	"mpq/internal/cliutil"
 )
 
 func main() {
+	eng := cliutil.MustParseEngine("local")
+	ctx := context.Background()
+
 	const n = 12
 	fmt.Printf("optimizing %d-table queries, one per join-graph shape (Linear space, 8 workers)\n\n", n)
 	fmt.Printf("%-10s %-12s %-12s %-10s %-24s\n", "shape", "work units", "best cost", "joins", "join order")
@@ -23,7 +29,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ans, err := mpq.Optimize(q, mpq.JobSpec{Space: mpq.Linear, Workers: 8})
+		ans, err := eng.Optimize(ctx, q, mpq.JobSpec{Space: mpq.Linear, Workers: 8})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -40,7 +46,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ans, err := mpq.Optimize(tpch, mpq.JobSpec{Space: mpq.Linear, Workers: 8})
+	ans, err := eng.Optimize(ctx, tpch, mpq.JobSpec{Space: mpq.Linear, Workers: 8})
 	if err != nil {
 		log.Fatal(err)
 	}

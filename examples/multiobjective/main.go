@@ -4,16 +4,22 @@
 // behind the paper's Table 1.
 //
 // Run with: go run ./examples/multiobjective
+// Try:      go run ./examples/multiobjective -engine sim
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"mpq"
+	"mpq/internal/cliutil"
 )
 
 func main() {
+	eng := cliutil.MustParseEngine("local")
+	ctx := context.Background()
+
 	// A random 10-table star query from the paper's workload generator.
 	_, q, err := mpq.GenerateWorkload(mpq.NewWorkloadParams(10, mpq.Star), 42)
 	if err != nil {
@@ -21,7 +27,7 @@ func main() {
 	}
 
 	// Exact Pareto frontier (α = 1) over 8 workers.
-	exact, err := mpq.Optimize(q, mpq.JobSpec{
+	exact, err := eng.Optimize(ctx, q, mpq.JobSpec{
 		Space: mpq.Linear, Workers: 8,
 		Objective: mpq.MultiObjective, Alpha: 1,
 	})
@@ -37,7 +43,7 @@ func main() {
 	fmt.Println("\nα sweep (8 workers):")
 	fmt.Printf("%-8s %-10s %-14s\n", "alpha", "frontier", "work units")
 	for _, alpha := range []float64{1, 1.05, 1.25, 2, 5, 10} {
-		ans, err := mpq.Optimize(q, mpq.JobSpec{
+		ans, err := eng.Optimize(ctx, q, mpq.JobSpec{
 			Space: mpq.Linear, Workers: 8,
 			Objective: mpq.MultiObjective, Alpha: alpha,
 		})

@@ -5,17 +5,29 @@
 // parallelizes this variant unchanged — only the pruning function
 // differs (§2, §4).
 //
+// The example cross-checks the parametric frontier against the Engine
+// API: an engine configured (via WithCostModel) with the scalar cost
+// model specialized at a fixed θ must find a plan exactly as cheap as
+// the frontier plan chosen for that θ.
+//
 // Run with: go run ./examples/parametric
+// Try:      go run ./examples/parametric -engine serial
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"math"
 
 	"mpq"
+	"mpq/internal/cliutil"
 )
 
 func main() {
+	eng := cliutil.MustParseEngine("local")
+	ctx := context.Background()
+
 	_, q, err := mpq.GenerateWorkload(mpq.NewWorkloadParams(9, mpq.Star), 17)
 	if err != nil {
 		log.Fatal(err)
@@ -52,4 +64,41 @@ func main() {
 		fmt.Printf("  θ ∈ [%.3f, %.3f]: %s (cost at midpoint %.4g)\n",
 			bps[i], bps[i+1], best, mpq.ParametricCostAt(best, mid))
 	}
+
+	// Cross-check against the unified Engine API: specialize the cost
+	// model at θ = 0.5 and re-optimize from scratch. The scalar optimum
+	// must cost exactly what the frontier's θ=0.5 plan costs.
+	const theta = 0.5
+	m := mpq.DefaultCostModel()
+	m.HashFactor *= 1 + theta*(spill-1)
+	specialized := mpq.NewInProcessEngine(mpq.WithCostModel(m))
+	ans, err := specialized.Optimize(ctx, q, mpq.JobSpec{Space: mpq.Linear, Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, err := mpq.ParametricBest(frontier, theta)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := mpq.ParametricCostAt(best, theta)
+	fmt.Printf("\nθ=%.1f scalar re-optimization: cost %.6g; parametric frontier plan: cost %.6g\n",
+		theta, ans.Best.Cost, want)
+	if math.Abs(ans.Best.Cost-want) > 1e-9*want {
+		log.Fatal("frontier disagrees with the specialized scalar optimum")
+	}
+	fmt.Println("the frontier plan is exactly the scalar optimum at that θ ✓")
+
+	// And θ=0 is the plain cost model — any engine finds it.
+	plain, err := eng.Optimize(ctx, q, mpq.JobSpec{Space: mpq.Linear, Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	zero, err := mpq.ParametricBest(frontier, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if math.Abs(plain.Best.Cost-zero.Cost) > 1e-9*zero.Cost {
+		log.Fatal("θ=0 frontier plan disagrees with the default-model optimum")
+	}
+	fmt.Println("θ=0 matches the default cost model's optimum on the flag-selected engine ✓")
 }

@@ -1,17 +1,26 @@
-// Quickstart: build a small star query by hand, optimize it serially and
-// with MPQ across goroutine workers, and confirm both agree.
+// Quickstart: build a small star query by hand, optimize it with the
+// serial baseline engine and with MPQ across goroutine workers through
+// the unified Engine API, and confirm both agree.
 //
 // Run with: go run ./examples/quickstart
+// Try:      go run ./examples/quickstart -engine sim
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"mpq"
+	"mpq/internal/cliutil"
 )
 
 func main() {
+	// The -engine flag selects the execution substrate (local goroutine
+	// workers by default); every engine returns the same plans.
+	eng := cliutil.MustParseEngine("local")
+	ctx := context.Background()
+
 	// A data-warehouse style star join: a fact table and three
 	// dimensions, equality predicates on the foreign keys.
 	q := mpq.MustNewQuery([]mpq.QueryTable{
@@ -25,29 +34,29 @@ func main() {
 	q.MustAddPredicate(mpq.Predicate{Left: 0, Right: 3, Selectivity: 1.0 / 3_650})
 
 	// The classical serial optimizer (Selinger DP, left-deep space).
-	serial, err := mpq.OptimizeSerial(q, mpq.Linear, false)
+	serial, err := mpq.NewSerialEngine().Optimize(ctx, q, mpq.JobSpec{Space: mpq.Linear, Workers: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("serial optimum:")
-	fmt.Print(serial.Format())
+	fmt.Print(serial.Best.Format())
 
 	// MPQ: the same plan space partitioned across 4 workers, each
 	// exploring a quarter of the join orders. The master compares the
 	// four partition-optimal plans.
-	ans, err := mpq.Optimize(q, mpq.JobSpec{Space: mpq.Linear, Workers: 4})
+	ans, err := eng.Optimize(ctx, q, mpq.JobSpec{Space: mpq.Linear, Workers: 4})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nMPQ over 4 workers found %s with cost %.4g (serial cost %.4g)\n",
-		ans.Best, ans.Best.Cost, serial.Cost)
+		ans.Best, ans.Best.Cost, serial.Best.Cost)
 	for _, w := range ans.PerWorker {
 		fmt.Printf("  worker %d: %d sets, %d splits, best-of-partition kept %d plan(s)\n",
 			w.PartID, w.Stats.SetsProcessed, w.Stats.SplitsTried, w.Plans)
 	}
 
 	// Bushy plans can beat left-deep ones; try the larger space.
-	bushy, err := mpq.Optimize(q, mpq.JobSpec{Space: mpq.Bushy, Workers: 2})
+	bushy, err := eng.Optimize(ctx, q, mpq.JobSpec{Space: mpq.Bushy, Workers: 2})
 	if err != nil {
 		log.Fatal(err)
 	}

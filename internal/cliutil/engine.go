@@ -1,0 +1,145 @@
+// Package cliutil provides the -engine flag shared by the mpq command
+// line tools and the examples: one way to name an execution engine
+// (serial, local, sim, tcp), one set of tuning flags per engine, and
+// one constructor turning the selection into an mpq.Engine. Every tool
+// that optimizes a query offers the same choices with the same
+// spellings, which is what makes engine equivalence a user-visible
+// property rather than a test-suite secret.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mpq"
+)
+
+// EngineNames lists the accepted -engine values.
+func EngineNames() []string { return []string{"serial", "local", "sim", "tcp"} }
+
+// EngineFlags collects the shared engine-selection flags after
+// parsing. Zero values mean engine defaults.
+type EngineFlags struct {
+	// Engine is the -engine value: serial, local, sim or tcp.
+	Engine string
+	// Parallelism caps concurrent goroutine workers (local engine).
+	Parallelism int
+	// TCPWorkers is the comma-separated worker address list (tcp engine).
+	TCPWorkers string
+	// Timeout is the per-attempt deadline (tcp engine).
+	Timeout time.Duration
+	// Retries is the per-partition attempt budget (tcp engine).
+	Retries int
+	// WorkerFailures is the exclusion threshold (tcp engine).
+	WorkerFailures int
+	// Kill crashes this many simulated workers mid-query (sim engine).
+	Kill int
+	// Detect is the failure-detection timeout for Kill (sim engine).
+	Detect time.Duration
+}
+
+// Register installs the shared flags on fs with the given default
+// engine and returns the destination struct; call Build after parsing.
+func Register(fs *flag.FlagSet, def string) *EngineFlags {
+	ef := &EngineFlags{}
+	fs.StringVar(&ef.Engine, "engine", def,
+		"execution engine: "+strings.Join(EngineNames(), ", ")+
+			" (serial DP, goroutine workers, cluster simulation, remote TCP workers)")
+	fs.IntVar(&ef.Parallelism, "parallelism", 0,
+		"local engine: cap on concurrent worker goroutines (0 = one per partition)")
+	fs.StringVar(&ef.TCPWorkers, "tcp-workers", "",
+		"tcp engine: comma-separated worker addresses (start them with: mpqnode worker)")
+	fs.DurationVar(&ef.Timeout, "timeout", 0,
+		"tcp engine: per-job-attempt deadline, also bounding the dial (0 = default 2m)")
+	fs.IntVar(&ef.Retries, "retries", 0,
+		"tcp engine: attempts per partition before giving up (0 = default)")
+	fs.IntVar(&ef.WorkerFailures, "max-worker-failures", 0,
+		"tcp engine: consecutive failures before a worker is excluded (0 = default)")
+	fs.IntVar(&ef.Kill, "kill", 0,
+		"sim engine: crash this many workers mid-query and measure recovery")
+	fs.DurationVar(&ef.Detect, "detect", 0,
+		"sim engine: failure-detection timeout for -kill (default 10s)")
+	return ef
+}
+
+// Build constructs the selected engine. partitions is the job's worker
+// count, used to validate -kill (pass a large value when it varies).
+func (ef *EngineFlags) Build(partitions int) (mpq.Engine, error) {
+	switch strings.ToLower(ef.Engine) {
+	case "serial":
+		return mpq.NewSerialEngine(), nil
+	case "local", "inprocess":
+		return mpq.NewInProcessEngine(mpq.WithParallelism(ef.Parallelism)), nil
+	case "sim":
+		opts := []mpq.EngineOption{mpq.WithClusterModel(mpq.DefaultClusterModel())}
+		if ef.Kill < 0 {
+			return nil, fmt.Errorf("-kill %d must not be negative", ef.Kill)
+		}
+		if ef.Kill > 0 {
+			if ef.Kill >= partitions {
+				return nil, fmt.Errorf("-kill %d must leave at least one of %d workers alive", ef.Kill, partitions)
+			}
+			faults := mpq.ClusterFaults{DetectTimeout: ef.Detect}
+			for i := 0; i < ef.Kill; i++ {
+				faults.Dead = append(faults.Dead, i)
+			}
+			opts = append(opts, mpq.WithClusterFaults(faults))
+		}
+		return mpq.NewSimEngine(opts...), nil
+	case "tcp":
+		if ef.TCPWorkers == "" {
+			return nil, fmt.Errorf("-engine tcp requires -tcp-workers host:port[,host:port...]")
+		}
+		return mpq.NewTCPEngine(strings.Split(ef.TCPWorkers, ","),
+			mpq.WithMasterOptions(mpq.MasterOptions{
+				Timeout:           ef.Timeout,
+				MaxAttempts:       ef.Retries,
+				MaxWorkerFailures: ef.WorkerFailures,
+			}))
+	default:
+		return nil, fmt.Errorf("unknown engine %q (want %s)", ef.Engine, strings.Join(EngineNames(), ", "))
+	}
+}
+
+// Describe renders one answer line for the engine that produced ans:
+// the simulator's virtual time and traffic, the TCP runtime's measured
+// network stats, or the in-process wall clock.
+func Describe(ans *mpq.Answer) string {
+	switch {
+	case ans.Cluster != nil:
+		line := fmt.Sprintf("virtual %v, network %d bytes in %d messages, peak memo %d relations",
+			ans.Cluster.VirtualTime.Round(1000), ans.Cluster.Bytes, ans.Cluster.Messages, ans.Cluster.MaxMemoEntries)
+		if ans.Cluster.Redispatches > 0 {
+			line += fmt.Sprintf("; %d re-dispatches, recovery overhead %v",
+				ans.Cluster.Redispatches, ans.Cluster.RecoveryOverhead.Round(1000))
+		}
+		return line
+	case ans.Net != nil:
+		line := fmt.Sprintf("wall %v; network %d bytes sent, %d received, %d messages over %d connections",
+			ans.Elapsed.Round(1000), ans.Net.BytesSent, ans.Net.BytesReceived, ans.Net.Messages, ans.Net.Dials)
+		if ans.Net.Redispatched > 0 {
+			line += fmt.Sprintf("; recovered from failures: %d re-dispatched", ans.Net.Redispatched)
+		}
+		return line
+	default:
+		return fmt.Sprintf("wall %v (slowest worker %v)",
+			ans.Elapsed.Round(1000), ans.MaxWorkerElapsed.Round(1000))
+	}
+}
+
+// MustParseEngine is the examples' one-liner: it registers the shared
+// flags on the default flag set with the given default engine, parses
+// the command line, and builds the engine. Errors are fatal.
+func MustParseEngine(def string) mpq.Engine {
+	ef := Register(flag.CommandLine, def)
+	flag.Parse()
+	eng, err := ef.Build(1 << 20)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "engine:", err)
+		os.Exit(1)
+	}
+	return eng
+}

@@ -18,6 +18,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -230,41 +231,22 @@ func (m Model) faultSchedule(reqBytes, respBytes []int, units []uint64, dead map
 }
 
 // Metrics is the simulator's measurement record — one row of the paper's
-// figures.
-type Metrics struct {
-	// Bytes is the total traffic over the network (both directions),
-	// the "Network (bytes)" axis.
-	Bytes uint64
-	// Messages is the number of point-to-point messages.
-	Messages int
-	// Rounds is the number of master↔worker communication rounds
-	// (always 1 for MPQ; n-1 for SMA).
-	Rounds int
-	// VirtualTime is the master-observed end-to-end optimization time,
-	// the "Time (ms)" axis.
-	VirtualTime time.Duration
-	// MaxWorkerTime is the slowest worker's busy time, the "W-Time" axis.
-	MaxWorkerTime time.Duration
-	// MaxMemoEntries is the peak per-worker memo size, the
-	// "Memory (relations)" axis.
-	MaxMemoEntries uint64
-	// Work aggregates the DP work counters over all workers.
-	Work plan.Stats
-	// Redispatches counts partitions whose worker died and whose job was
-	// re-sent to a survivor (zero in a failure-free run).
-	Redispatches int
-	// RecoveryOverhead is VirtualTime minus what the same run would have
-	// taken failure-free — the cost of detection plus re-dispatch (zero
-	// in a failure-free run). Computed from the schedule, not by
-	// re-running the optimizer.
-	RecoveryOverhead time.Duration
-}
+// figures. It is an alias of core.ClusterMetrics so engine-agnostic
+// answers can carry it without importing this package.
+type Metrics = core.ClusterMetrics
 
 // Result is the outcome of one simulated optimization.
 type Result struct {
 	Best     *plan.Node
 	Frontier []*plan.Node // multi-objective only
 	Metrics  Metrics
+	// PerWorker lists each virtual worker's report in partition-ID
+	// order; Elapsed is the worker's virtual compute time under the
+	// model's work-unit rate.
+	PerWorker []core.WorkerReport
+	// MaxWorkerStats is the largest per-worker work counter set — the
+	// critical path of skew-free parallel execution.
+	MaxWorkerStats plan.Stats
 }
 
 // RunMPQ simulates Algorithm 1: the master serializes (query, partition
@@ -273,7 +255,14 @@ type Result struct {
 // the master decodes and FinalPrunes. One round, no worker↔worker
 // traffic.
 func RunMPQ(model Model, q *query.Query, spec core.JobSpec) (*Result, error) {
-	return RunMPQWithFaults(model, q, spec, Faults{})
+	return RunMPQWithFaultsContext(context.Background(), model, q, spec, Faults{})
+}
+
+// RunMPQContext is RunMPQ with cooperative cancellation: every virtual
+// worker's dynamic program checks ctx, and the run returns an error
+// wrapping ctx's cause once all workers have stopped.
+func RunMPQContext(ctx context.Context, model Model, q *query.Query, spec core.JobSpec) (*Result, error) {
+	return RunMPQWithFaultsContext(ctx, model, q, spec, Faults{})
 }
 
 // RunMPQWithFaults simulates Algorithm 1 under the scripted failure
@@ -285,6 +274,12 @@ func RunMPQ(model Model, q *query.Query, spec core.JobSpec) (*Result, error) {
 // stateless — while VirtualTime, traffic, and Redispatches expose the
 // recovery overhead.
 func RunMPQWithFaults(model Model, q *query.Query, spec core.JobSpec, faults Faults) (*Result, error) {
+	return RunMPQWithFaultsContext(context.Background(), model, q, spec, faults)
+}
+
+// RunMPQWithFaultsContext is RunMPQWithFaults with cooperative
+// cancellation (see RunMPQContext).
+func RunMPQWithFaultsContext(ctx context.Context, model Model, q *query.Query, spec core.JobSpec, faults Faults) (*Result, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
@@ -327,7 +322,7 @@ func RunMPQWithFaults(model Model, q *query.Query, spec core.JobSpec, faults Fau
 				runs[partID].err = err
 				return
 			}
-			res, err := core.RunWorker(decoded.Query, decoded.Spec, decoded.PartID)
+			res, err := core.RunWorkerContext(ctx, decoded.Query, decoded.Spec, decoded.PartID)
 			if err != nil {
 				runs[partID].err = err
 				return
@@ -345,6 +340,9 @@ func RunMPQWithFaults(model Model, q *query.Query, spec core.JobSpec, faults Fau
 		}(partID)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("cluster: simulation canceled: %w", context.Cause(ctx))
+	}
 
 	dead := make(map[int]bool, len(faults.Dead))
 	for _, d := range faults.Dead {
@@ -388,6 +386,13 @@ func RunMPQWithFaults(model Model, q *query.Query, spec core.JobSpec, faults Fau
 		units[partID] = r.resp.Stats.WorkUnits()
 		frontiers = append(frontiers, r.resp.Plans)
 		planCount += len(r.resp.Plans)
+		out.PerWorker = append(out.PerWorker, core.WorkerReport{
+			PartID: partID, Plans: len(r.resp.Plans), Stats: r.resp.Stats,
+			Elapsed: model.compute(r.resp.Stats.WorkUnits()),
+		})
+		if r.resp.Stats.WorkUnits() > out.MaxWorkerStats.WorkUnits() {
+			out.MaxWorkerStats = r.resp.Stats
+		}
 	}
 	total, maxWorker := model.faultSchedule(reqBytes, respBytes, units, dead, detect)
 	met.VirtualTime = total + time.Duration(planCount)*model.FinalPrunePerPlan

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -134,6 +135,13 @@ func (s JobSpec) DPOptions() dp.Options {
 // constrained dynamic program. It is the single entry point shared by
 // the goroutine engine, the cluster simulator and the TCP runtime.
 func RunWorker(q *query.Query, spec JobSpec, partID int) (*dp.Result, error) {
+	return RunWorkerContext(context.Background(), q, spec, partID)
+}
+
+// RunWorkerContext is RunWorker with cooperative cancellation: the
+// dynamic program checks ctx between cardinality levels (and
+// periodically within one) and returns an error wrapping ctx's cause.
+func RunWorkerContext(ctx context.Context, q *query.Query, spec JobSpec, partID int) (*dp.Result, error) {
 	if err := spec.Validate(q.N()); err != nil {
 		return nil, err
 	}
@@ -141,7 +149,7 @@ func RunWorker(q *query.Query, spec JobSpec, partID int) (*dp.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return dp.Run(q, cs, spec.DPOptions())
+	return dp.RunContext(ctx, q, cs, spec.DPOptions())
 }
 
 // WorkerReport is the master's record of one worker's contribution.
@@ -173,6 +181,12 @@ type Answer struct {
 	// MaxWorkerElapsed is the slowest worker's wall-clock time
 	// ("W-Time" in Figure 2).
 	MaxWorkerElapsed time.Duration
+	// Net holds the measured TCP traffic when the answer came from the
+	// distributed runtime (the TCP engine); nil for other engines.
+	Net *NetStats
+	// Cluster holds the simulator's measurement record when the answer
+	// came from the simulated cluster (the sim engine); nil otherwise.
+	Cluster *ClusterMetrics
 }
 
 // FinalPrune implements the master's second phase (Algorithm 1, lines
@@ -218,6 +232,15 @@ func Optimize(q *query.Query, spec JobSpec) (*Answer, error) {
 // goroutines (the paper's executors-per-node knob). maxParallel < 1
 // means one goroutine per partition.
 func OptimizeParallelism(q *query.Query, spec JobSpec, maxParallel int) (*Answer, error) {
+	return OptimizeContext(context.Background(), q, spec, maxParallel)
+}
+
+// OptimizeContext is OptimizeParallelism with cooperative cancellation:
+// every worker goroutine checks ctx between cardinality levels (and
+// periodically within one), queued workers never start once ctx is
+// done, and the master returns an error wrapping ctx's cause after all
+// workers have stopped — no goroutine outlives the call.
+func OptimizeContext(ctx context.Context, q *query.Query, spec JobSpec, maxParallel int) (*Answer, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -245,14 +268,22 @@ func OptimizeParallelism(q *query.Query, spec JobSpec, maxParallel int) (*Answer
 		wg.Add(1)
 		go func(partID int) {
 			defer wg.Done()
-			sem <- struct{}{}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				results[partID] = outcome{partID: partID, err: ctx.Err()}
+				return
+			}
 			defer func() { <-sem }()
 			t0 := time.Now()
-			res, err := RunWorker(q, spec, partID)
+			res, err := RunWorkerContext(ctx, q, spec, partID)
 			results[partID] = outcome{partID: partID, res: res, elapsed: time.Since(t0), err: err}
 		}(partID)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: optimization canceled: %w", context.Cause(ctx))
+	}
 
 	ans := &Answer{}
 	frontiers := make([][]*plan.Node, 0, m)

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"time"
+
+	"mpq/internal/plan"
+)
+
+// NetStats records the measured TCP traffic of one distributed
+// optimization (or one query's share of a batch). It lives in core —
+// rather than in the TCP runtime that fills it — so an engine-agnostic
+// Answer can carry it without the algorithm layer importing a
+// transport; internal/netrun aliases it.
+type NetStats struct {
+	// BytesSent is master → workers traffic: payloads plus frame headers.
+	BytesSent uint64
+	// BytesReceived is workers → master traffic, including frames the
+	// master received but ignored (duplicates, stale responses).
+	BytesReceived uint64
+	// Messages counts point-to-point frames in both directions.
+	Messages int
+	// Dials counts TCP connections the master opened. A batch that
+	// reuses keep-alive connections across queries dials once per
+	// worker, not once per (query, worker).
+	Dials int
+	// IgnoredFrames counts well-formed frames the master discarded
+	// because their sequence number did not match the job in flight —
+	// duplicated or stale responses replayed by the network. Each is
+	// attributed to the query whose request originally produced it. A
+	// duplicate that arrives after the last job served on its
+	// connection is never read (the master has nothing left to wait
+	// for there) and therefore never counted.
+	IgnoredFrames int
+	// Redispatched counts job attempts that failed at the transport
+	// level and were re-queued onto another worker (or retried). Zero in
+	// a failure-free run.
+	Redispatched int
+}
+
+// ClusterMetrics is the simulated shared-nothing cluster's measurement
+// record — one row of the paper's figures. It lives in core so a
+// simulator Answer can carry it; internal/cluster aliases it as
+// cluster.Metrics.
+type ClusterMetrics struct {
+	// Bytes is the total traffic over the network (both directions),
+	// the "Network (bytes)" axis.
+	Bytes uint64
+	// Messages is the number of point-to-point messages.
+	Messages int
+	// Rounds is the number of master↔worker communication rounds
+	// (always 1 for MPQ; n-1 for SMA).
+	Rounds int
+	// VirtualTime is the master-observed end-to-end optimization time,
+	// the "Time (ms)" axis.
+	VirtualTime time.Duration
+	// MaxWorkerTime is the slowest worker's busy time, the "W-Time" axis.
+	MaxWorkerTime time.Duration
+	// MaxMemoEntries is the peak per-worker memo size, the
+	// "Memory (relations)" axis.
+	MaxMemoEntries uint64
+	// Work aggregates the DP work counters over all workers.
+	Work plan.Stats
+	// Redispatches counts partitions whose worker died and whose job was
+	// re-sent to a survivor (zero in a failure-free run).
+	Redispatches int
+	// RecoveryOverhead is VirtualTime minus what the same run would have
+	// taken failure-free — the cost of detection plus re-dispatch (zero
+	// in a failure-free run). Computed from the schedule, not by
+	// re-running the optimizer.
+	RecoveryOverhead time.Duration
+}

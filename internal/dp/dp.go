@@ -32,6 +32,7 @@
 package dp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -193,18 +194,46 @@ type entry struct {
 // plan space (Linear or Bushy) and the join-order constraints; use
 // partition.Unconstrained for the classical serial algorithm.
 func Run(q *query.Query, cs *partition.ConstraintSet, opts Options) (*Result, error) {
+	return RunContext(context.Background(), q, cs, opts)
+}
+
+// cancelPollInterval is how many processed sets may pass between two
+// context-cancellation checks inside one cardinality level. Checking
+// ctx.Err() takes a mutex, so the hot loop amortizes it; a level's tail
+// is always bounded by this many sets plus the set in flight.
+const cancelPollInterval = 256
+
+// RunContext is Run with cooperative cancellation: the search checks
+// ctx between cardinality levels and every cancelPollInterval table
+// sets within a level, returning an error wrapping ctx's cause as soon
+// as the current set finishes. Partial results are discarded — a
+// canceled partition search yields no plans.
+func RunContext(ctx context.Context, q *query.Query, cs *partition.ConstraintSet, opts Options) (*Result, error) {
 	eng, err := NewEngine(q, cs, opts)
 	if err != nil {
 		return nil, err
 	}
 	n := q.N()
 	enum := cs.NewEnumerator()
+	sincePoll := 0
 	for k := 2; k <= n; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("dp: canceled at cardinality %d: %w", k, context.Cause(ctx))
+		}
 		done := enum.ForEachAdmissible(k, func(u bitset.Set) bool {
 			eng.ProcessSet(u)
+			if sincePoll++; sincePoll >= cancelPollInterval {
+				sincePoll = 0
+				if ctx.Err() != nil {
+					return false
+				}
+			}
 			return !eng.LimitExceeded()
 		})
 		if !done {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("dp: canceled at cardinality %d: %w", k, context.Cause(ctx))
+			}
 			return nil, fmt.Errorf("%w after %d units", ErrWorkLimit, eng.Stats().WorkUnits())
 		}
 	}

@@ -1,8 +1,11 @@
 package dp
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
+	"time"
 
 	"mpq/internal/brute"
 	"mpq/internal/cost"
@@ -469,6 +472,32 @@ func BenchmarkSerialLinear12(b *testing.B) {
 		if _, err := Serial(q, partition.Linear, Options{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// RunContext aborts between cardinality levels (and periodically
+// within one) once the context is canceled, wrapping the cause.
+func TestRunContextCanceled(t *testing.T) {
+	q := genQuery(t, 14, workload.Clique, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, q, partition.Unconstrained(partition.Linear, q.N()), Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Mid-run: cancel shortly after the search starts.
+	ctx, cancel = context.WithCancel(context.Background())
+	timer := time.AfterFunc(2*time.Millisecond, cancel)
+	defer timer.Stop()
+	if _, err := RunContext(ctx, q, partition.Unconstrained(partition.Linear, q.N()), Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run err = %v, want context.Canceled", err)
+	}
+	cancel()
+	// A background context changes nothing.
+	res, err := RunContext(context.Background(), genQuery(t, 6, workload.Star, 1),
+		partition.Unconstrained(partition.Linear, 6), Options{})
+	if err != nil || len(res.Plans) == 0 {
+		t.Fatalf("background run: %v", err)
 	}
 }
 

@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -43,6 +44,29 @@ type Config struct {
 	MaxWorkers int
 	// Progress, when non-nil, receives one line per completed panel.
 	Progress io.Writer
+	// Ctx, when non-nil, cancels a running experiment: the simulated
+	// workers abort their dynamic programs and every data-point loop
+	// checks it, so a long sweep stops within one data point of the
+	// cancellation. Already-completed tables are unaffected —
+	// cmd/mpqbench flushes each table as it finishes, so an interrupt
+	// loses only the experiment in flight.
+	Ctx context.Context
+}
+
+// context returns the experiment context (Background when unset).
+func (c Config) context() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
+}
+
+// canceled reports the context's error once it is done, nil before.
+func (c Config) canceled() error {
+	if c.Ctx != nil && c.Ctx.Err() != nil {
+		return context.Cause(c.Ctx)
+	}
+	return nil
 }
 
 // Quick returns the CI-scale configuration.

@@ -59,6 +59,9 @@ func fig1Panel(cfg Config, space partition.Space, n int) (Fig1Panel, error) {
 		spec := core.JobSpec{Space: space, Workers: m}
 		var mpqT, mpqB, smaT, smaB []float64
 		for _, q := range qs {
+			if err := cfg.canceled(); err != nil {
+				return panel, err
+			}
 			mres, err := runMPQ(cfg, q, spec)
 			if err != nil {
 				return panel, err

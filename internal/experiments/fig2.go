@@ -10,9 +10,10 @@ import (
 	"mpq/internal/workload"
 )
 
-// runMPQ simulates one MPQ job on the configured cluster.
+// runMPQ simulates one MPQ job on the configured cluster, honoring the
+// experiment's cancellation context.
 func runMPQ(cfg Config, q *query.Query, spec core.JobSpec) (*cluster.Result, error) {
-	return cluster.RunMPQ(cfg.Model, q, spec)
+	return cluster.RunMPQContext(cfg.context(), cfg.Model, q, spec)
 }
 
 // Fig2Panel is one curve set of Figure 2: MPQ scaling for one plan space

@@ -64,6 +64,9 @@ func fig3Panel(cfg Config, algo string, n int) (Fig3Panel, error) {
 			spec := core.JobSpec{Space: partition.Linear, Workers: m}
 			var times []float64
 			for _, q := range qs {
+				if err := cfg.canceled(); err != nil {
+					return panel, err
+				}
 				var t float64
 				if algo == "SMA" {
 					res, err := sma.Run(cfg.Model, q, spec)

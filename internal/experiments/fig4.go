@@ -62,6 +62,9 @@ func fig4Panel(cfg Config, space partition.Space, n int) (Fig4Panel, error) {
 		}
 		var mpqT, mpqB, smaT, smaB []float64
 		for _, q := range qs {
+			if err := cfg.canceled(); err != nil {
+				return panel, err
+			}
 			mres, err := runMPQ(cfg, q, spec)
 			if err != nil {
 				return panel, err

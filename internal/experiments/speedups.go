@@ -85,7 +85,7 @@ func speedupCase(cfg Config, space partition.Space, n, m int, obj core.Objective
 	for _, q := range qs {
 		// Serial reference: worker time only, no communication (the
 		// paper measures the classical algorithm on a single node).
-		serialRes, err := core.RunWorker(q, serialSpec, 0)
+		serialRes, err := core.RunWorkerContext(cfg.context(), q, serialSpec, 0)
 		if err != nil {
 			return row, err
 		}
@@ -99,12 +99,12 @@ func speedupCase(cfg Config, space partition.Space, n, m int, obj core.Objective
 
 		if measureReal {
 			t0 := time.Now()
-			if _, err := dp.Run(q, partition.Unconstrained(space, n), spec.DPOptions()); err != nil {
+			if _, err := dp.RunContext(cfg.context(), q, partition.Unconstrained(space, n), spec.DPOptions()); err != nil {
 				return row, err
 			}
 			serialWall := time.Since(t0)
 			t0 = time.Now()
-			if _, err := core.Optimize(q, spec); err != nil {
+			if _, err := core.OptimizeContext(cfg.context(), q, spec, spec.Workers); err != nil {
 				return row, err
 			}
 			parWall := time.Since(t0)

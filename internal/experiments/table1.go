@@ -164,7 +164,7 @@ func table1Time(cfg Config, q *query.Query, alpha float64, m int, maxBudget time
 	limit := uint64(2*float64(maxBudget.Nanoseconds())/cfg.Model.NsPerWorkUnit) + 1
 	dpo := spec.DPOptions()
 	dpo.MaxWorkUnits = limit
-	res, err := dp.Run(q, cs, dpo)
+	res, err := dp.RunContext(cfg.context(), q, cs, dpo)
 	if errors.Is(err, dp.ErrWorkLimit) {
 		return 0, false, nil
 	}

@@ -39,6 +39,12 @@ const (
 	// master succeeds if its deadline outlasts the drip, times out
 	// otherwise.
 	SlowDrip
+	// DuplicateResponse forwards the job, then sends the worker's
+	// response frame twice — a retransmission bug or a replaying
+	// middlebox. The duplicate sits in the connection buffer where a
+	// naive master would read it as the answer to its *next* request;
+	// the sequence echo lets the master detect and discard it.
+	DuplicateResponse
 )
 
 // String names the action.
@@ -58,6 +64,8 @@ func (a FaultAction) String() string {
 		return "corrupt-request"
 	case SlowDrip:
 		return "slow-drip"
+	case DuplicateResponse:
+		return "duplicate-response"
 	default:
 		return fmt.Sprintf("FaultAction(%d)", int(a))
 	}
@@ -221,6 +229,13 @@ func (p *ChaosProxy) serve(master net.Conn) {
 			}
 		case SlowDrip:
 			if !p.drip(master, resp) {
+				return
+			}
+		case DuplicateResponse:
+			if err := WriteFrame(master, resp); err != nil {
+				return
+			}
+			if err := WriteFrame(master, resp); err != nil {
 				return
 			}
 		default:

@@ -261,6 +261,123 @@ func TestWorkerExclusionAfterRepeatedFailures(t *testing.T) {
 	}
 }
 
+// A duplicated response frame must not be mistaken for the answer to
+// the next job on the same connection: the sequence echo identifies it
+// and the master's aggregation ignores it. One worker serves all four
+// partitions back to back, so without the seq check the duplicate of
+// job 0's response would be consumed as job 1's answer and corrupt the
+// aggregation (or desync the stream).
+func TestDuplicateResponseIgnored(t *testing.T) {
+	q := gen(t, 8, 3)
+	spec := core.JobSpec{Space: partition.Linear, Workers: 4}
+	local, err := core.Optimize(q, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs, _ := startChaosWorkers(t, 1, []FaultPlan{{0: DuplicateResponse, 2: DuplicateResponse}})
+	ms, err := NewMaster(addrs, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := ms.Optimize(q, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wire.EncodePlan(ans.Best), wire.EncodePlan(local.Best)) {
+		t.Fatal("plan differs under duplicated responses")
+	}
+	if ans.Redispatched != 0 {
+		t.Fatalf("Redispatched = %d: duplicates must not look like failures", ans.Redispatched)
+	}
+	if ans.Net.IgnoredFrames != 2 {
+		t.Fatalf("IgnoredFrames = %d, want 2 (one per duplicated frame)", ans.Net.IgnoredFrames)
+	}
+	// Every partition must have been answered exactly once in the
+	// aggregation: 4 reports, each with plans.
+	if len(ans.PerWorker) != 4 {
+		t.Fatalf("PerWorker reports = %d, want 4", len(ans.PerWorker))
+	}
+}
+
+// A duplicate that surfaces while a *different* query's unit is in
+// flight on the shared batch connection must be billed to the query
+// that produced it, not the one that happened to read it.
+func TestDuplicateAttributionAcrossBatchQueries(t *testing.T) {
+	qa, qb := gen(t, 7, 31), gen(t, 7, 32)
+	jspec := core.JobSpec{Space: partition.Linear, Workers: 4}
+	// One worker serves query A's four units, then query B's four; the
+	// proxy duplicates the response of A's last unit (arrival index 3),
+	// so the duplicate is read while B's first unit is in flight.
+	addrs, _ := startChaosWorkers(t, 1, []FaultPlan{{3: DuplicateResponse}})
+	ms, err := NewMaster(addrs, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := ms.OptimizeBatch(t.Context(), []Job{
+		{Query: qa, Spec: jspec},
+		{Query: qb, Spec: jspec},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := answers[0].Net.IgnoredFrames; got != 1 {
+		t.Fatalf("query A IgnoredFrames = %d, want 1 (it produced the duplicate)", got)
+	}
+	if got := answers[1].Net.IgnoredFrames; got != 0 {
+		t.Fatalf("query B IgnoredFrames = %d, want 0 (it only read the duplicate)", got)
+	}
+	// The duplicate's bytes and message land on A as well: A saw its 8
+	// regular frames plus the duplicate.
+	if answers[0].Net.Messages != 9 || answers[1].Net.Messages != 8 {
+		t.Fatalf("messages = %d/%d, want 9/8", answers[0].Net.Messages, answers[1].Net.Messages)
+	}
+}
+
+// A batch keeps its bit-identity guarantee under injected faults: the
+// units of both queries are interleaved over the same keep-alive
+// connections, some attempts are killed or corrupted, and every answer
+// must still match its clean single-query run byte for byte.
+func TestBatchBitIdenticalUnderFaults(t *testing.T) {
+	qa, qb := gen(t, 8, 21), gen(t, 7, 22)
+	ja := Job{Query: qa, Spec: core.JobSpec{Space: partition.Linear, Workers: 8}}
+	jb := Job{Query: qb, Spec: core.JobSpec{Space: partition.Bushy, Workers: 4}}
+	localA, err := core.Optimize(qa, ja.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localB, err := core.Optimize(qb, jb.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := []FaultPlan{
+		{0: KillBeforeResponse, 3: CorruptResponse, 5: DuplicateResponse},
+		{1: TruncateResponse},
+	}
+	addrs, _ := startChaosWorkers(t, 2, plans)
+	ms, err := NewMasterWithOptions(addrs, Options{
+		Timeout:           5 * time.Second,
+		MaxAttempts:       6,
+		MaxWorkerFailures: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := ms.OptimizeBatch(t.Context(), []Job{ja, jb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wire.EncodePlan(answers[0].Best), wire.EncodePlan(localA.Best)) {
+		t.Fatal("batch answer 0 differs from the in-process plan")
+	}
+	if !bytes.Equal(wire.EncodePlan(answers[1].Best), wire.EncodePlan(localB.Best)) {
+		t.Fatal("batch answer 1 differs from the in-process plan")
+	}
+	redispatched := answers[0].Redispatched + answers[1].Redispatched
+	if redispatched < 3 {
+		t.Fatalf("Redispatched = %d across the batch, want >= 3", redispatched)
+	}
+}
+
 // When every attempt fails, the retry budget bounds the damage and the
 // error names the partition.
 func TestRetryBudgetExhausted(t *testing.T) {

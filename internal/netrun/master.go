@@ -32,7 +32,9 @@ type Options struct {
 	Weights []float64
 	// Timeout bounds one job attempt end-to-end: dialing the worker,
 	// sending the request, worker compute, and receiving the response.
-	// Zero means DefaultTimeout; negative is an error.
+	// A context deadline shorter than the remaining Timeout takes
+	// precedence (see Master.OptimizeContext). Zero means
+	// DefaultTimeout; negative is an error.
 	Timeout time.Duration
 	// MaxAttempts is the per-partition attempt budget: a partition that
 	// fails this many times (across all workers) aborts the query. Zero
@@ -45,20 +47,28 @@ type Options struct {
 }
 
 // NetStats records measured traffic of one distributed optimization.
-type NetStats struct {
-	BytesSent     uint64 // master → workers, payloads + frame headers
-	BytesReceived uint64 // workers → master
-	Messages      int
-}
+// It is an alias of core.NetStats so engine-agnostic answers can carry
+// it without importing the transport.
+type NetStats = core.NetStats
 
-// Answer extends the in-process answer with measured network statistics.
+// Answer is the in-process answer with measured network statistics:
+// the embedded core.Answer.Net is always non-nil for answers produced
+// by this master.
 type Answer struct {
 	core.Answer
-	Net NetStats
 	// Redispatched counts job attempts that failed at the transport level
 	// and were re-queued onto another worker (or retried). Zero in a
-	// failure-free run.
+	// failure-free run. It mirrors Net.Redispatched; both are kept so
+	// pre-Engine callers keep compiling.
 	Redispatched int
+}
+
+// Job is one (query, job spec) unit of a batch: OptimizeBatch pipelines
+// the plan-space partitions of many independent queries through one
+// pool of keep-alive worker connections.
+type Job struct {
+	Query *query.Query
+	Spec  core.JobSpec
 }
 
 // Master coordinates remote workers.
@@ -71,8 +81,10 @@ type Master struct {
 }
 
 // NewMaster returns a master that will distribute work over the given
-// worker addresses. timeout bounds each worker's end-to-end job time
-// (zero means DefaultTimeout).
+// worker addresses. timeout bounds each job attempt end-to-end — the
+// dial, the request send, the worker's compute and the response receive
+// all share it (zero means DefaultTimeout). It is exactly
+// NewMasterWithOptions(addrs, Options{Timeout: timeout}).
 func NewMaster(addrs []string, timeout time.Duration) (*Master, error) {
 	return NewMasterWithOptions(addrs, Options{Timeout: timeout})
 }
@@ -181,22 +193,35 @@ func (ms *Master) assignPartitions(m int) [][]int {
 	return out
 }
 
-// job is one (partition, retry state) unit of work.
-type job struct {
-	partID   int
+// unit is one (query, partition, retry state) piece of work.
+type unit struct {
+	qi       int   // index into the batch's jobs
+	partID   int   // plan-space partition within that query
 	attempts int   // failed attempts so far
-	failedOn []int // workers that already failed this partition
+	failedOn []int // workers that already failed this unit
+}
+
+// ignoredFrame is one well-formed frame the master discarded for a
+// stale sequence number, attributed to the query whose request
+// originally produced it (qi) so per-query traffic accounting stays
+// exact even when a duplicate surfaces while another query's unit is
+// in flight on the same connection.
+type ignoredFrame struct {
+	qi    int
+	bytes uint64
 }
 
 // jobResult is one job attempt's outcome, reported by a worker loop.
 type jobResult struct {
 	worker  int
-	job     job
+	unit    unit
 	resp    *wire.JobResponse
 	elapsed time.Duration
 	sent    uint64
 	rcvd    uint64
 	msgs    int
+	dialed  bool // this attempt opened a new connection
+	ignored []ignoredFrame
 	err     error
 	fatal   bool // deterministic failure: retrying cannot help
 }
@@ -240,102 +265,164 @@ func (r *connReg) closeAll() {
 	r.conns = map[net.Conn]struct{}{}
 }
 
+// connState is one worker loop's keep-alive connection plus its
+// request sequence counter. The counter survives redials — sequence
+// numbers only ever need to be unique per connection, and a
+// monotonically increasing one is unique per master lifetime. owner
+// maps every sequence number sent on the current connection to the
+// query it belongs to, so a late duplicate can be billed to the right
+// query; it is reset on redial (a fresh stream cannot replay old
+// frames).
+type connState struct {
+	conn  net.Conn
+	seq   uint32
+	owner map[uint32]int
+}
+
 // workerLoop executes jobs for one worker address: it dials lazily,
-// keeps the connection across jobs, and reports every outcome on
-// results. At most one job is in flight per worker, so a results buffer
-// with one slot per worker can never block a loop after the coordinator
-// stops receiving.
-func (ms *Master) workerLoop(ni int, q *query.Query, spec core.JobSpec, give <-chan job, results chan<- jobResult, reg *connReg) {
-	var conn net.Conn
+// keeps the connection across jobs (and across the queries of a
+// batch), and reports every outcome on results. At most one job is in
+// flight per worker, so a results buffer with one slot per worker can
+// never block a loop after the coordinator stops receiving.
+func (ms *Master) workerLoop(ctx context.Context, ni int, jobs []Job, give <-chan unit, results chan<- jobResult, reg *connReg) {
+	st := &connState{}
 	defer func() {
-		if conn != nil {
-			reg.drop(conn)
-			conn.Close()
+		if st.conn != nil {
+			reg.drop(st.conn)
+			st.conn.Close()
 		}
 	}()
-	for jb := range give {
-		results <- ms.runJob(ni, q, spec, jb, &conn, reg)
+	for u := range give {
+		results <- ms.runJob(ctx, ni, jobs[u.qi], u, st, reg)
 	}
 }
 
-// runJob performs one job attempt under the per-job deadline.
-func (ms *Master) runJob(ni int, q *query.Query, spec core.JobSpec, jb job, connp *net.Conn, reg *connReg) jobResult {
+// runJob performs one job attempt under the per-job deadline: the
+// configured Timeout, tightened by the context deadline if that comes
+// first.
+func (ms *Master) runJob(ctx context.Context, ni int, job Job, u unit, st *connState, reg *connReg) jobResult {
 	addr := ms.addrs[ni]
-	res := jobResult{worker: ni, job: jb}
+	res := jobResult{worker: ni, unit: u}
 	t0 := time.Now()
 	deadline := t0.Add(ms.timeout)
+	if cd, ok := ctx.Deadline(); ok && cd.Before(deadline) {
+		deadline = cd
+	}
 	// fail records a transport-level error and drops the connection: the
 	// stream may be out of sync, and the next attempt should redial.
 	fail := func(err error) jobResult {
 		res.err = err
 		res.elapsed = time.Since(t0)
-		if *connp != nil {
-			reg.drop(*connp)
-			(*connp).Close()
-			*connp = nil
+		if st.conn != nil {
+			reg.drop(st.conn)
+			st.conn.Close()
+			st.conn = nil
+			st.owner = nil // a fresh stream cannot replay old frames
 		}
 		return res
 	}
-	if *connp == nil {
+	if st.conn == nil {
 		d := net.Dialer{Deadline: deadline}
 		c, err := d.DialContext(reg.ctx, "tcp", addr)
 		if err != nil {
 			return fail(fmt.Errorf("dial %s: %w", addr, err))
 		}
-		*connp = c
+		st.conn = c
+		st.owner = map[uint32]int{}
+		res.dialed = true
 		reg.add(c)
 	}
-	conn := *connp
-	payload := wire.EncodeJobRequest(&wire.JobRequest{Spec: spec, PartID: jb.partID, Query: q})
+	conn := st.conn
+	st.seq++
+	seq := st.seq
+	st.owner[seq] = u.qi
+	payload := wire.EncodeJobRequest(&wire.JobRequest{Seq: seq, Spec: job.Spec, PartID: u.partID, Query: job.Query})
 	conn.SetDeadline(deadline)
 	if err := WriteFrame(conn, payload); err != nil {
 		return fail(fmt.Errorf("send to %s: %w", addr, err))
 	}
 	res.sent = uint64(len(payload) + 4)
 	res.msgs++
-	respB, err := ReadFrame(conn)
-	if err != nil {
-		return fail(fmt.Errorf("receive from %s: %w", addr, err))
-	}
-	res.rcvd = uint64(len(respB) + 4)
-	res.msgs++
-	tag, err := wire.MessageTag(respB)
-	if err != nil {
-		return fail(fmt.Errorf("from %s: %w", addr, err))
-	}
-	switch tag {
-	case wire.TagWorkerError:
-		we, err := wire.DecodeWorkerError(respB)
+	for {
+		respB, err := ReadFrame(conn)
 		if err != nil {
-			return fail(fmt.Errorf("decode from %s: %w", addr, err))
+			return fail(fmt.Errorf("receive from %s: %w", addr, err))
 		}
-		// The frame itself arrived intact, so the connection stays usable.
-		res.err = fmt.Errorf("worker %s partition %d: %w", addr, jb.partID, we)
-		res.fatal = we.Code == wire.ErrJobFailed
-		res.elapsed = time.Since(t0)
-		return res
-	case wire.TagJobResponse:
-		resp, err := wire.DecodeJobResponse(respB)
+		frameBytes := uint64(len(respB) + 4)
+		// Accepted (and undecodable) frames are billed to the unit in
+		// flight below; duplicates are billed to the query that
+		// originally produced them via the connection's owner map.
+		accept := func() {
+			res.rcvd += frameBytes
+			res.msgs++
+		}
+		tag, err := wire.MessageTag(respB)
 		if err != nil {
-			return fail(fmt.Errorf("decode from %s: %w", addr, err))
+			accept()
+			return fail(fmt.Errorf("from %s: %w", addr, err))
 		}
-		if resp.Err != "" {
-			// Legacy in-band error. Current workers always use the explicit
-			// WorkerError frame, so this only fires on version skew; without
-			// an error code we cannot tell transit damage from a
-			// deterministic failure, and guessing "retryable" could burn the
-			// whole retry budget on a job every worker rejects. Fail fast.
-			res.err = fmt.Errorf("worker %s partition %d: %s", addr, jb.partID, resp.Err)
-			res.fatal = true
+		switch tag {
+		case wire.TagWorkerError:
+			we, err := wire.DecodeWorkerError(respB)
+			if err != nil {
+				accept()
+				return fail(fmt.Errorf("decode from %s: %w", addr, err))
+			}
+			if we.Seq != 0 && we.Seq != seq {
+				// A stale error frame for an earlier request (duplicated or
+				// replayed on the wire). Ignore it and keep reading.
+				res.ignored = append(res.ignored, ignoredFrame{qi: st.ownerOf(we.Seq, u.qi), bytes: frameBytes})
+				continue
+			}
+			accept()
+			// The frame itself arrived intact, so the connection stays usable.
+			res.err = fmt.Errorf("worker %s partition %d: %w", addr, u.partID, we)
+			res.fatal = we.Code == wire.ErrJobFailed
 			res.elapsed = time.Since(t0)
 			return res
+		case wire.TagJobResponse:
+			resp, err := wire.DecodeJobResponse(respB)
+			if err != nil {
+				accept()
+				return fail(fmt.Errorf("decode from %s: %w", addr, err))
+			}
+			if resp.Seq != seq {
+				// Duplicate or stale response: a chaos proxy (or a confused
+				// network) replayed a frame. The sequence echo proves it is
+				// not the answer to the request in flight — discard it.
+				res.ignored = append(res.ignored, ignoredFrame{qi: st.ownerOf(resp.Seq, u.qi), bytes: frameBytes})
+				continue
+			}
+			accept()
+			if resp.Err != "" {
+				// Legacy in-band error. Current workers always use the explicit
+				// WorkerError frame, so this only fires on version skew; without
+				// an error code we cannot tell transit damage from a
+				// deterministic failure, and guessing "retryable" could burn the
+				// whole retry budget on a job every worker rejects. Fail fast.
+				res.err = fmt.Errorf("worker %s partition %d: %s", addr, u.partID, resp.Err)
+				res.fatal = true
+				res.elapsed = time.Since(t0)
+				return res
+			}
+			res.resp = resp
+			res.elapsed = time.Since(t0)
+			return res
+		default:
+			accept()
+			return fail(fmt.Errorf("unexpected message tag %d from %s", tag, addr))
 		}
-		res.resp = resp
-		res.elapsed = time.Since(t0)
-		return res
-	default:
-		return fail(fmt.Errorf("unexpected message tag %d from %s", tag, addr))
 	}
+}
+
+// ownerOf reports which query the given sequence number was sent for
+// on this connection, falling back to the unit in flight for sequence
+// numbers the connection never issued.
+func (st *connState) ownerOf(seq uint32, fallback int) int {
+	if qi, ok := st.owner[seq]; ok {
+		return qi
+	}
+	return fallback
 }
 
 // Optimize runs MPQ over the remote workers. The spec's Workers field
@@ -348,37 +435,80 @@ func (ms *Master) runJob(ni int, q *query.Query, spec core.JobSpec, jb job, conn
 // budget suffices, the returned plan is bit-identical to a failure-free
 // run, because responses are aggregated in partition-ID order.
 func (ms *Master) Optimize(q *query.Query, spec core.JobSpec) (*Answer, error) {
-	if err := q.Validate(); err != nil {
+	return ms.OptimizeContext(context.Background(), q, spec)
+}
+
+// OptimizeContext is Optimize with cooperative cancellation: when ctx
+// is canceled the dispatcher stops handing out work, force-closes every
+// connection it opened (unblocking worker loops stuck in reads), aborts
+// in-flight dials, waits for all its goroutines, and returns an error
+// wrapping ctx's cause. A ctx deadline also tightens each job attempt's
+// transport deadline, so per-job deadlines flow from
+// context.WithDeadline rather than a bespoke field.
+func (ms *Master) OptimizeContext(ctx context.Context, q *query.Query, spec core.JobSpec) (*Answer, error) {
+	answers, err := ms.OptimizeBatch(ctx, []Job{{Query: q, Spec: spec}})
+	if err != nil {
 		return nil, err
 	}
-	if err := spec.Validate(q.N()); err != nil {
-		return nil, err
+	return answers[0], nil
+}
+
+// OptimizeBatch optimizes a batch of independent queries through one
+// pool of keep-alive worker connections: every (query, partition) pair
+// becomes one unit of work, each worker's queue is seeded with its
+// (weighted) share of every query, and units are executed back to back
+// on the same connections — in a failure-free batch the master dials
+// each worker exactly once instead of once per query (a transport
+// failure drops that worker's connection, so recovery adds redials).
+// Failed units are re-dispatched exactly as in Optimize;
+// worker-exclusion state spans the whole batch.
+//
+// Answers are returned in input order and are bit-identical to running
+// each job through Optimize by itself: partitions of one query are
+// aggregated in partition-ID order regardless of how the batch
+// interleaved them. Any fatal error or exhausted retry budget aborts
+// the whole batch.
+func (ms *Master) OptimizeBatch(ctx context.Context, jobs []Job) ([]*Answer, error) {
+	if len(jobs) == 0 {
+		return nil, errors.New("netrun: empty batch")
 	}
-	q.Freeze() // the query is shared across worker goroutines
+	for _, job := range jobs {
+		if err := job.Query.Validate(); err != nil {
+			return nil, err
+		}
+		if err := job.Spec.Validate(job.Query.N()); err != nil {
+			return nil, err
+		}
+		job.Query.Freeze() // the query is shared across worker goroutines
+	}
 	start := time.Now()
-	m := spec.Workers
 	k := len(ms.addrs)
 
-	// Seed each worker's own queue with its static share — preserving the
-	// weighted apportionment — and re-dispatch failures dynamically.
-	queues := make([][]job, k)
-	for ni, parts := range ms.assignPartitions(m) {
-		for _, p := range parts {
-			queues[ni] = append(queues[ni], job{partID: p})
+	// Seed each worker's own queue with its static share of every query
+	// — preserving the weighted apportionment per query — and
+	// re-dispatch failures dynamically.
+	queues := make([][]unit, k)
+	totalParts := 0
+	for qi, job := range jobs {
+		for ni, parts := range ms.assignPartitions(job.Spec.Workers) {
+			for _, p := range parts {
+				queues[ni] = append(queues[ni], unit{qi: qi, partID: p})
+			}
 		}
+		totalParts += job.Spec.Workers
 	}
 
-	gives := make([]chan job, k)
+	gives := make([]chan unit, k)
 	results := make(chan jobResult, k)
-	regCtx, regCancel := context.WithCancel(context.Background())
+	regCtx, regCancel := context.WithCancel(ctx)
 	reg := &connReg{ctx: regCtx, cancel: regCancel, conns: map[net.Conn]struct{}{}}
 	var wg sync.WaitGroup
 	for ni := 0; ni < k; ni++ {
-		gives[ni] = make(chan job, 1)
+		gives[ni] = make(chan unit, 1)
 		wg.Add(1)
 		go func(ni int) {
 			defer wg.Done()
-			ms.workerLoop(ni, q, spec, gives[ni], results, reg)
+			ms.workerLoop(ctx, ni, jobs, gives[ni], results, reg)
 		}(ni)
 	}
 	defer func() {
@@ -393,7 +523,12 @@ func (ms *Master) Optimize(q *query.Query, spec core.JobSpec) (*Answer, error) {
 		resp    *wire.JobResponse
 		elapsed time.Duration
 	}
-	done := make([]partDone, m)
+	done := make([][]partDone, len(jobs))
+	remaining := make([]int, len(jobs))
+	for qi, job := range jobs {
+		done[qi] = make([]partDone, job.Spec.Workers)
+		remaining[qi] = job.Spec.Workers
+	}
 	nDone := 0
 	alive := make([]bool, k)
 	idle := make([]bool, k)
@@ -402,16 +537,19 @@ func (ms *Master) Optimize(q *query.Query, spec core.JobSpec) (*Answer, error) {
 	}
 	aliveCount := k
 	consecFails := make([]int, k)
-	var retryQ []job
+	var retryQ []unit
 	outstanding := 0
-	ans := &Answer{}
+	answers := make([]*Answer, len(jobs))
+	for qi := range answers {
+		answers[qi] = &Answer{Answer: core.Answer{Net: &core.NetStats{}}}
+	}
 
 	// failedOnAllAlive reports whether every surviving worker has already
-	// failed this job; if so, any survivor may retry it (the alternative
+	// failed this unit; if so, any survivor may retry it (the alternative
 	// is giving up while budget remains).
-	failedOnAllAlive := func(jb job) bool {
+	failedOnAllAlive := func(u unit) bool {
 		for ni := 0; ni < k; ni++ {
-			if alive[ni] && !slices.Contains(jb.failedOn, ni) {
+			if alive[ni] && !slices.Contains(u.failedOn, ni) {
 				return false
 			}
 		}
@@ -423,16 +561,16 @@ func (ms *Master) Optimize(q *query.Query, spec core.JobSpec) (*Answer, error) {
 			if !alive[ni] || !idle[ni] {
 				continue
 			}
-			var jb job
+			var u unit
 			ok := false
 			if len(queues[ni]) > 0 {
-				jb, queues[ni] = queues[ni][0], queues[ni][1:]
+				u, queues[ni] = queues[ni][0], queues[ni][1:]
 				ok = true
 			} else {
 				for i := range retryQ {
 					r := retryQ[i]
 					if !slices.Contains(r.failedOn, ni) || failedOnAllAlive(r) {
-						jb = r
+						u = r
 						retryQ = append(retryQ[:i], retryQ[i+1:]...)
 						ok = true
 						break
@@ -442,39 +580,71 @@ func (ms *Master) Optimize(q *query.Query, spec core.JobSpec) (*Answer, error) {
 			if ok {
 				idle[ni] = false
 				outstanding++
-				gives[ni] <- jb
+				gives[ni] <- u
 			}
 		}
 	}
 
-	for nDone < m {
+	for nDone < totalParts {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("netrun: %w", context.Cause(ctx))
+		}
 		if aliveCount == 0 {
 			return nil, fmt.Errorf("netrun: all %d workers failed with %d of %d partitions unanswered",
-				k, m-nDone, m)
+				k, totalParts-nDone, totalParts)
 		}
 		dispatch()
 		if outstanding == 0 {
 			// Unreachable while a worker is alive: an idle survivor always
 			// accepts pending work. Guard against coordination bugs anyway.
-			return nil, fmt.Errorf("netrun: stalled with %d of %d partitions unanswered", m-nDone, m)
+			return nil, fmt.Errorf("netrun: stalled with %d of %d partitions unanswered", totalParts-nDone, totalParts)
 		}
-		res := <-results
+		var res jobResult
+		select {
+		case res = <-results:
+		case <-ctx.Done():
+			// The deferred cleanup force-closes every connection, aborting
+			// in-flight work, and waits for the worker loops to exit.
+			return nil, fmt.Errorf("netrun: %w", context.Cause(ctx))
+		}
 		outstanding--
 		idle[res.worker] = true
+		ans := answers[res.unit.qi]
 		ans.Net.BytesSent += res.sent
 		ans.Net.BytesReceived += res.rcvd
 		ans.Net.Messages += res.msgs
+		for _, ig := range res.ignored {
+			origin := answers[ig.qi].Net
+			origin.BytesReceived += ig.bytes
+			origin.Messages++
+			origin.IgnoredFrames++
+		}
+		if res.dialed {
+			ans.Net.Dials++
+		}
 		if res.err == nil {
 			consecFails[res.worker] = 0
-			done[res.job.partID] = partDone{resp: res.resp, elapsed: res.elapsed}
+			done[res.unit.qi][res.unit.partID] = partDone{resp: res.resp, elapsed: res.elapsed}
 			nDone++
+			if remaining[res.unit.qi]--; remaining[res.unit.qi] == 0 {
+				ans.Elapsed = time.Since(start)
+			}
 			continue
 		}
 		if res.fatal {
 			return nil, fmt.Errorf("netrun: %w", res.err)
 		}
+		// A transport failure at or past the caller's deadline is the
+		// deadline's doing, not the worker's: the attempt deadline was
+		// tightened to the ctx deadline, and conn timeouts can fire a
+		// beat before the context's own timer. Wait for the (imminent)
+		// timer so the error is the deadline, deterministically.
+		if dl, ok := ctx.Deadline(); ok && !time.Now().Before(dl) {
+			<-ctx.Done()
+			return nil, fmt.Errorf("netrun: %w", context.Cause(ctx))
+		}
 		// Transport-level failure: hold the worker accountable and
-		// re-dispatch the partition.
+		// re-dispatch the unit.
 		consecFails[res.worker]++
 		if consecFails[res.worker] >= ms.maxWorkerFailures {
 			alive[res.worker] = false
@@ -483,39 +653,44 @@ func (ms *Master) Optimize(q *query.Query, spec core.JobSpec) (*Answer, error) {
 			retryQ = append(retryQ, queues[res.worker]...)
 			queues[res.worker] = nil
 		}
-		jb := res.job
-		jb.attempts++
-		jb.failedOn = append(jb.failedOn, res.worker)
-		if jb.attempts >= ms.maxAttempts {
+		u := res.unit
+		u.attempts++
+		u.failedOn = append(u.failedOn, res.worker)
+		if u.attempts >= ms.maxAttempts {
 			return nil, fmt.Errorf("netrun: partition %d failed %d times, giving up: %w",
-				jb.partID, jb.attempts, res.err)
+				u.partID, u.attempts, res.err)
 		}
 		ans.Redispatched++
-		retryQ = append(retryQ, jb)
+		ans.Net.Redispatched++
+		retryQ = append(retryQ, u)
 	}
 
-	// Aggregate in partition-ID order: arrival order varies with retries
-	// and scheduling, but the answer must not.
-	frontiers := make([][]*plan.Node, 0, m)
-	for partID := 0; partID < m; partID++ {
-		pd := done[partID]
-		ans.Stats.Add(pd.resp.Stats)
-		if pd.resp.Stats.WorkUnits() > ans.MaxWorkerStats.WorkUnits() {
-			ans.MaxWorkerStats = pd.resp.Stats
+	// Aggregate each query in partition-ID order: arrival order varies
+	// with retries, scheduling and batch interleaving, but the answers
+	// must not.
+	for qi, job := range jobs {
+		ans := answers[qi]
+		m := job.Spec.Workers
+		frontiers := make([][]*plan.Node, 0, m)
+		for partID := 0; partID < m; partID++ {
+			pd := done[qi][partID]
+			ans.Stats.Add(pd.resp.Stats)
+			if pd.resp.Stats.WorkUnits() > ans.MaxWorkerStats.WorkUnits() {
+				ans.MaxWorkerStats = pd.resp.Stats
+			}
+			if pd.elapsed > ans.MaxWorkerElapsed {
+				ans.MaxWorkerElapsed = pd.elapsed
+			}
+			ans.PerWorker = append(ans.PerWorker, core.WorkerReport{
+				PartID: partID, Plans: len(pd.resp.Plans), Stats: pd.resp.Stats, Elapsed: pd.elapsed,
+			})
+			frontiers = append(frontiers, pd.resp.Plans)
 		}
-		if pd.elapsed > ans.MaxWorkerElapsed {
-			ans.MaxWorkerElapsed = pd.elapsed
+		best, frontier, err := core.FinalPrune(job.Spec, frontiers)
+		if err != nil {
+			return nil, err
 		}
-		ans.PerWorker = append(ans.PerWorker, core.WorkerReport{
-			PartID: partID, Plans: len(pd.resp.Plans), Stats: pd.resp.Stats, Elapsed: pd.elapsed,
-		})
-		frontiers = append(frontiers, pd.resp.Plans)
+		ans.Best, ans.Frontier = best, frontier
 	}
-	best, frontier, err := core.FinalPrune(spec, frontiers)
-	if err != nil {
-		return nil, err
-	}
-	ans.Best, ans.Frontier = best, frontier
-	ans.Elapsed = time.Since(start)
-	return ans, nil
+	return answers, nil
 }

@@ -30,12 +30,29 @@
 //     decoded but the optimizer rejected it) are fatal immediately: every
 //     worker would fail identically.
 //   - A worker that fails Options.MaxWorkerFailures consecutive jobs is
-//     excluded for the rest of the query and its unstarted share is
-//     re-dispatched to the survivors.
+//     excluded for the rest of the query (or batch) and its unstarted
+//     share is re-dispatched to the survivors.
+//   - Duplicated or stale response frames (a retransmission bug, a
+//     replaying middlebox, the chaos proxy's duplicate-response action)
+//     are detected by a per-connection sequence number echoed by the
+//     worker (wire.JobRequest.Seq) and discarded; they are counted in
+//     NetStats.IgnoredFrames and never reach the aggregation.
 //
 // Results are aggregated in partition-ID order regardless of arrival
 // order or retries, so whenever at least one worker survives the answer
 // is bit-identical to a failure-free run.
+//
+// # Cancellation and batches
+//
+// Master.OptimizeContext aborts on context cancellation: the dispatcher
+// stops handing out work, force-closes its connections to unblock
+// reads, and waits for every goroutine before returning. A context
+// deadline tightens each attempt's transport deadline.
+// Master.OptimizeBatch pipelines the partitions of many independent
+// queries through one pool of keep-alive connections — in a
+// failure-free batch each worker is dialed exactly once; a transport
+// failure drops that worker's connection and the next attempt redials
+// — and returns answers bit-identical to one-query-at-a-time runs.
 package netrun
 
 import (

@@ -79,21 +79,24 @@ func (w *Worker) serveConn(conn net.Conn) {
 // an explicit wire.WorkerError frame so the master can distinguish a
 // request damaged in transit (ErrBadRequest — the master validates jobs
 // before sending, so re-dispatch can help) from a deterministic job
-// failure (ErrJobFailed — every worker would fail identically).
+// failure (ErrJobFailed — every worker would fail identically). Every
+// reply echoes the request's sequence number so the master can discard
+// duplicated or stale frames; on a decode failure the Seq is recovered
+// best-effort (0 when unreadable, which masters accept for any job).
 func handleRequest(payload []byte) []byte {
 	req, err := wire.DecodeJobRequest(payload)
 	if err != nil {
 		return wire.EncodeWorkerError(&wire.WorkerError{
-			Code: wire.ErrBadRequest, Msg: fmt.Sprintf("decode: %v", err),
+			Seq: wire.PeekJobRequestSeq(payload), Code: wire.ErrBadRequest, Msg: fmt.Sprintf("decode: %v", err),
 		})
 	}
 	res, err := core.RunWorker(req.Query, req.Spec, req.PartID)
 	if err != nil {
 		return wire.EncodeWorkerError(&wire.WorkerError{
-			Code: wire.ErrJobFailed, Msg: err.Error(),
+			Seq: req.Seq, Code: wire.ErrJobFailed, Msg: err.Error(),
 		})
 	}
-	return wire.EncodeJobResponse(&wire.JobResponse{Plans: res.Plans, Stats: res.Stats})
+	return wire.EncodeJobResponse(&wire.JobResponse{Seq: req.Seq, Plans: res.Plans, Stats: res.Stats})
 }
 
 // Close stops accepting and tears down open connections.

@@ -86,7 +86,7 @@ func TestWorkerErrorRejectsCorruption(t *testing.T) {
 		}
 	}
 	bad := append([]byte{}, good...)
-	bad[4] = 77 // unknown code
+	bad[8] = 77 // unknown code (header is 4 bytes, Seq another 4)
 	if _, err := DecodeWorkerError(bad); err == nil {
 		t.Fatal("unknown error code accepted")
 	}

@@ -14,6 +14,11 @@ import (
 // the job configuration, and this worker's partition ID. It is the only
 // message a worker ever receives for a query.
 type JobRequest struct {
+	// Seq is the master's per-connection sequence number; the worker
+	// echoes it in its response (or error frame) so the master can
+	// discard duplicated or stale frames. Zero means "unsequenced"
+	// (standalone tools that send one request per connection).
+	Seq    uint32
 	Spec   core.JobSpec
 	PartID int
 	Query  *query.Query
@@ -23,15 +28,20 @@ type JobRequest struct {
 // plan(s) and the worker's work accounting. Err is non-empty if the
 // worker failed.
 type JobResponse struct {
+	// Seq echoes the request's sequence number (see JobRequest.Seq).
+	Seq   uint32
 	Plans []*plan.Node
 	Stats plan.Stats
 	Err   string
 }
 
-// EncodeJobRequest serializes a request.
+// EncodeJobRequest serializes a request. The sequence number is encoded
+// immediately after the frame header so PeekJobRequestSeq can recover
+// it even when the rest of the request fails to decode.
 func EncodeJobRequest(r *JobRequest) []byte {
 	e := &encoder{}
 	e.header(TagJobRequest)
+	e.u32(r.Seq)
 	e.u8(uint8(r.Spec.Space))
 	e.u32(uint32(r.Spec.Workers))
 	e.u8(uint8(r.Spec.Objective))
@@ -53,6 +63,7 @@ func DecodeJobRequest(b []byte) (*JobRequest, error) {
 	d := &decoder{b: b}
 	d.header(TagJobRequest)
 	r := &JobRequest{}
+	r.Seq = d.u32()
 	r.Spec.Space = partition.Space(d.u8())
 	r.Spec.Workers = int(d.u32())
 	r.Spec.Objective = core.Objective(d.u8())
@@ -73,6 +84,19 @@ func DecodeJobRequest(b []byte) (*JobRequest, error) {
 		return nil, err
 	}
 	return r, nil
+}
+
+// PeekJobRequestSeq recovers the sequence number of a job-request frame
+// without decoding the body, tolerating a damaged body: a worker whose
+// full decode failed can still echo the request's Seq in its error
+// frame. Returns 0 (the "unsequenced" value) when even the header or
+// the Seq field is unreadable.
+func PeekJobRequestSeq(b []byte) uint32 {
+	if tag, err := MessageTag(b); err != nil || tag != TagJobRequest || len(b) < 8 {
+		return 0
+	}
+	d := &decoder{b: b, off: 4}
+	return d.u32()
 }
 
 // ErrCode classifies a worker-side failure so the master can decide
@@ -108,6 +132,10 @@ func (c ErrCode) String() string {
 // failures (fatal) from transport damage (retryable) without guessing
 // from error strings.
 type WorkerError struct {
+	// Seq echoes the failing request's sequence number (see
+	// JobRequest.Seq). Zero when the request was too damaged to recover
+	// it; masters treat a zero Seq as matching any job in flight.
+	Seq  uint32
 	Code ErrCode
 	Msg  string
 }
@@ -121,6 +149,7 @@ func (w *WorkerError) Error() string {
 func EncodeWorkerError(w *WorkerError) []byte {
 	e := &encoder{}
 	e.header(TagWorkerError)
+	e.u32(w.Seq)
 	e.u8(uint8(w.Code))
 	e.str(w.Msg)
 	return e.buf
@@ -130,7 +159,7 @@ func EncodeWorkerError(w *WorkerError) []byte {
 func DecodeWorkerError(b []byte) (*WorkerError, error) {
 	d := &decoder{b: b}
 	d.header(TagWorkerError)
-	w := &WorkerError{Code: ErrCode(d.u8()), Msg: d.str()}
+	w := &WorkerError{Seq: d.u32(), Code: ErrCode(d.u8()), Msg: d.str()}
 	if err := d.finish(); err != nil {
 		return nil, err
 	}
@@ -146,6 +175,7 @@ func DecodeWorkerError(b []byte) (*WorkerError, error) {
 func EncodeJobResponse(r *JobResponse) []byte {
 	e := &encoder{}
 	e.header(TagJobResponse)
+	e.u32(r.Seq)
 	e.str(r.Err)
 	encodeStats(e, r.Stats)
 	e.u32(uint32(len(r.Plans)))
@@ -160,6 +190,7 @@ func DecodeJobResponse(b []byte) (*JobResponse, error) {
 	d := &decoder{b: b}
 	d.header(TagJobResponse)
 	r := &JobResponse{}
+	r.Seq = d.u32()
 	r.Err = d.str()
 	r.Stats = decodeStats(d)
 	n := int(d.u32())

@@ -20,7 +20,10 @@ import (
 )
 
 // Version is the wire-format version; bump on incompatible changes.
-const Version = 1
+// Version 2 added the Seq echo to job requests, job responses and
+// worker-error frames so masters can discard duplicated or stale
+// response frames instead of mistaking them for the job in flight.
+const Version = 2
 
 const magic = 0x4D50 // "MP"
 

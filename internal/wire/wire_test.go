@@ -199,6 +199,55 @@ func TestJobRequestRoundTrip(t *testing.T) {
 	}
 }
 
+func TestJobFramesCarrySeq(t *testing.T) {
+	q := genQuery(t, 6, 2)
+	req := &JobRequest{
+		Seq:    0xDEADBEEF,
+		Spec:   core.JobSpec{Space: partition.Linear, Workers: 2},
+		PartID: 1,
+		Query:  q,
+	}
+	b := EncodeJobRequest(req)
+	got, err := DecodeJobRequest(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != req.Seq {
+		t.Fatalf("Seq = %#x, want %#x", got.Seq, req.Seq)
+	}
+	if s := PeekJobRequestSeq(b); s != req.Seq {
+		t.Fatalf("PeekJobRequestSeq = %#x, want %#x", s, req.Seq)
+	}
+	// Peek tolerates a damaged body: flip a byte beyond the Seq field.
+	bad := append([]byte{}, b...)
+	bad[len(bad)-1] ^= 0xFF
+	if s := PeekJobRequestSeq(bad); s != req.Seq {
+		t.Fatalf("PeekJobRequestSeq on damaged body = %#x, want %#x", s, req.Seq)
+	}
+	// A damaged header yields the unsequenced value.
+	bad[0] ^= 0xFF
+	if s := PeekJobRequestSeq(bad); s != 0 {
+		t.Fatalf("PeekJobRequestSeq on damaged header = %#x, want 0", s)
+	}
+
+	resp := &JobResponse{Seq: 42}
+	gotResp, err := DecodeJobResponse(EncodeJobResponse(resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotResp.Seq != 42 {
+		t.Fatalf("response Seq = %d, want 42", gotResp.Seq)
+	}
+	we := &WorkerError{Seq: 7, Code: ErrBadRequest, Msg: "x"}
+	gotWe, err := DecodeWorkerError(EncodeWorkerError(we))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotWe.Seq != 7 {
+		t.Fatalf("worker error Seq = %d, want 7", gotWe.Seq)
+	}
+}
+
 func TestJobRequestRejectsInvalidSpec(t *testing.T) {
 	q := genQuery(t, 4, 0)
 	req := &JobRequest{

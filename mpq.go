@@ -19,19 +19,32 @@
 //	q.MustAddPredicate(mpq.Predicate{Left: 0, Right: 1, Selectivity: 1e-4})
 //	q.MustAddPredicate(mpq.Predicate{Left: 1, Right: 2, Selectivity: 0.04})
 //
-//	ans, err := mpq.Optimize(q, mpq.JobSpec{Space: mpq.Linear, Workers: 2})
+//	eng := mpq.NewInProcessEngine()
+//	ans, err := eng.Optimize(context.Background(), q, mpq.JobSpec{Space: mpq.Linear, Workers: 2})
 //	if err != nil { ... }
 //	fmt.Println(ans.Best.Format())
 //
 // # Execution engines
 //
-//   - Optimize / OptimizeParallelism — goroutine workers in this process.
-//   - SimulateMPQ / SimulateSMA — deterministic shared-nothing cluster
-//     simulation with byte-exact network accounting (the engine behind
-//     the paper's figures; SMA is the fine-grained baseline).
-//   - ListenWorker / NewMaster — real TCP master/worker deployment.
+// All four engines implement the Engine interface — context-aware
+// Optimize plus batch-capable OptimizeBatch — run the same worker code
+// on the same plan-space partitions, and return identical plans:
 //
-// All engines run the same worker code and return identical plans.
+//   - NewSerialEngine — the classical single-node dynamic program (the
+//     baseline every speedup is measured against).
+//   - NewInProcessEngine — goroutine workers in this process
+//     (WithParallelism caps concurrency).
+//   - NewSimEngine — deterministic shared-nothing cluster simulation
+//     with byte-exact network accounting (the engine behind the paper's
+//     figures); answers carry ClusterMetrics in Answer.Cluster.
+//   - NewTCPEngine — real TCP master/worker deployment (start workers
+//     with ListenWorker); answers carry NetStats in Answer.Net.
+//
+// Constructors take functional options (WithParallelism,
+// WithClusterModel, WithMasterOptions, WithCostModel, ...).
+// Cancellation and per-job deadlines flow through context.Context; see
+// docs/api.md for the full engine guide and the migration table from
+// the deprecated free functions (Optimize, SimulateMPQ, NewMaster, ...).
 //
 // # Multi-objective optimization
 //
@@ -174,10 +187,15 @@ func MaxWorkers(space Space, n int) int { return partition.MaxWorkers(space, n) 
 // Optimize runs MPQ with one goroutine per plan-space partition and
 // returns the globally optimal plan (and, for multi-objective jobs, the
 // merged Pareto frontier).
+//
+// Deprecated: use NewInProcessEngine().Optimize, which accepts a
+// context for cancellation and deadlines.
 func Optimize(q *Query, spec JobSpec) (*Answer, error) { return core.Optimize(q, spec) }
 
 // OptimizeParallelism is Optimize with a cap on concurrently running
 // worker goroutines.
+//
+// Deprecated: use NewInProcessEngine(WithParallelism(maxParallel)).
 func OptimizeParallelism(q *Query, spec JobSpec, maxParallel int) (*Answer, error) {
 	return core.OptimizeParallelism(q, spec, maxParallel)
 }
@@ -185,6 +203,10 @@ func OptimizeParallelism(q *Query, spec JobSpec, maxParallel int) (*Answer, erro
 // OptimizeSerial runs the classical single-node dynamic program — the
 // baseline every speedup is measured against. With interestingOrders the
 // pruning retains the best plan per sort order.
+//
+// Deprecated: use NewSerialEngine().Optimize (set
+// JobSpec.InterestingOrders for order-aware pruning; the best plan is
+// Answer.Best).
 func OptimizeSerial(q *Query, space Space, interestingOrders bool) (*Plan, error) {
 	opts := dp.Options{InterestingOrders: interestingOrders}
 	if interestingOrders {
@@ -203,6 +225,9 @@ func DefaultClusterModel() ClusterModel { return cluster.Default() }
 
 // SimulateMPQ runs MPQ on a simulated shared-nothing cluster, returning
 // the plans plus byte-exact network and virtual-time metrics.
+//
+// Deprecated: use NewSimEngine(WithClusterModel(model)).Optimize; the
+// metrics are in Answer.Cluster.
 func SimulateMPQ(model ClusterModel, q *Query, spec JobSpec) (*ClusterResult, error) {
 	return cluster.RunMPQ(model, q, spec)
 }
@@ -238,15 +263,24 @@ func SchemaWorkload(s *Schema, sf float64) (*Catalog, *Query, error) {
 func ListenWorker(addr string) (*TCPWorker, error) { return netrun.ListenWorker(addr) }
 
 // NewMaster returns a TCP master that distributes partitions over the
-// given worker addresses.
+// given worker addresses. timeout bounds each job attempt end-to-end —
+// it covers dialing the worker as well as the send, the worker's
+// compute, and the receive, so it is also the dial timeout. It is
+// exactly NewMasterWithOptions(addrs, MasterOptions{Timeout: timeout}).
+//
+// Deprecated: use NewTCPEngine(addrs,
+// WithMasterOptions(MasterOptions{Timeout: timeout})).
 func NewMaster(addrs []string, timeout time.Duration) (*TCPMaster, error) {
-	return netrun.NewMaster(addrs, timeout)
+	return netrun.NewMasterWithOptions(addrs, MasterOptions{Timeout: timeout})
 }
 
 // NewMasterWithOptions returns a TCP master with full fault-tolerance
 // configuration: per-job deadlines, partition re-dispatch with a retry
 // budget, and exclusion of repeatedly failing workers. See the
 // internal/netrun package documentation for the failure model.
+//
+// Deprecated: use NewTCPEngine(addrs, WithMasterOptions(opts)), whose
+// answers also carry the network accounting in Answer.Net.
 func NewMasterWithOptions(addrs []string, opts MasterOptions) (*TCPMaster, error) {
 	return netrun.NewMasterWithOptions(addrs, opts)
 }
@@ -256,6 +290,10 @@ func NewMasterWithOptions(addrs []string, opts MasterOptions) (*TCPMaster, error
 // faults.DetectTimeout of virtual time and re-dispatches the partition
 // to a survivor. Plans are bit-identical to the failure-free run; the
 // metrics expose the recovery overhead.
+//
+// Deprecated: use NewSimEngine(WithClusterModel(model),
+// WithClusterFaults(faults)).Optimize; the metrics are in
+// Answer.Cluster.
 func SimulateMPQWithFaults(model ClusterModel, q *Query, spec JobSpec, faults ClusterFaults) (*ClusterResult, error) {
 	return cluster.RunMPQWithFaults(model, q, spec, faults)
 }

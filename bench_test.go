@@ -9,6 +9,9 @@
 package mpq_test
 
 import (
+	"context"
+	"runtime"
+	"runtime/debug"
 	"testing"
 
 	"mpq"
@@ -209,6 +212,53 @@ func BenchmarkMultiObjectiveLinear12(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkInProcessBatchPoolReuse measures the pooled engine's batch
+// steady state: every iteration pushes a 4-query batch through one
+// InProcessEngine, whose goroutine workers borrow recycled DP runtimes
+// (arena slabs + memo capacity) from the worker pool. The two custom
+// metrics contrast a genuinely cold first batch (the pool is flushed
+// with two GCs before measuring) against the immediately following
+// warm batch — the second batch allocating far fewer bytes than the
+// first is the pool-reuse guarantee.
+func BenchmarkInProcessBatchPoolReuse(b *testing.B) {
+	q := benchQuery(b, 12)
+	eng := mpq.NewInProcessEngine(mpq.WithParallelism(1))
+	jobs := make([]mpq.Job, 4)
+	for i := range jobs {
+		jobs[i] = mpq.Job{Query: q, Spec: mpq.JobSpec{Space: mpq.Linear, Workers: 4}}
+	}
+	ctx := context.Background()
+	batch := func() {
+		if _, err := eng.OptimizeBatch(ctx, jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	allocBytes := func(fn func()) uint64 {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		fn()
+		runtime.ReadMemStats(&after)
+		return after.TotalAlloc - before.TotalAlloc
+	}
+	// GC stays off for the whole benchmark (restored on exit even if a
+	// batch fails) so a collection cannot evict the pool contents the
+	// first batch grew; the per-batch heap is small enough that the
+	// b.N loop stays bounded without collections.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	runtime.GC()
+	runtime.GC() // flush the worker pool (including its victim cache)
+	first := allocBytes(batch)
+	second := allocBytes(batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch()
+	}
+	// After ResetTimer, which deletes earlier user metrics.
+	b.ReportMetric(float64(first), "first-batch-B")
+	b.ReportMetric(float64(second), "second-batch-B")
 }
 
 // BenchmarkSMALinear10 is the fine-grained baseline on the simulated

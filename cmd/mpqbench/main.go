@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	mpqbench -experiment fig1|fig2|fig3|fig4|fig5|table1|speedups|workloads|all [flags]
+//	mpqbench -experiment fig1|fig2|fig3|fig4|fig5|table1|speedups|workloads|micro|all [flags]
 //
 // Flags:
 //
@@ -37,7 +37,7 @@ func main() {
 }
 
 func run() error {
-	experiment := flag.String("experiment", "all", "which experiment to run (fig1..fig5, table1, speedups, workloads, all)")
+	experiment := flag.String("experiment", "all", "which experiment to run (fig1..fig5, table1, speedups, workloads, micro, all)")
 	full := flag.Bool("full", false, "paper-scale sizes (slow)")
 	queries := flag.Int("queries", 0, "queries per data point (0 = scale default)")
 	seed := flag.Int64("seed", 0, "base workload seed")
@@ -137,10 +137,18 @@ func run() error {
 			render([]*experiments.Table{experiments.WorkloadsTable(rows)})
 			return nil
 		},
+		"micro": func() error {
+			rows, err := experiments.Micro(cfg)
+			if err != nil {
+				return err
+			}
+			render([]*experiments.Table{experiments.MicroTable(rows)})
+			return nil
+		},
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "table1", "speedups", "workloads"} {
+		for _, name := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "table1", "speedups", "workloads", "micro"} {
 			if err := ctx.Err(); err != nil {
 				return interrupted(err)
 			}

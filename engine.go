@@ -164,6 +164,13 @@ func (e *SerialEngine) OptimizeBatch(ctx context.Context, jobs []Job) ([]*Answer
 // InProcessEngine runs MPQ with goroutine workers — the shared-nothing
 // algorithm on a single machine, one goroutine per plan-space
 // partition (capped by WithParallelism).
+//
+// Worker goroutines draw their DP memory (plan-node arena + memo
+// table) from a process-wide recycled pool, so a stream of queries —
+// in particular OptimizeBatch — reaches a steady state that allocates
+// almost nothing per job: the first job grows the pool, later jobs
+// borrow it back. See docs/perf.md for the design and measured
+// numbers.
 type InProcessEngine struct {
 	cfg engineConfig
 }
@@ -180,7 +187,9 @@ func (e *InProcessEngine) Optimize(ctx context.Context, q *Query, spec JobSpec) 
 }
 
 // OptimizeBatch implements Engine by optimizing the jobs sequentially;
-// each job already fans out across the configured goroutine workers.
+// each job already fans out across the configured goroutine workers,
+// and jobs after the first reuse the pooled worker memory (memo
+// capacity and arena slabs) the earlier jobs grew.
 func (e *InProcessEngine) OptimizeBatch(ctx context.Context, jobs []Job) ([]*Answer, error) {
 	return sequentialBatch(ctx, e, jobs)
 }

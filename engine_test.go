@@ -93,6 +93,15 @@ func engineWorkloads(t *testing.T) []struct {
 		Space: mpq.Linear, Workers: 4,
 		Objective: mpq.MultiObjective, Alpha: 1,
 	})
+	// Interesting orders: the order-aware pruner keeps several plans per
+	// table set, exercising the frontier store beyond its inline slots.
+	_, q, err = mpq.GenerateWorkload(mpq.NewWorkloadParams(8, mpq.Cycle), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add("Cycle-orders", q, mpq.JobSpec{
+		Space: mpq.Linear, Workers: 4, InterestingOrders: true,
+	})
 	return rows
 }
 

@@ -130,6 +130,19 @@ func (s JobSpec) DPOptions() dp.Options {
 	}
 }
 
+// workerPool recycles per-worker DP runtimes — a plan-node arena plus a
+// memo table each — across worker tasks. Every execution path funnels
+// through RunWorkerContext, so goroutine workers of the in-process
+// engine, the virtual workers of the cluster simulator and long-lived
+// TCP workers all reach the same steady state: repeated jobs borrow
+// slabs and memo capacity sized by earlier jobs instead of re-growing
+// them from scratch (the ROADMAP's NUMA-friendly memo pool — each
+// goroutine gets its own memo shard and arena, never sharing hot
+// memory with another worker). Pooling is safe because a dp.Result
+// never references runtime memory: Finish deep-copies the surviving
+// root plans out of the arena.
+var workerPool = sync.Pool{New: func() any { return dp.NewRuntime() }}
+
 // RunWorker executes one worker task (Algorithm 2): decode the partition
 // ID into constraints, enumerate admissible join results, and run the
 // constrained dynamic program. It is the single entry point shared by
@@ -149,7 +162,11 @@ func RunWorkerContext(ctx context.Context, q *query.Query, spec JobSpec, partID 
 	if err != nil {
 		return nil, err
 	}
-	return dp.RunContext(ctx, q, cs, spec.DPOptions())
+	rt := workerPool.Get().(*dp.Runtime)
+	defer workerPool.Put(rt)
+	opts := spec.DPOptions()
+	opts.Runtime = rt
+	return dp.RunContext(ctx, q, cs, opts)
 }
 
 // WorkerReport is the master's record of one worker's contribution.

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build.
+// Under -race, sync.Pool intentionally drops items at random to shake
+// out lifecycle races, so tests asserting pool reuse must skip.
+const raceEnabled = true

@@ -17,11 +17,11 @@ func TestAdmitsAllocFree(t *testing.T) {
 	q := genQuery(t, 4, workload.Star, 0)
 	a := plan.Scan(cost.Default(), q, 0)
 	b := plan.Scan(cost.Default(), q, 1)
-	plans := []*plan.Node{a, b}
+	f := FrontierOf(a, b)
 	cand := Candidate{Cost: a.Cost * 2, Buffer: a.Buffer, Order: query.NoOrder}
 	var sink bool
 	for _, pr := range []Pruner{SingleBest{}, OrderAware{}} {
-		if allocs := testing.AllocsPerRun(1000, func() { sink = pr.Admits(plans, cand) }); allocs != 0 {
+		if allocs := testing.AllocsPerRun(1000, func() { sink = pr.Admits(&f, cand) }); allocs != 0 {
 			t.Errorf("%T.Admits allocates %.1f times per call", pr, allocs)
 		}
 	}

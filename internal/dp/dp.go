@@ -29,6 +29,17 @@
 // from partition.Enumerator instead of being materialized up front,
 // keeping the master/worker memory footprint within the paper's
 // per-partition bounds (Theorem 4).
+//
+// # Memory locality
+//
+// The survivor side is allocation-free too: admitted plans are
+// materialized into a per-run plan.Arena (contiguous slabs), the memo
+// stores its entries by value in an open-addressing table presized from
+// the closed-form admissible-set count, and each entry's 1–2-plan
+// frontier lives inline in the entry (Frontier). A Runtime bundles the
+// arena and memo so a worker optimizing a batch of queries recycles
+// both — the steady state performs (almost) no heap allocation. See
+// docs/perf.md for the design and the measured trajectory.
 package dp
 
 import (
@@ -60,19 +71,20 @@ type Candidate struct {
 // Pruner decides which plans to retain per table set, in two phases.
 //
 // Admits is the cost-first admission check: it reports whether a plan
-// with cand's scalars would survive against the already-retained plans.
-// It is called once per generated candidate — the optimizer's hottest
-// path — and must not allocate or mutate plans.
+// with cand's scalars would survive against the already-retained
+// frontier. It is called once per generated candidate — the optimizer's
+// hottest path — and must not allocate or mutate the frontier.
 //
-// Insert adds p, a materialized plan for which Admits just returned true
-// against the same slice, to the retained set and returns the updated
-// slice, evicting any retained plans p dominates. The engine only calls
-// Insert after a successful Admits, so implementations may assume p
-// survives. Implementations must keep the invariant that no retained
-// plan dominates another (for their notion of dominance).
+// Insert adds p, a materialized plan for which Admits just returned
+// true against the same frontier, to the retained set, evicting any
+// retained plans p dominates (Frontier.Filter + Frontier.Append is the
+// canonical shape). The engine only calls Insert after a successful
+// Admits, so implementations may assume p survives. Implementations
+// must keep the invariant that no retained plan dominates another (for
+// their notion of dominance).
 type Pruner interface {
-	Admits(plans []*plan.Node, cand Candidate) bool
-	Insert(plans []*plan.Node, p *plan.Node) []*plan.Node
+	Admits(f *Frontier, cand Candidate) bool
+	Insert(f *Frontier, p *plan.Node)
 }
 
 // SingleBest retains exactly one plan: the cheapest by the time metric.
@@ -81,17 +93,17 @@ type Pruner interface {
 type SingleBest struct{}
 
 // Admits implements Pruner: only a new strict minimum survives.
-func (SingleBest) Admits(plans []*plan.Node, cand Candidate) bool {
-	return len(plans) == 0 || cand.Cost < plans[0].Cost
+func (SingleBest) Admits(f *Frontier, cand Candidate) bool {
+	return f.Len() == 0 || cand.Cost < f.At(0).Cost
 }
 
 // Insert implements Pruner.
-func (SingleBest) Insert(plans []*plan.Node, p *plan.Node) []*plan.Node {
-	if len(plans) == 0 {
-		return append(plans, p)
+func (SingleBest) Insert(f *Frontier, p *plan.Node) {
+	if f.Len() == 0 {
+		f.Append(p)
+		return
 	}
-	plans[0] = p
-	return plans
+	f.Set(0, p)
 }
 
 // OrderAware retains the cheapest plan per distinct output order: a plan
@@ -110,8 +122,9 @@ func orderDominates(qo, po int) bool {
 
 // Admits implements Pruner: the candidate is dominated iff a retained
 // plan is at most as expensive and its order can substitute.
-func (OrderAware) Admits(plans []*plan.Node, cand Candidate) bool {
-	for _, q := range plans {
+func (OrderAware) Admits(f *Frontier, cand Candidate) bool {
+	for i, n := 0, f.Len(); i < n; i++ {
+		q := f.At(i)
 		if q.Cost <= cand.Cost && orderDominates(q.Order, cand.Order) {
 			return false
 		}
@@ -120,14 +133,11 @@ func (OrderAware) Admits(plans []*plan.Node, cand Candidate) bool {
 }
 
 // Insert implements Pruner: p survives; evict plans it dominates.
-func (OrderAware) Insert(plans []*plan.Node, p *plan.Node) []*plan.Node {
-	out := plans[:0]
-	for _, q := range plans {
-		if !(p.Cost <= q.Cost && orderDominates(p.Order, q.Order)) {
-			out = append(out, q)
-		}
-	}
-	return append(out, p)
+func (OrderAware) Insert(f *Frontier, p *plan.Node) {
+	f.Filter(func(q *plan.Node) bool {
+		return !(p.Cost <= q.Cost && orderDominates(p.Order, q.Order))
+	})
+	f.Append(p)
 }
 
 // Options configures one dynamic-programming run.
@@ -148,6 +158,18 @@ type Options struct {
 	// (Table 1): work is deterministic, so exceeding the unit budget is
 	// exactly "the time budget ran out".
 	MaxWorkUnits uint64
+	// Runtime supplies reusable per-run memory (plan-node arena + memo
+	// table). nil means the run builds a private runtime; supplying one
+	// lets a worker recycle slabs and memo capacity across queries. The
+	// run resets the runtime, so a Runtime may back at most one engine
+	// at a time. Ignored when DisableArena is set.
+	Runtime *Runtime
+	// DisableArena forces heap-allocated plan nodes and a fresh memo —
+	// the pre-arena allocation behaviour. Plans are bit-identical either
+	// way (the constructors share their code); the bit-identity tests
+	// pin that, and it remains as the escape hatch should an embedder
+	// need survivor nodes with independent lifetimes.
+	DisableArena bool
 }
 
 func (o Options) withDefaults() Options {
@@ -183,10 +205,13 @@ func (r *Result) Best() *plan.Node {
 	return best
 }
 
-// entry is the memo record for one table set.
+// entry is the memo record for one table set. It is stored by value in
+// the memo (no per-set heap allocation) and holds its 1–2-plan frontier
+// inline, so looking a set up touches one contiguous slot instead of
+// chasing an entry pointer and a slice header.
 type entry struct {
-	card  float64
-	plans []*plan.Node
+	card float64
+	f    Frontier
 }
 
 // Run searches the plan-space partition cs of query q and returns the
@@ -271,14 +296,37 @@ func NewEngine(q *query.Query, cs *partition.ConstraintSet, opts Options) (*Engi
 	res := &Result{}
 	// Size the memo from the closed-form admissible-set count so it never
 	// rehashes mid-run: the memo stores at most one entry per admissible
-	// set (the empty set lives out of line in the map).
-	memo := setmap.New[*entry](int(cs.CountAdmissible()))
+	// set (the empty set lives out of line in the map). With a runtime
+	// the memo and the arena are borrowed (and reset) instead of built,
+	// so a worker recycles both across the queries of a batch.
+	hint := int(cs.CountAdmissible())
+	var memo *setmap.Map[entry]
+	var arena *plan.Arena
+	var spills *spillArena
+	if opts.DisableArena {
+		memo = setmap.New[entry](hint)
+	} else {
+		rt := opts.Runtime
+		if rt == nil {
+			rt = NewRuntime()
+		}
+		arena = rt.arena
+		arena.Reset()
+		rt.spills.reset()
+		spills = &rt.spills
+		memo = rt.memoFor(hint)
+	}
 	for t := 0; t < n; t++ {
-		sp := plan.Scan(opts.Model, q, t)
-		memo.Put(sp.Tables, &entry{card: sp.Card, plans: []*plan.Node{sp}})
+		var sp *plan.Node
+		if arena != nil {
+			sp = arena.Scan(opts.Model, q, t)
+		} else {
+			sp = plan.Scan(opts.Model, q, t)
+		}
+		memo.Put(sp.Tables, entry{card: sp.Card, f: FrontierOf(sp)})
 		res.Stats.PlansKept++
 	}
-	w := &worker{q: q, cs: cs, opts: opts, memo: memo, res: res}
+	w := &worker{q: q, cs: cs, opts: opts, memo: memo, arena: arena, spills: spills, res: res}
 	if cs.Space == partition.Bushy {
 		w.splitter = cs.NewSplitter()
 	}
@@ -299,13 +347,28 @@ func (e *Engine) ProcessSet(u bitset.Set) uint64 {
 }
 
 // PlansFor returns the retained plans for table set u (nil if u is not
-// in the memo). The caller must not mutate the slice.
+// in the memo) as a fresh slice. Plans may live in the engine's arena:
+// they are valid for the engine's lifetime but must not be retained
+// past it (Finish returns recycling-safe copies of the root plans).
 func (e *Engine) PlansFor(u bitset.Set) []*plan.Node {
-	ent, ok := e.w.memo.Get(u)
+	ent, ok := e.w.memo.GetRef(u)
 	if !ok {
 		return nil
 	}
-	return ent.plans
+	return ent.f.Slice()
+}
+
+// ForEachPlan calls fn for each retained plan of table set u, in
+// frontier order, without allocating (the streaming form of PlansFor —
+// the SMA driver reads every set's plans once per round through this).
+func (e *Engine) ForEachPlan(u bitset.Set, fn func(*plan.Node)) {
+	ent, ok := e.w.memo.GetRef(u)
+	if !ok {
+		return
+	}
+	for i, n := 0, ent.f.Len(); i < n; i++ {
+		fn(ent.f.At(i))
+	}
 }
 
 // MemoLen returns the number of table sets currently in the memo.
@@ -325,14 +388,23 @@ func (e *Engine) Stats() plan.Stats {
 }
 
 // Finish validates that a complete plan exists and returns the result.
+// When the run allocated from an arena, the surviving root plans are
+// deep-copied onto the heap: the Result then shares no memory with the
+// engine, so a pooled Runtime can be recycled (and the arena's slabs
+// are not pinned by a handful of returned plans).
 func (e *Engine) Finish() (*Result, error) {
 	q := e.w.q
-	root, ok := e.w.memo.Get(q.All())
-	if !ok || len(root.plans) == 0 {
+	root, ok := e.w.memo.GetRef(q.All())
+	if !ok || root.f.Len() == 0 {
 		return nil, fmt.Errorf("dp: no complete plan found (n=%d, partition %s)", e.n, e.w.cs.Describe())
 	}
 	res := e.w.res
-	res.Plans = root.plans
+	res.Plans = root.f.Slice()
+	if e.w.arena != nil {
+		for i, p := range res.Plans {
+			res.Plans[i] = plan.CloneTree(p)
+		}
+	}
 	res.Stats.MemoEntries = uint64(e.w.memo.Len())
 	return res, nil
 }
@@ -342,43 +414,65 @@ type worker struct {
 	q        *query.Query
 	cs       *partition.ConstraintSet
 	opts     Options
-	memo     *setmap.Map[*entry]
+	memo     *setmap.Map[entry]
+	arena    *plan.Arena // nil iff Options.DisableArena
+	spills   *spillArena // nil iff Options.DisableArena
 	res      *Result
 	splitter *partition.Splitter
 	predBuf  []int
+	// scratch is the entry under construction. It lives in the worker —
+	// not on trySplits' stack — because its frontier's address crosses
+	// the Pruner interface, which would force a per-set heap escape.
+	scratch entry
 }
 
 // trySplits generates and prunes all plans for join result u
-// (Algorithm 5, both variants).
+// (Algorithm 5, both variants). The entry is assembled in the worker's
+// scratch slot and stored by value once complete; memo entries are read
+// through GetRef (no copy — the memo is presized and never rehashes
+// mid-run, so the references stay put).
 func (w *worker) trySplits(u bitset.Set) {
 	w.res.Stats.SetsProcessed++
-	e := &entry{card: -1}
+	e := &w.scratch
+	e.card = -1
+	e.f.reset()
 	if w.cs.Space == partition.Linear {
 		u.ForEach(func(t int) {
 			if !w.cs.InnerAllowed(u, t) {
 				return
 			}
 			rest := u.Remove(t)
-			le, ok := w.memo.Get(rest)
-			if !ok || len(le.plans) == 0 {
+			le, ok := w.memo.GetRef(rest)
+			if !ok || le.f.Len() == 0 {
 				return
 			}
-			re, _ := w.memo.Get(bitset.Single(t))
+			re, _ := w.memo.GetRef(bitset.Single(t))
 			w.combine(e, u, rest, bitset.Single(t), le, re)
 		})
 	} else {
 		w.splitter.ForEachLeft(u, func(left bitset.Set) {
 			right := u.Minus(left)
-			le, lok := w.memo.Get(left)
-			re, rok := w.memo.Get(right)
-			if !lok || !rok || len(le.plans) == 0 || len(re.plans) == 0 {
+			le, lok := w.memo.GetRef(left)
+			re, rok := w.memo.GetRef(right)
+			if !lok || !rok || le.f.Len() == 0 || re.f.Len() == 0 {
 				return
 			}
 			w.combine(e, u, left, right, le, re)
 		})
 	}
-	if len(e.plans) > 0 {
-		w.memo.Put(u, e)
+	if e.f.Len() > 0 {
+		stored := *e
+		if len(stored.f.spill) > 0 {
+			// The scratch frontier keeps its spill array for the next set,
+			// so the memo's copy gets its own exact-size region — from the
+			// runtime's recyclable spill slabs when available.
+			if w.spills != nil {
+				stored.f.spill = w.spills.clone(e.f.spill)
+			} else {
+				stored.f.spill = append([]*plan.Node(nil), e.f.spill...)
+			}
+		}
+		w.memo.Put(u, stored)
 	}
 }
 
@@ -393,8 +487,10 @@ func (w *worker) combine(e *entry, u, left, right bitset.Set, le, re *entry) {
 	preds := w.predBuf
 	hasPred := len(preds) > 0
 
-	for _, lp := range le.plans {
-		for _, rp := range re.plans {
+	for li, ln := 0, le.f.Len(); li < ln; li++ {
+		lp := le.f.At(li)
+		for ri, rn := 0, re.f.Len(); ri < rn; ri++ {
+			rp := re.f.At(ri)
 			// Nested-loop join: preserves the outer order.
 			w.offer(e, lp, rp, plan.JoinSpec{
 				Alg: cost.NestedLoop, OutCard: e.card, Pred: plan.NoPred, Order: lp.Order,
@@ -428,15 +524,22 @@ func (w *worker) combine(e *entry, u, left, right bitset.Set, le, re *entry) {
 
 // offer evaluates one candidate join cost-first: the scalar annotations
 // are computed without building a node and checked against the pruner;
-// only admitted candidates are materialized with plan.Join. Pruned
-// candidates therefore cost zero heap allocations.
+// only admitted candidates are materialized — from the arena's slabs,
+// so survivors cost no individual heap allocation either. Pruned
+// candidates cost zero heap allocations.
 func (w *worker) offer(e *entry, lp, rp *plan.Node, spec plan.JoinSpec) {
 	c, buf := plan.JoinScalars(w.opts.Model, lp, rp, spec)
-	if !w.opts.Pruner.Admits(e.plans, Candidate{Cost: c, Buffer: buf, Order: spec.Order}) {
+	if !w.opts.Pruner.Admits(&e.f, Candidate{Cost: c, Buffer: buf, Order: spec.Order}) {
 		w.res.Stats.PlansPruned++
 		return
 	}
-	e.plans = w.opts.Pruner.Insert(e.plans, plan.JoinWithScalars(lp, rp, spec, c, buf))
+	var p *plan.Node
+	if w.arena != nil {
+		p = w.arena.JoinWithScalars(lp, rp, spec, c, buf)
+	} else {
+		p = plan.JoinWithScalars(lp, rp, spec, c, buf)
+	}
+	w.opts.Pruner.Insert(&e.f, p)
 	w.res.Stats.PlansKept++
 }
 

@@ -418,38 +418,35 @@ func TestBestOnEmptyResult(t *testing.T) {
 
 // offerTo drives the two-phase Pruner protocol the way the engine does:
 // admission on the scalars first, materialized insert only for survivors.
-func offerTo(pr Pruner, plans []*plan.Node, p *plan.Node) ([]*plan.Node, bool) {
-	if !pr.Admits(plans, Candidate{Cost: p.Cost, Buffer: p.Buffer, Order: p.Order}) {
-		return plans, false
+func offerTo(pr Pruner, f *Frontier, p *plan.Node) bool {
+	if !pr.Admits(f, Candidate{Cost: p.Cost, Buffer: p.Buffer, Order: p.Order}) {
+		return false
 	}
-	return pr.Insert(plans, p), true
+	pr.Insert(f, p)
+	return true
 }
 
 func TestSingleBestKeepsCheapest(t *testing.T) {
 	q := genQuery(t, 4, workload.Star, 0)
 	a := plan.Scan(cost.Default(), q, 0)
 	b := plan.Scan(cost.Default(), q, 1)
-	var plans []*plan.Node
-	var kept bool
-	plans, kept = offerTo(SingleBest{}, plans, a)
-	if !kept || len(plans) != 1 {
+	var f Frontier
+	if kept := offerTo(SingleBest{}, &f, a); !kept || f.Len() != 1 {
 		t.Fatal("first insert")
 	}
 	cheaper := *b
 	cheaper.Cost = a.Cost / 2
-	plans, kept = offerTo(SingleBest{}, plans, &cheaper)
-	if !kept || len(plans) != 1 || plans[0] != &cheaper {
+	if kept := offerTo(SingleBest{}, &f, &cheaper); !kept || f.Len() != 1 || f.At(0) != &cheaper {
 		t.Fatal("cheaper plan should replace")
 	}
 	expensive := *b
 	expensive.Cost = a.Cost * 2
-	plans, kept = offerTo(SingleBest{}, plans, &expensive)
-	if kept || plans[0] != &cheaper {
+	if kept := offerTo(SingleBest{}, &f, &expensive); kept || f.At(0) != &cheaper {
 		t.Fatal("more expensive plan should be pruned")
 	}
 	equal := *b
 	equal.Cost = cheaper.Cost
-	if _, kept = offerTo(SingleBest{}, plans, &equal); kept {
+	if kept := offerTo(SingleBest{}, &f, &equal); kept {
 		t.Fatal("equal-cost plan should be pruned (strict minimum)")
 	}
 }

@@ -1,0 +1,166 @@
+package dp
+
+import (
+	"testing"
+
+	"mpq/internal/plan"
+)
+
+func fp(cost float64) *plan.Node { return &plan.Node{Cost: cost} }
+
+// The frontier must behave like a plain ordered list across the
+// inline→spill boundary: Append/At/Set/Filter agree with a reference
+// slice for every transition size.
+func TestFrontierMatchesReferenceSlice(t *testing.T) {
+	for size := 0; size <= 2*frontierInline+1; size++ {
+		var f Frontier
+		var ref []*plan.Node
+		for i := 0; i < size; i++ {
+			p := fp(float64(i))
+			f.Append(p)
+			ref = append(ref, p)
+		}
+		if f.Len() != len(ref) {
+			t.Fatalf("size %d: Len = %d", size, f.Len())
+		}
+		for i, p := range ref {
+			if f.At(i) != p {
+				t.Fatalf("size %d: At(%d) mismatch", size, i)
+			}
+		}
+		got := f.Slice()
+		if len(got) != len(ref) {
+			t.Fatalf("size %d: Slice len %d", size, len(got))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("size %d: Slice[%d] mismatch", size, i)
+			}
+		}
+
+		// Filter to the odd-cost plans, preserving order.
+		f.Filter(func(p *plan.Node) bool { return int(p.Cost)%2 == 1 })
+		var want []*plan.Node
+		for _, p := range ref {
+			if int(p.Cost)%2 == 1 {
+				want = append(want, p)
+			}
+		}
+		if f.Len() != len(want) {
+			t.Fatalf("size %d: filtered Len = %d want %d", size, f.Len(), len(want))
+		}
+		for i, p := range want {
+			if f.At(i) != p {
+				t.Fatalf("size %d: filtered At(%d) mismatch", size, i)
+			}
+		}
+
+		// Appending after a filter must not disturb surviving plans.
+		extra := fp(1000)
+		f.Append(extra)
+		if f.At(f.Len()-1) != extra {
+			t.Fatal("append after filter lost the new plan")
+		}
+	}
+}
+
+func TestFrontierSetReplaces(t *testing.T) {
+	a, b, c, d := fp(1), fp(2), fp(3), fp(4)
+	f := FrontierOf(a, b, c)
+	f.Set(0, d)
+	f.Set(2, a)
+	if f.At(0) != d || f.At(1) != b || f.At(2) != a {
+		t.Fatalf("Set misplaced plans: %v %v %v", f.At(0), f.At(1), f.At(2))
+	}
+}
+
+// Filter to empty must release the retained plans (no stale inline
+// pointers pinning evicted nodes) and leave a reusable frontier.
+func TestFrontierFilterToEmpty(t *testing.T) {
+	f := FrontierOf(fp(1), fp(2), fp(3))
+	f.Filter(func(*plan.Node) bool { return false })
+	if f.Len() != 0 {
+		t.Fatalf("Len after empty filter = %d", f.Len())
+	}
+	for i := range f.inline {
+		if f.inline[i] != nil {
+			t.Fatalf("inline slot %d not released", i)
+		}
+	}
+	if f.Slice() != nil {
+		t.Fatal("Slice of empty frontier should be nil")
+	}
+	f.Append(fp(9))
+	if f.Len() != 1 || f.At(0).Cost != 9 {
+		t.Fatal("frontier unusable after empty filter")
+	}
+}
+
+// An inline-resident frontier performs no heap allocation for Append or
+// Filter — the point of the 2-slot inline storage.
+func TestFrontierInlineAllocFree(t *testing.T) {
+	a, b := fp(1), fp(2)
+	var f Frontier
+	allocs := testing.AllocsPerRun(1000, func() {
+		f.reset()
+		f.Append(a)
+		f.Append(b)
+		f.Filter(func(p *plan.Node) bool { return p.Cost < 2 })
+	})
+	if allocs != 0 {
+		t.Errorf("inline frontier allocates %.1f times per run", allocs)
+	}
+}
+
+// The spill arena must hand back copies that cannot alias each other or
+// the scratch frontier: appending to the source after a clone, or
+// cloning again, must leave earlier clones untouched — this is what
+// protects memo entries from the worker's scratch reuse.
+func TestSpillArenaCloneIsolation(t *testing.T) {
+	var sa spillArena
+	var f Frontier
+	for i := 0; i < frontierInline+2; i++ {
+		f.Append(fp(float64(i)))
+	}
+	stored := f
+	stored.spill = sa.clone(f.spill)
+
+	f.reset()
+	for i := 0; i < frontierInline+3; i++ {
+		f.Append(fp(float64(100 + i)))
+	}
+	other := f
+	other.spill = sa.clone(f.spill)
+
+	if got := stored.At(frontierInline).Cost; got != frontierInline {
+		t.Fatalf("stored copy mutated through scratch reuse: spill[0] cost = %g", got)
+	}
+	if got := other.At(frontierInline + 2).Cost; got != 100+frontierInline+2 {
+		t.Fatalf("second clone wrong: %g", got)
+	}
+	// A clone's capacity is clamped: appending must not overwrite the
+	// neighbouring region.
+	grown := stored
+	grown.Append(fp(-1))
+	if got := other.At(frontierInline).Cost; got != 102 {
+		t.Fatalf("append to one clone scribbled over another: %g", got)
+	}
+
+	// Oversized frontiers fall back to a dedicated allocation.
+	big := make([]*plan.Node, spillSlabLen+5)
+	for i := range big {
+		big[i] = fp(float64(i))
+	}
+	got := sa.clone(big)
+	if len(got) != len(big) || got[len(got)-1].Cost != float64(spillSlabLen+4) {
+		t.Fatal("oversized clone wrong")
+	}
+
+	// Reset recycles regions: same-size clones after reset add no slab.
+	slabs := len(sa.slabs)
+	sa.reset()
+	sa.clone(f.spill)
+	if len(sa.slabs) != slabs {
+		t.Fatalf("reset did not recycle spill slabs: %d != %d", len(sa.slabs), slabs)
+	}
+}

@@ -1,0 +1,97 @@
+package dp
+
+import (
+	"mpq/internal/plan"
+	"mpq/internal/setmap"
+)
+
+// Runtime bundles the reusable per-run memory of one DP worker: the
+// plan-node arena survivors are allocated from and the memo table. A
+// fresh run borrows both through Options.Runtime instead of growing
+// them from scratch, so a worker that optimizes a stream of queries —
+// the in-process engine's goroutine pool, a long-lived TCP worker —
+// reaches a steady state where the dynamic program performs (almost) no
+// heap allocation at all: candidates were already free (PR 1),
+// survivors come out of recycled slabs, and the memo reuses its
+// capacity.
+//
+// A Runtime may back at most one engine at a time: NewEngine resets the
+// arena and memo, invalidating every node of the previous run. The
+// engine's Finish therefore deep-copies the surviving root plans out of
+// the arena (plan.CloneTree) before returning them, which is what makes
+// pooling runtimes safe — a returned Result never references runtime
+// memory.
+//
+// Not safe for concurrent use; pool Runtimes (sync.Pool) to share them
+// across goroutine workers.
+type Runtime struct {
+	arena  *plan.Arena
+	memo   *setmap.Map[entry]
+	spills spillArena
+}
+
+// NewRuntime returns an empty runtime; the arena and memo grow on
+// first use and are recycled afterwards.
+func NewRuntime() *Runtime { return &Runtime{arena: plan.NewArena()} }
+
+// memoFor returns the runtime's memo reset for a run of sizeHint
+// entries, building it on first use. Reused backing arrays may be
+// larger than a fresh map's ("stale capacity"); setmap.Reset documents
+// the iteration-order consequences.
+func (rt *Runtime) memoFor(sizeHint int) *setmap.Map[entry] {
+	if rt.memo == nil {
+		rt.memo = setmap.New[entry](sizeHint)
+	} else {
+		rt.memo.Reset(sizeHint)
+	}
+	return rt.memo
+}
+
+// Arena exposes the runtime's arena for tests that assert slab
+// recycling.
+func (rt *Runtime) Arena() *plan.Arena { return rt.arena }
+
+// spillSlabLen is the pointer count per spill slab (8 KiB of plan
+// pointers).
+const spillSlabLen = 1024
+
+// spillArena hands out the memo's spilled-frontier storage from
+// contiguous, recyclable slabs, mirroring what plan.Arena does for
+// nodes: most table sets keep ≤ frontierInline plans and never touch
+// it, but order-aware and multi-objective runs spill often enough that
+// per-set spill slices would dominate the steady-state allocation
+// count.
+type spillArena struct {
+	slabs [][]*plan.Node
+	si    int // slab currently being carved
+	used  int // pointers handed out from slabs[si]
+}
+
+// clone copies src into a fresh region. The region's capacity is
+// clamped to its length, so an append to the copy can never run into a
+// neighbouring region.
+func (a *spillArena) clone(src []*plan.Node) []*plan.Node {
+	n := len(src)
+	if n > spillSlabLen { // degenerate frontier wider than a slab
+		out := make([]*plan.Node, n)
+		copy(out, src)
+		return out
+	}
+	for {
+		if a.si < len(a.slabs) {
+			if slab := a.slabs[a.si]; a.used+n <= len(slab) {
+				out := slab[a.used : a.used+n : a.used+n]
+				a.used += n
+				copy(out, src)
+				return out
+			}
+			a.si++ // tail too small; waste it and carve the next slab
+			a.used = 0
+			continue
+		}
+		a.slabs = append(a.slabs, make([]*plan.Node, spillSlabLen))
+	}
+}
+
+// reset recycles every slab; regions handed out so far are invalidated.
+func (a *spillArena) reset() { a.si, a.used = 0, 0 }

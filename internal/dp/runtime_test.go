@@ -1,0 +1,140 @@
+package dp
+
+import (
+	"fmt"
+	"testing"
+
+	"mpq/internal/partition"
+	"mpq/internal/plan"
+	"mpq/internal/workload"
+)
+
+// planKey renders everything a wire fingerprint would capture: tree
+// shape, algorithms, predicates and the scalar annotations.
+func planKey(p *plan.Node) string {
+	return fmt.Sprintf("%s|card=%b|cost=%b|buf=%b|ord=%d", p, p.Card, p.Cost, p.Buffer, p.Order)
+}
+
+// Arena-backed runs must be bit-identical to heap-backed runs — same
+// plans, same scalars, same work counters — including when one Runtime
+// is reused across queries of different sizes and spaces, so its memo
+// carries stale capacity and its arena recycled slabs.
+func TestArenaOnOffBitIdentical(t *testing.T) {
+	rt := NewRuntime()
+	cases := []struct {
+		n     int
+		shape workload.Shape
+		space partition.Space
+		opts  Options
+	}{
+		{11, workload.Star, partition.Linear, Options{}}, // big first: leaves stale capacity behind
+		{7, workload.Chain, partition.Bushy, Options{}},  // smaller, different space, stale memo
+		{8, workload.Cycle, partition.Linear, Options{InterestingOrders: true, Pruner: OrderAware{}}},
+		{7, workload.Clique, partition.Bushy, Options{}},
+		{9, workload.Snowflake, partition.Linear, Options{}},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%v-%v-n%d", tc.shape, tc.space, tc.n), func(t *testing.T) {
+			q := genQuery(t, tc.n, tc.shape, 3)
+			cs := partition.Unconstrained(tc.space, tc.n)
+
+			off := tc.opts
+			off.DisableArena = true
+			want, err := Run(q, cs, off)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			on := tc.opts
+			on.Runtime = rt // shared and reused across all cases
+			got, err := Run(q, cs, on)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if got.Stats != want.Stats {
+				t.Fatalf("stats differ:\narena %+v\nheap  %+v", got.Stats, want.Stats)
+			}
+			if len(got.Plans) != len(want.Plans) {
+				t.Fatalf("plan count %d != %d", len(got.Plans), len(want.Plans))
+			}
+			for i := range got.Plans {
+				g, w := planKey(got.Plans[i]), planKey(want.Plans[i])
+				if g != w {
+					t.Fatalf("plan %d differs:\narena %s\nheap  %s", i, g, w)
+				}
+			}
+		})
+	}
+}
+
+// Finished results must not reference runtime memory: recycling the
+// runtime for another (different) query must leave earlier plans
+// untouched.
+func TestResultSurvivesRuntimeRecycling(t *testing.T) {
+	rt := NewRuntime()
+	q1 := genQuery(t, 9, workload.Star, 1)
+	res, err := Run(q1, partition.Unconstrained(partition.Linear, 9), Options{Runtime: rt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := planKey(res.Best())
+
+	// Recycle the runtime with other queries, overwriting every slab.
+	for seed := int64(0); seed < 3; seed++ {
+		q2 := genQuery(t, 10, workload.Clique, seed)
+		if _, err := Run(q2, partition.Unconstrained(partition.Bushy, 10), Options{Runtime: rt}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if got := planKey(res.Best()); got != want {
+		t.Fatalf("earlier result mutated by runtime recycling:\nbefore %s\nafter  %s", want, got)
+	}
+	if err := res.Best().Validate(q1, Options{}.withDefaults().Model); err != nil {
+		t.Fatalf("recycled-over plan fails validation: %v", err)
+	}
+}
+
+// A reused runtime brings repeated runs to a near-zero-allocation
+// steady state: bookkeeping and the cloned root plans only — nothing
+// proportional to the number of sets, splits or survivors.
+func TestRuntimeReuseSteadyStateAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		space partition.Space
+		opts  Options
+	}{
+		{"Linear-SingleBest", partition.Linear, Options{}},
+		{"Bushy-SingleBest", partition.Bushy, Options{}},
+		{"Linear-OrderAware", partition.Linear, Options{InterestingOrders: true, Pruner: OrderAware{}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			q := genQuery(t, 10, workload.Star, 0)
+			cs := partition.Unconstrained(tc.space, 10)
+			rt := NewRuntime()
+			opts := tc.opts
+			opts.Runtime = rt
+			var plans int
+			run := func() {
+				res, err := Run(q, cs, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				plans = len(res.Plans)
+			}
+			run() // warm: slabs and memo sized by the first run
+			allocs := testing.AllocsPerRun(10, run)
+			// Budget: engine/worker/result structs, enumerator, splitter,
+			// predicate buffer, and the root frontier's escape from the
+			// arena — one clone (2n−1 nodes) per retained root plan.
+			// Nothing may scale with the number of sets, splits or
+			// interior survivors (hundreds to thousands here before the
+			// runtime existed).
+			budget := float64(60 + plans*(2*10-1))
+			if allocs > budget {
+				t.Errorf("steady-state run allocates %.0f times (budget %.0f, %d root plans)", allocs, budget, plans)
+			}
+		})
+	}
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"mpq/internal/core"
+	"mpq/internal/dp"
+	"mpq/internal/partition"
+	"mpq/internal/workload"
+)
+
+// MicroRow is one optimizer micro-benchmark measurement: wall time and
+// allocator traffic per optimization. The workloads mirror the root
+// bench_test.go micro-benchmarks name for name, so `mpqbench
+// -experiment micro -json` numbers are directly comparable with
+// `go test -bench` output — this is the machine-readable form the
+// repo's BENCH_*.json trajectory files record.
+type MicroRow struct {
+	Name        string
+	MsPerOp     float64
+	AllocsPerOp int64
+	BytesPerOp  int64
+	Iterations  int
+}
+
+// Micro benchmarks the optimizer core itself (no cluster simulation):
+// the serial baselines, goroutine-parallel MPQ, the multi-objective
+// optimizer, and the pooled batch steady state. Each case runs under
+// testing.Benchmark for its default ~1s.
+func Micro(cfg Config) ([]MicroRow, error) {
+	q16 := workload.MustGenerate(workload.NewParams(16, workload.Star), cfg.BaseSeed)
+	q12 := workload.MustGenerate(workload.NewParams(12, workload.Star), cfg.BaseSeed)
+
+	cases := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"SerialLinear16", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dp.Serial(q16, partition.Linear, dp.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"MPQLinear16Workers8", func(b *testing.B) {
+			spec := core.JobSpec{Space: partition.Linear, Workers: 8}
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Optimize(q16, spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"SerialBushy12", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dp.Serial(q12, partition.Bushy, dp.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"MPQBushy12Workers8", func(b *testing.B) {
+			spec := core.JobSpec{Space: partition.Bushy, Workers: 8}
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Optimize(q12, spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"MultiObjectiveLinear12", func(b *testing.B) {
+			spec := core.JobSpec{Space: partition.Linear, Workers: 8, Objective: core.MultiObjective, Alpha: 10}
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Optimize(q12, spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"InProcessBatchSteadyState", func(b *testing.B) {
+			// Four identical jobs per op through the pooled worker path —
+			// the per-job steady state of Engine.OptimizeBatch.
+			spec := core.JobSpec{Space: partition.Linear, Workers: 4}
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < 4; j++ {
+					if _, err := core.OptimizeParallelism(q12, spec, 1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}},
+	}
+
+	rows := make([]MicroRow, 0, len(cases))
+	for _, c := range cases {
+		if err := cfg.canceled(); err != nil {
+			return nil, err
+		}
+		cfg.progressf("micro: %s", c.name)
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			c.fn(b)
+		})
+		rows = append(rows, MicroRow{
+			Name:        c.name,
+			MsPerOp:     float64(r.NsPerOp()) / 1e6,
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		})
+	}
+	return rows, nil
+}
+
+// MicroTable renders the micro-benchmark rows.
+func MicroTable(rows []MicroRow) *Table {
+	t := &Table{
+		Title:   "Optimizer micro-benchmarks",
+		Caption: "per-optimization cost of the DP core (testing.Benchmark; compare with go test -bench)",
+		Columns: []string{"benchmark", "ms/op", "allocs/op", "KB/op", "iters"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Name,
+			fmt.Sprintf("%.2f", r.MsPerOp),
+			fmt.Sprintf("%d", r.AllocsPerOp),
+			fmt.Sprintf("%.1f", float64(r.BytesPerOp)/1024),
+			fmt.Sprintf("%d", r.Iterations),
+		})
+	}
+	return t
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// The micro experiment must produce one row per benchmark with sane
+// measurements — it is the source of the repo's BENCH_*.json
+// trajectory numbers, so a silently empty or zeroed table would poison
+// the record. Each case runs testing.Benchmark for about a second, so
+// the smoke test is excluded from -short.
+func TestMicroSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs testing.Benchmark for ~1s per case")
+	}
+	rows, err := Micro(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"SerialLinear16", "MPQLinear16Workers8", "SerialBushy12",
+		"MPQBushy12Workers8", "MultiObjectiveLinear12", "InProcessBatchSteadyState",
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(want))
+	}
+	for i, r := range rows {
+		if r.Name != want[i] {
+			t.Fatalf("row %d = %q, want %q", i, r.Name, want[i])
+		}
+		if r.MsPerOp <= 0 || r.AllocsPerOp <= 0 || r.BytesPerOp <= 0 || r.Iterations <= 0 {
+			t.Fatalf("row %s has degenerate measurements: %+v", r.Name, r)
+		}
+	}
+
+	tab := MicroTable(rows)
+	if len(tab.Rows) != len(rows) || len(tab.Columns) != 5 {
+		t.Fatalf("table shape %dx%d", len(tab.Rows), len(tab.Columns))
+	}
+	var sb strings.Builder
+	if err := tab.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "SerialBushy12") {
+		t.Fatal("JSON output missing benchmark name")
+	}
+}
+
+// Cancellation aborts the sweep between benchmarks.
+func TestMicroCanceled(t *testing.T) {
+	cfg := Quick()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg.Ctx = ctx
+	if _, err := Micro(cfg); err == nil {
+		t.Fatal("canceled micro sweep returned no error")
+	}
+}

@@ -66,13 +66,14 @@ var _ dp.Pruner = ParetoPruner{}
 // candidate is discarded iff an incumbent α-dominates its scalars (and
 // the incumbent's order can substitute for the candidate's). It performs
 // no allocations — the DP calls it once per generated candidate.
-func (pp ParetoPruner) Admits(plans []*plan.Node, cand dp.Candidate) bool {
+func (pp ParetoPruner) Admits(f *dp.Frontier, cand dp.Candidate) bool {
 	alpha := pp.Alpha
 	if alpha < 1 {
 		alpha = 1
 	}
 	cv := Vector{Time: cand.Cost, Buffer: cand.Buffer}
-	for _, q := range plans {
+	for i, n := 0, f.Len(); i < n; i++ {
+		q := f.At(i)
 		if VecOf(q).AlphaDominates(cv, alpha) && orderDominates(q.Order, cand.Order) {
 			return false
 		}
@@ -81,16 +82,15 @@ func (pp ParetoPruner) Admits(plans []*plan.Node, cand dp.Candidate) bool {
 }
 
 // Insert implements dp.Pruner: p was admitted, so it joins the frontier
-// and evicts incumbents it exactly dominates.
-func (pp ParetoPruner) Insert(plans []*plan.Node, p *plan.Node) []*plan.Node {
+// and evicts incumbents it exactly dominates. Most table sets keep 1–2
+// plans, which the frontier stores inline; only wider Pareto frontiers
+// spill to a slice.
+func (pp ParetoPruner) Insert(f *dp.Frontier, p *plan.Node) {
 	pv := VecOf(p)
-	out := plans[:0]
-	for _, q := range plans {
-		if !(pv.Dominates(VecOf(q)) && orderDominates(p.Order, q.Order)) {
-			out = append(out, q)
-		}
-	}
-	return append(out, p)
+	f.Filter(func(q *plan.Node) bool {
+		return !(pv.Dominates(VecOf(q)) && orderDominates(p.Order, q.Order))
+	})
+	f.Append(p)
 }
 
 // Merge combines per-partition frontiers into one (the master's

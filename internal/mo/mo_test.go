@@ -13,11 +13,12 @@ import (
 
 // offerTo drives the two-phase dp.Pruner protocol the way the DP engine
 // does: admission on the scalars first, insert only for survivors.
-func offerTo(pp ParetoPruner, plans []*plan.Node, p *plan.Node) ([]*plan.Node, bool) {
-	if !pp.Admits(plans, dp.Candidate{Cost: p.Cost, Buffer: p.Buffer, Order: p.Order}) {
-		return plans, false
+func offerTo(pp ParetoPruner, f *dp.Frontier, p *plan.Node) bool {
+	if !pp.Admits(f, dp.Candidate{Cost: p.Cost, Buffer: p.Buffer, Order: p.Order}) {
+		return false
 	}
-	return pp.Insert(plans, p), true
+	pp.Insert(f, p)
+	return true
 }
 
 func vecPlan(time, buffer float64, order int) *plan.Node {
@@ -64,45 +65,40 @@ func TestVectorString(t *testing.T) {
 
 func TestParetoPrunerKeepsIncomparable(t *testing.T) {
 	pp := ParetoPruner{Alpha: 1}
-	var plans []*plan.Node
-	var kept bool
-	plans, kept = offerTo(pp, plans, vecPlan(10, 1, query.NoOrder))
-	if !kept {
+	var f dp.Frontier
+	if kept := offerTo(pp, &f, vecPlan(10, 1, query.NoOrder)); !kept {
 		t.Fatal("first plan dropped")
 	}
-	plans, kept = offerTo(pp, plans, vecPlan(1, 10, query.NoOrder))
-	if !kept || len(plans) != 2 {
+	if kept := offerTo(pp, &f, vecPlan(1, 10, query.NoOrder)); !kept || f.Len() != 2 {
 		t.Fatal("incomparable plan dropped")
 	}
 	// Dominated candidate dropped.
-	plans, kept = offerTo(pp, plans, vecPlan(11, 2, query.NoOrder))
-	if kept || len(plans) != 2 {
+	if kept := offerTo(pp, &f, vecPlan(11, 2, query.NoOrder)); kept || f.Len() != 2 {
 		t.Fatal("dominated plan kept")
 	}
 	// Dominating candidate evicts.
-	plans, kept = offerTo(pp, plans, vecPlan(0.5, 0.5, query.NoOrder))
-	if !kept || len(plans) != 1 {
-		t.Fatalf("dominating plan should evict all: %d plans", len(plans))
+	if kept := offerTo(pp, &f, vecPlan(0.5, 0.5, query.NoOrder)); !kept || f.Len() != 1 {
+		t.Fatalf("dominating plan should evict all: %d plans", f.Len())
 	}
 }
 
 func TestParetoPrunerAlphaCoarsens(t *testing.T) {
 	exactP := ParetoPruner{Alpha: 1}
 	coarseP := ParetoPruner{Alpha: 10}
-	var exact, coarse []*plan.Node
+	var exact, coarse dp.Frontier
 	rng := rand.New(rand.NewSource(5))
 	for i := 0; i < 300; i++ {
 		p := vecPlan(rng.Float64()*1000+1, rng.Float64()*1000+1, query.NoOrder)
-		exact, _ = offerTo(exactP, exact, p)
-		coarse, _ = offerTo(coarseP, coarse, p)
+		offerTo(exactP, &exact, p)
+		offerTo(coarseP, &coarse, p)
 	}
-	if len(coarse) > len(exact) {
-		t.Fatalf("alpha=10 retained %d > exact %d", len(coarse), len(exact))
+	if coarse.Len() > exact.Len() {
+		t.Fatalf("alpha=10 retained %d > exact %d", coarse.Len(), exact.Len())
 	}
 	// Every exact-frontier plan must be alpha-covered by the coarse set.
-	for _, e := range exact {
+	for _, e := range exact.Slice() {
 		covered := false
-		for _, c := range coarse {
+		for _, c := range coarse.Slice() {
 			if VecOf(c).AlphaDominates(VecOf(e), 10) {
 				covered = true
 				break
@@ -116,27 +112,24 @@ func TestParetoPrunerAlphaCoarsens(t *testing.T) {
 
 func TestParetoPrunerOrderCompatibility(t *testing.T) {
 	pp := ParetoPruner{Alpha: 1}
-	var plans []*plan.Node
-	plans, _ = offerTo(pp, plans, vecPlan(5, 5, query.NoOrder))
+	var f dp.Frontier
+	offerTo(pp, &f, vecPlan(5, 5, query.NoOrder))
 	// Same vector but with an order: not dominated (order may help later).
-	var kept bool
-	plans, kept = offerTo(pp, plans, vecPlan(5, 5, 42))
-	if !kept || len(plans) != 1 {
+	kept := offerTo(pp, &f, vecPlan(5, 5, 42))
+	if !kept || f.Len() != 1 {
 		// The ordered plan dominates the unordered one with equal cost:
 		// it evicts it and takes its place.
-		t.Fatalf("ordered plan insert: kept=%v len=%d", kept, len(plans))
+		t.Fatalf("ordered plan insert: kept=%v len=%d", kept, f.Len())
 	}
-	if plans[0].Order != 42 {
+	if f.At(0).Order != 42 {
 		t.Fatal("ordered plan should have replaced unordered equal-cost plan")
 	}
 	// Unordered plan with equal cost is dominated by the ordered one.
-	plans, kept = offerTo(pp, plans, vecPlan(5, 5, query.NoOrder))
-	if kept || len(plans) != 1 {
+	if kept := offerTo(pp, &f, vecPlan(5, 5, query.NoOrder)); kept || f.Len() != 1 {
 		t.Fatal("unordered equal-cost plan should be pruned")
 	}
 	// A different order with equal cost is incomparable.
-	plans, kept = offerTo(pp, plans, vecPlan(5, 5, 43))
-	if !kept || len(plans) != 2 {
+	if kept := offerTo(pp, &f, vecPlan(5, 5, 43)); !kept || f.Len() != 2 {
 		t.Fatal("differently-ordered plan should be retained")
 	}
 }
@@ -218,13 +211,14 @@ func TestQuickPrunerFrontierInvariant(t *testing.T) {
 	for trial := 0; trial < 50; trial++ {
 		alpha := 1 + rng.Float64()*4
 		pp := ParetoPruner{Alpha: alpha}
-		var plans []*plan.Node
+		var f dp.Frontier
 		var inserted []*plan.Node
 		for i := 0; i < 200; i++ {
 			p := vecPlan(rng.Float64()*100+1, rng.Float64()*100+1, query.NoOrder)
 			inserted = append(inserted, p)
-			plans, _ = offerTo(pp, plans, p)
+			offerTo(pp, &f, p)
 		}
+		plans := f.Slice()
 		if !IsFrontier(plans) {
 			t.Fatalf("alpha=%g: retained set is not a frontier", alpha)
 		}
@@ -258,11 +252,30 @@ func TestVecOf(t *testing.T) {
 // the plans per table set (§5.4).
 func TestParetoAdmitsAllocFree(t *testing.T) {
 	pp := ParetoPruner{Alpha: 2}
-	plans := []*plan.Node{vecPlan(10, 1, query.NoOrder), vecPlan(1, 10, query.NoOrder)}
+	f := dp.FrontierOf(vecPlan(10, 1, query.NoOrder), vecPlan(1, 10, query.NoOrder))
 	cand := dp.Candidate{Cost: 50, Buffer: 50, Order: query.NoOrder}
 	var sink bool
-	if allocs := testing.AllocsPerRun(1000, func() { sink = pp.Admits(plans, cand) }); allocs != 0 {
+	if allocs := testing.AllocsPerRun(1000, func() { sink = pp.Admits(&f, cand) }); allocs != 0 {
 		t.Errorf("ParetoPruner.Admits allocates %.1f times per call", allocs)
 	}
 	_ = sink
+}
+
+// Insert through a frontier that stays within its two inline slots must
+// not allocate either — the per-table-set slice header the pre-frontier
+// code paid for every set is gone.
+func TestParetoInsertInlineAllocFree(t *testing.T) {
+	pp := ParetoPruner{Alpha: 1}
+	a := vecPlan(10, 1, query.NoOrder)
+	b := vecPlan(1, 10, query.NoOrder)
+	var f dp.Frontier
+	allocs := testing.AllocsPerRun(1000, func() {
+		f = dp.Frontier{}
+		pp.Insert(&f, a)
+		pp.Insert(&f, b)
+	})
+	if allocs != 0 {
+		t.Errorf("inline ParetoPruner.Insert allocates %.1f times per run", allocs)
+	}
+	_ = f
 }

@@ -1,0 +1,140 @@
+package plan
+
+import (
+	"testing"
+
+	"mpq/internal/cost"
+	"mpq/internal/query"
+)
+
+func arenaQuery(t testing.TB) *query.Query {
+	t.Helper()
+	q := query.MustNew([]query.Table{
+		{Cardinality: 100}, {Cardinality: 200}, {Cardinality: 50},
+	})
+	q.MustAddPredicate(query.Predicate{Left: 0, Right: 1, Selectivity: 0.1})
+	q.MustAddPredicate(query.Predicate{Left: 1, Right: 2, Selectivity: 0.5})
+	q.Freeze()
+	return q
+}
+
+// Arena constructors must produce nodes bit-identical to the heap
+// constructors: they share the construction code, and the DP's
+// bit-identity guarantee across arena-on/arena-off runs rests on it.
+func TestArenaConstructorsMatchHeap(t *testing.T) {
+	q := arenaQuery(t)
+	m := cost.Default()
+	a := NewArena()
+
+	for tbl := 0; tbl < q.N(); tbl++ {
+		heap := Scan(m, q, tbl)
+		got := a.Scan(m, q, tbl)
+		if *got != *heap {
+			t.Fatalf("arena scan %d = %+v, heap %+v", tbl, got, heap)
+		}
+	}
+
+	l, r := Scan(m, q, 0), Scan(m, q, 1)
+	spec := JoinSpec{Alg: cost.Hash, OutCard: 100 * 200 * 0.1, Pred: NoPred, Order: query.NoOrder}
+	heap := Join(m, l, r, spec)
+	got := a.Join(m, l, r, spec)
+	if got.Card != heap.Card || got.Cost != heap.Cost || got.Buffer != heap.Buffer ||
+		got.Tables != heap.Tables || got.Order != heap.Order || got.Alg != heap.Alg {
+		t.Fatalf("arena join = %+v, heap %+v", got, heap)
+	}
+
+	c, buf := JoinScalars(m, l, r, spec)
+	heap2 := JoinWithScalars(l, r, spec, c, buf)
+	got2 := a.JoinWithScalars(l, r, spec, c, buf)
+	if got2.Cost != heap2.Cost || got2.Buffer != heap2.Buffer {
+		t.Fatalf("arena JoinWithScalars = %+v, heap %+v", got2, heap2)
+	}
+}
+
+// Reset must recycle slabs: a second run of the same size allocates no
+// new slab, and Allocated tracks the hand-out count.
+func TestArenaResetRecyclesSlabs(t *testing.T) {
+	q := arenaQuery(t)
+	m := cost.Default()
+	a := NewArena()
+
+	const nodes = 3 * slabNodes / 2 // force a second slab
+	for i := 0; i < nodes; i++ {
+		a.Scan(m, q, i%q.N())
+	}
+	if got := a.Allocated(); got != nodes {
+		t.Fatalf("Allocated = %d, want %d", got, nodes)
+	}
+	slabs := a.Slabs()
+	if slabs < 2 {
+		t.Fatalf("expected ≥2 slabs after %d nodes, got %d", nodes, slabs)
+	}
+
+	for round := 0; round < 3; round++ {
+		a.Reset()
+		if got := a.Allocated(); got != 0 {
+			t.Fatalf("Allocated after Reset = %d", got)
+		}
+		for i := 0; i < nodes; i++ {
+			a.Scan(m, q, i%q.N())
+		}
+		if a.Slabs() != slabs {
+			t.Fatalf("round %d: slab count grew from %d to %d — Reset did not recycle", round, slabs, a.Slabs())
+		}
+	}
+}
+
+// A warm arena hands out nodes without allocating (slab allocation is
+// amortized away entirely once the slabs exist).
+func TestArenaAllocFreeWhenWarm(t *testing.T) {
+	q := arenaQuery(t)
+	m := cost.Default()
+	a := NewArena()
+	for i := 0; i < slabNodes; i++ { // warm one slab
+		a.Scan(m, q, 0)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		a.Reset()
+		for i := 0; i < slabNodes; i++ {
+			a.Scan(m, q, 0)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm arena allocates %.1f times per %d nodes", allocs, slabNodes)
+	}
+}
+
+// CloneTree must produce an equal tree sharing no nodes with the
+// original — the copy stays valid after the arena recycles its slabs.
+func TestCloneTreeEscapesArena(t *testing.T) {
+	q := arenaQuery(t)
+	m := cost.Default()
+	a := NewArena()
+
+	l := a.Scan(m, q, 0)
+	r := a.Scan(m, q, 1)
+	join := a.Join(m, l, r, JoinSpec{Alg: cost.Hash, OutCard: 2000, Pred: NoPred, Order: query.NoOrder})
+	// card = 2000 · 50 · sel(1,2) = 2000 · 50 · 0.5
+	root := a.Join(m, join, a.Scan(m, q, 2), JoinSpec{Alg: cost.NestedLoop, OutCard: 50000, Pred: NoPred, Order: query.NoOrder})
+
+	clone := CloneTree(root)
+	want := root.String()
+	wantCost := root.Cost
+
+	// Recycle the arena and scribble over every slab slot.
+	a.Reset()
+	for i := 0; i < 4*slabNodes; i++ {
+		a.Scan(m, q, 0)
+	}
+
+	if clone.String() != want || clone.Cost != wantCost {
+		t.Fatalf("clone changed after arena reuse: %s (cost %g), want %s (cost %g)",
+			clone.String(), clone.Cost, want, wantCost)
+	}
+	if err := clone.Validate(q, m); err != nil {
+		t.Fatalf("clone fails validation: %v", err)
+	}
+	if CloneTree(nil) != nil {
+		t.Fatal("CloneTree(nil) != nil")
+	}
+}

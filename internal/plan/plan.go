@@ -50,8 +50,17 @@ type Node struct {
 
 // Scan builds a scan leaf for table t of q.
 func Scan(m cost.Model, q *query.Query, t int) *Node {
+	n := scanNode(m, q, t)
+	return &n
+}
+
+// scanNode is the shared scan constructor: Scan heap-allocates the value
+// it returns, Arena.Scan writes it into a slab slot. Both paths must
+// produce bit-identical annotations, which sharing this function
+// guarantees.
+func scanNode(m cost.Model, q *query.Query, t int) Node {
 	card := q.Card(t)
-	return &Node{
+	return Node{
 		IsScan: true,
 		Table:  t,
 		Pred:   NoPred,
@@ -98,7 +107,14 @@ func Join(m cost.Model, l, r *Node, spec JoinSpec) *Node {
 // (l, r, spec) — the DP's survivor path, which has just admitted the
 // candidate on those scalars and need not recompute them.
 func JoinWithScalars(l, r *Node, spec JoinSpec, costv, buffer float64) *Node {
-	return &Node{
+	n := joinNode(l, r, spec, costv, buffer)
+	return &n
+}
+
+// joinNode is the shared join constructor backing JoinWithScalars and
+// Arena.JoinWithScalars (see scanNode).
+func joinNode(l, r *Node, spec JoinSpec, costv, buffer float64) Node {
+	return Node{
 		Alg:    spec.Alg,
 		Pred:   spec.Pred,
 		Left:   l,

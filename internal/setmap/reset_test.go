@@ -1,0 +1,154 @@
+package setmap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mpq/internal/bitset"
+)
+
+// Reset must empty the map, hide every stale key, and keep the backing
+// arrays whenever they are big enough.
+func TestResetEmptiesAndRetainsArrays(t *testing.T) {
+	m := New[int](1000)
+	for i := 1; i <= 1000; i++ {
+		m.Put(bitset.Set(i), i)
+	}
+	m.Put(bitset.Empty(), 42)
+	c0 := m.Cap()
+
+	m.Reset(500) // smaller run: capacity must be retained, not shrunk
+	if m.Cap() != c0 {
+		t.Fatalf("Reset(500) changed capacity %d -> %d", c0, m.Cap())
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", m.Len())
+	}
+	if m.Contains(bitset.Empty()) {
+		t.Fatal("zero key survived Reset")
+	}
+	for i := 1; i <= 1000; i++ {
+		if m.Contains(bitset.Set(i)) {
+			t.Fatalf("stale key %d visible after Reset", i)
+		}
+	}
+	m.ForEach(func(k bitset.Set, v int) {
+		t.Fatalf("ForEach visited (%v,%d) on a reset map", k, v)
+	})
+
+	// A bigger hint than the arrays can hold must grow them.
+	m.Reset(10 * 1000)
+	if m.Cap() <= c0 {
+		t.Fatalf("Reset(10000) kept capacity %d", m.Cap())
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len after growing Reset = %d", m.Len())
+	}
+}
+
+// Reset must clear retained value slots so a pooled map cannot pin the
+// previous run's plans through invisible entries.
+func TestResetClearsValues(t *testing.T) {
+	m := New[*int](64)
+	x := new(int)
+	for i := 1; i <= 64; i++ {
+		m.Put(bitset.Set(i), x)
+	}
+	m.Reset(64)
+	for i := range m.vals {
+		if m.vals[i] != nil {
+			t.Fatalf("vals[%d] still set after Reset", i)
+		}
+	}
+	if m.zeroVal != nil {
+		t.Fatal("zeroVal still set after Reset")
+	}
+}
+
+// A reset map with stale (larger) capacity must behave exactly like a
+// fresh map under a random workload — same contents, same lookups —
+// even though its iteration order may differ. This is the contract the
+// pooled DP memos rely on.
+func TestResetStaleCapacityAgreesWithFresh(t *testing.T) {
+	pooled := New[int](1 << 14) // oversize, as a pool survivor would be
+	for i := 1; i <= 1<<14; i++ {
+		pooled.Put(bitset.Set(i), i) // stale keys everywhere
+	}
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 5; round++ {
+		pooled.Reset(300)
+		fresh := New[int](300)
+		keys := make([]bitset.Set, 0, 300)
+		for i := 0; i < 300; i++ {
+			k := bitset.Set(rng.Uint64())
+			keys = append(keys, k)
+			v := int(k % 1000)
+			pooled.Put(k, v)
+			fresh.Put(k, v)
+		}
+		if pooled.Len() != fresh.Len() {
+			t.Fatalf("round %d: Len %d != %d", round, pooled.Len(), fresh.Len())
+		}
+		for _, k := range keys {
+			pv, pok := pooled.Get(k)
+			fv, fok := fresh.Get(k)
+			if pok != fok || pv != fv {
+				t.Fatalf("round %d key %v: pooled (%d,%v) fresh (%d,%v)", round, k, pv, pok, fv, fok)
+			}
+		}
+		// Iteration yields the same multiset of entries; order is
+		// explicitly unspecified (and in general differs here, because
+		// the stale capacity changes the probe mask), so compare sorted.
+		collect := func(m *Map[int]) []uint64 {
+			var out []uint64
+			m.ForEach(func(k bitset.Set, v int) { out = append(out, uint64(k)^uint64(v)<<32) })
+			sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+			return out
+		}
+		p, f := collect(pooled), collect(fresh)
+		if len(p) != len(f) {
+			t.Fatalf("round %d: iteration counts differ %d vs %d", round, len(p), len(f))
+		}
+		for i := range p {
+			if p[i] != f[i] {
+				t.Fatalf("round %d: iteration contents differ at %d", round, i)
+			}
+		}
+	}
+}
+
+// GetRef must return stable pointers through which updates are visible,
+// and agree with Get.
+func TestGetRef(t *testing.T) {
+	m := New[int](64)
+	if _, ok := m.GetRef(bitset.Of(3)); ok {
+		t.Fatal("GetRef hit on empty map")
+	}
+	m.Put(bitset.Of(3), 30)
+	m.Put(bitset.Empty(), 5)
+	ref, ok := m.GetRef(bitset.Of(3))
+	if !ok || *ref != 30 {
+		t.Fatalf("GetRef = %v,%v", ref, ok)
+	}
+	*ref = 31
+	if v, _ := m.Get(bitset.Of(3)); v != 31 {
+		t.Fatalf("write through GetRef invisible: %d", v)
+	}
+	// Inserting other keys (no growth: presized) must not move the slot.
+	for i := 10; i < 40; i++ {
+		m.Put(bitset.Set(i), i)
+	}
+	if *ref != 31 {
+		t.Fatal("GetRef pointer invalidated by non-growing Put")
+	}
+	zref, ok := m.GetRef(bitset.Empty())
+	if !ok || *zref != 5 {
+		t.Fatalf("zero-key GetRef = %v,%v", zref, ok)
+	}
+	var miss bool
+	if allocs := testing.AllocsPerRun(1000, func() { _, miss = m.GetRef(bitset.Of(3)) }); allocs != 0 {
+		t.Errorf("GetRef allocates %.1f times per call", allocs)
+	}
+	_ = miss
+}

@@ -32,15 +32,55 @@ type Map[V any] struct {
 // New returns an empty map with capacity for at least sizeHint entries
 // before the first grow.
 func New[V any](sizeHint int) *Map[V] {
-	capacity := initialCapacity
-	for capacity*maxLoadNum/maxLoadDen <= sizeHint {
-		capacity *= 2
-	}
+	capacity := capacityFor(sizeHint)
 	return &Map[V]{
 		keys:     make([]uint64, capacity),
 		vals:     make([]V, capacity),
 		occupied: make([]bool, capacity),
 	}
+}
+
+// capacityFor returns the power-of-two table size that holds sizeHint
+// entries without exceeding the load factor.
+func capacityFor(sizeHint int) int {
+	capacity := initialCapacity
+	for capacity*maxLoadNum/maxLoadDen <= sizeHint {
+		capacity *= 2
+	}
+	return capacity
+}
+
+// Reset empties the map while retaining its backing arrays whenever
+// they can hold sizeHint entries without growing; otherwise fresh
+// arrays of the required size are allocated. Retained values are
+// cleared so a pooled map cannot pin plan memory, but retained key
+// slots keep their stale contents (the occupied flags gate them), and
+// the table may be larger than New(sizeHint) would build — so a reused
+// map's Keys/ForEach order generally differs from a fresh map's.
+// Callers must never depend on iteration order (see ForEach).
+func (m *Map[V]) Reset(sizeHint int) {
+	if capacity := capacityFor(sizeHint); capacity > len(m.keys) {
+		m.keys = make([]uint64, capacity)
+		m.vals = make([]V, capacity)
+		m.occupied = make([]bool, capacity)
+	} else {
+		// Clear only the live value slots (O(entries) plus a 1-byte-per-
+		// slot occupancy scan) rather than memsetting the whole vals
+		// array: a pool-retained map keeps the capacity of the largest
+		// query it ever served, and a full multi-MB memset would tax
+		// every small query drawn from the pool afterwards.
+		var zero V
+		for i, occ := range m.occupied {
+			if occ {
+				m.vals[i] = zero
+			}
+		}
+		clear(m.occupied)
+	}
+	m.n = 0
+	m.hasZero = false
+	var zero V
+	m.zeroVal = zero
 }
 
 // mix is the splitmix64 finalizer; it turns structured bitmask keys into
@@ -83,6 +123,30 @@ func (m *Map[V]) Get(key bitset.Set) (V, bool) {
 	}
 	var zero V
 	return zero, false
+}
+
+// GetRef returns a pointer to the value slot stored for key, or nil if
+// the key is absent. The pointer stays valid until the map grows or is
+// Reset — a map built with New(hint) or Reset(hint) and holding at most
+// hint entries never grows, which is the no-rehash guarantee the DP
+// memo's hot loop relies on to read entries without copying them.
+func (m *Map[V]) GetRef(key bitset.Set) (*V, bool) {
+	k := uint64(key)
+	if k == 0 {
+		if m.hasZero {
+			return &m.zeroVal, true
+		}
+		return nil, false
+	}
+	mask := uint64(len(m.keys) - 1)
+	i := mix(k) & mask
+	for m.occupied[i] {
+		if m.keys[i] == k {
+			return &m.vals[i], true
+		}
+		i = (i + 1) & mask
+	}
+	return nil, false
 }
 
 // Contains reports whether key is present.
@@ -142,8 +206,13 @@ func (m *Map[V]) grow() {
 	}
 }
 
-// ForEach calls fn for every entry in unspecified order. fn must not
-// mutate the map.
+// ForEach calls fn for every entry in unspecified order — the order
+// depends on the table capacity, which for a Reset (pooled) map may be
+// larger than a fresh map's, so even identical contents can iterate
+// differently. Callers that aggregate across entries must therefore be
+// order-insensitive or sort; the optimizer's masters never iterate the
+// memo and order worker aggregation by partition ID instead. fn must
+// not mutate the map.
 func (m *Map[V]) ForEach(fn func(key bitset.Set, val V)) {
 	if m.hasZero {
 		fn(0, m.zeroVal)

@@ -102,7 +102,9 @@ func Run(model cluster.Model, q *query.Query, spec core.JobSpec) (*cluster.Resul
 	// Round 0 delta: the scan plans every worker needs.
 	var delta []deltaEntry
 	for t := 0; t < n; t++ {
-		delta = append(delta, deltaEntry{set: bitset.Single(t), plan: eng.PlansFor(bitset.Single(t))[0]})
+		eng.ForEachPlan(bitset.Single(t), func(p *plan.Node) {
+			delta = append(delta, deltaEntry{set: bitset.Single(t), plan: p})
+		})
 	}
 
 	// Stream the admissible sets of each round's cardinality instead of
@@ -146,9 +148,9 @@ func Run(model cluster.Model, q *query.Query, spec core.JobSpec) (*cluster.Resul
 		for j, u := range sets {
 			units := eng.ProcessSet(u)
 			workerUnits[j%m] += units
-			for _, p := range eng.PlansFor(u) {
+			eng.ForEachPlan(u, func(p *plan.Node) {
 				delta = append(delta, deltaEntry{set: u, plan: p})
-			}
+			})
 		}
 
 		// Workers -> master: the new entries each worker produced.

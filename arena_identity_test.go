@@ -1,7 +1,6 @@
 package mpq_test
 
 import (
-	"bytes"
 	"context"
 	"fmt"
 	"testing"
@@ -18,8 +17,8 @@ import (
 // did: one heap-allocating DP run per partition (Options.DisableArena),
 // aggregated in partition-ID order by the shared FinalPrune. Every
 // engine — all of which now run arena-backed, pooled workers — must
-// return bit-identical wire encodings.
-func arenaOffReference(t *testing.T, q *mpq.Query, spec mpq.JobSpec) (best []byte, frontier [][]byte) {
+// return bit-identical wire fingerprints.
+func arenaOffReference(t *testing.T, q *mpq.Query, spec mpq.JobSpec) (best string, frontier []string) {
 	t.Helper()
 	workers := spec.Workers
 	frontiers := make([][]*plan.Node, 0, workers)
@@ -40,11 +39,11 @@ func arenaOffReference(t *testing.T, q *mpq.Query, spec mpq.JobSpec) (best []byt
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := make([][]byte, len(f))
+	out := make([]string, len(f))
 	for i, p := range f {
-		out[i] = wire.EncodePlan(p)
+		out[i] = wire.PlanFingerprint(p)
 	}
-	return wire.EncodePlan(b), out
+	return wire.PlanFingerprint(b), out
 }
 
 // TestArenaOnOffBitIdenticalAcrossEngines pins the tentpole's safety
@@ -76,14 +75,14 @@ func TestArenaOnOffBitIdenticalAcrossEngines(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s: %v", e.name, err)
 				}
-				if got := mpq.EncodePlan(ans.Best); !bytes.Equal(got, wantBest) {
+				if got := mpq.PlanFingerprint(ans.Best); got != wantBest {
 					t.Fatalf("%s: arena-backed best plan differs from heap reference: %s", e.name, ans.Best)
 				}
 				if len(ans.Frontier) != len(wantFrontier) {
 					t.Fatalf("%s: frontier size %d != %d", e.name, len(ans.Frontier), len(wantFrontier))
 				}
 				for i, p := range ans.Frontier {
-					if !bytes.Equal(mpq.EncodePlan(p), wantFrontier[i]) {
+					if mpq.PlanFingerprint(p) != wantFrontier[i] {
 						t.Fatalf("%s: frontier plan %d differs from heap reference", e.name, i)
 					}
 				}
@@ -97,7 +96,7 @@ func TestArenaOnOffBitIdenticalAcrossEngines(t *testing.T) {
 			if err != nil {
 				t.Fatalf("serial: %v", err)
 			}
-			if got := mpq.EncodePlan(ans.Best); !bytes.Equal(got, serialWant) {
+			if got := mpq.PlanFingerprint(ans.Best); got != serialWant {
 				t.Fatalf("serial: arena-backed best plan differs from heap reference: %s", ans.Best)
 			}
 		})
@@ -119,7 +118,7 @@ func TestArenaOnOffBitIdenticalLegacySerial(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if !bytes.Equal(mpq.EncodePlan(got), wantBest) {
+			if mpq.PlanFingerprint(got) != wantBest {
 				t.Fatalf("%v: legacy serial plan differs from heap reference", space)
 			}
 		})

@@ -214,6 +214,32 @@ func BenchmarkMultiObjectiveLinear12(b *testing.B) {
 	}
 }
 
+// BenchmarkCachedHitServing measures the plan cache's hit path: one
+// warmed entry served over and over — canonical keying (wire encode +
+// fingerprint), store lookup and the stamped shallow copy, with no
+// dynamic program. This is the per-request cost a repeat-heavy serving
+// workload pays instead of the full optimization.
+func BenchmarkCachedHitServing(b *testing.B) {
+	q := benchQuery(b, 12)
+	eng := mpq.WithCache(mpq.NewInProcessEngine(), mpq.CacheConfig{})
+	spec := mpq.JobSpec{Space: mpq.Linear, Workers: 4}
+	ctx := context.Background()
+	if _, err := eng.Optimize(ctx, q, spec); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ans, err := eng.Optimize(ctx, q, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ans.Cache == nil || !ans.Cache.Hit {
+			b.Fatal("expected a cache hit")
+		}
+	}
+}
+
 // BenchmarkInProcessBatchPoolReuse measures the pooled engine's batch
 // steady state: every iteration pushes a 4-query batch through one
 // InProcessEngine, whose goroutine workers borrow recycled DP runtimes

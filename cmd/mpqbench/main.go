@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	mpqbench -experiment fig1|fig2|fig3|fig4|fig5|table1|speedups|workloads|micro|all [flags]
+//	mpqbench -experiment fig1|fig2|fig3|fig4|fig5|table1|speedups|workloads|micro|cache|all [flags]
 //
 // Flags:
 //
@@ -37,7 +37,7 @@ func main() {
 }
 
 func run() error {
-	experiment := flag.String("experiment", "all", "which experiment to run (fig1..fig5, table1, speedups, workloads, micro, all)")
+	experiment := flag.String("experiment", "all", "which experiment to run (fig1..fig5, table1, speedups, workloads, micro, cache, all)")
 	full := flag.Bool("full", false, "paper-scale sizes (slow)")
 	queries := flag.Int("queries", 0, "queries per data point (0 = scale default)")
 	seed := flag.Int64("seed", 0, "base workload seed")
@@ -145,10 +145,18 @@ func run() error {
 			render([]*experiments.Table{experiments.MicroTable(rows)})
 			return nil
 		},
+		"cache": func() error {
+			rows, err := experiments.CacheServing(cfg)
+			if err != nil {
+				return err
+			}
+			render([]*experiments.Table{experiments.CacheServingTable(rows)})
+			return nil
+		},
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "table1", "speedups", "workloads", "micro"} {
+		for _, name := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "table1", "speedups", "workloads", "micro", "cache"} {
 			if err := ctx.Err(); err != nil {
 				return interrupted(err)
 			}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"mpq/internal/cache"
 	"mpq/internal/cluster"
 	"mpq/internal/core"
 	"mpq/internal/cost"
@@ -295,10 +296,85 @@ func (e *TCPEngine) OptimizeBatch(ctx context.Context, jobs []Job) ([]*Answer, e
 	return answers, nil
 }
 
-// Compile-time proof that all four engines implement Engine.
+// CacheConfig parameterizes the plan cache of a CachedEngine.
+// MaxBytes is the eviction budget (encoded keys + encoded plans +
+// bookkeeping); 0 means unlimited.
+type CacheConfig = cache.Config
+
+// CacheTotals is a snapshot of a CachedEngine's cache-wide counters:
+// hits, misses, singleflight/batch collapses, evictions, fingerprint
+// collisions, and current occupancy.
+type CacheTotals = cache.Totals
+
+// CachedEngine wraps any Engine with a fingerprint-keyed plan cache:
+// repeated optimization requests are served from the store instead of
+// re-running the dynamic program, concurrent identical requests
+// collapse onto one computation (singleflight), and the store is kept
+// under a byte budget by cost-weighted LRU eviction (expensive-to-
+// recompute plans survive longer). Build one with WithCache.
+//
+// Cached answers are bit-identical (wire plan fingerprint) to the
+// wrapped engine's answers: the cache serves shallow copies sharing the
+// immutable plan trees. Each answer's Answer.Cache records whether it
+// was a hit, a collapse, or a miss, plus the cache-wide counters at
+// serve time.
+//
+// The cache keys on the canonical wire encoding of (query, JobSpec) —
+// join graph, cardinalities, selectivities, plan space, worker count,
+// objective and cost model — so anything that could change the chosen
+// plan changes the key. Note that a zero JobSpec.CostModel is resolved
+// to the engine's default *inside* the wrapped engine: each
+// CachedEngine owns a private cache, so a zero-model key can never
+// alias across engines configured with different WithCostModel
+// defaults.
+type CachedEngine struct {
+	inner Engine
+	cache *cache.Cache
+}
+
+// WithCache wraps an engine with a plan cache. It composes with every
+// engine — serial, in-process, simulated and TCP — because it sits
+// entirely above the Engine interface.
+func WithCache(eng Engine, cfg CacheConfig) *CachedEngine {
+	return &CachedEngine{inner: eng, cache: cache.New(cfg)}
+}
+
+// Optimize implements Engine. A stored answer is served without
+// touching the wrapped engine; concurrent identical misses run one
+// inner Optimize. If the computing caller's context is canceled
+// mid-flight, leadership hands off to a waiting identical request
+// rather than failing it.
+func (e *CachedEngine) Optimize(ctx context.Context, q *Query, spec JobSpec) (*Answer, error) {
+	return e.cache.Optimize(ctx, q, spec, e.inner.Optimize)
+}
+
+// OptimizeBatch implements Engine with in-batch deduplication: cache
+// hits are served from the store, duplicate jobs within the batch
+// collapse onto one computation, and only the distinct misses reach the
+// wrapped engine's OptimizeBatch — in a single call, so its batch
+// pipelining (e.g. the TCP master's connection reuse) is preserved.
+func (e *CachedEngine) OptimizeBatch(ctx context.Context, jobs []Job) ([]*Answer, error) {
+	cjobs := make([]cache.BatchJob, len(jobs))
+	for i, job := range jobs {
+		cjobs[i] = cache.BatchJob{Query: job.Query, Spec: job.Spec}
+	}
+	return e.cache.OptimizeBatch(ctx, cjobs, func(ctx context.Context, miss []cache.BatchJob) ([]*Answer, error) {
+		inner := make([]Job, len(miss))
+		for i, job := range miss {
+			inner[i] = Job{Query: job.Query, Spec: job.Spec}
+		}
+		return e.inner.OptimizeBatch(ctx, inner)
+	})
+}
+
+// CacheTotals returns a snapshot of the cache-wide counters.
+func (e *CachedEngine) CacheTotals() CacheTotals { return e.cache.Totals() }
+
+// Compile-time proof that all engines implement Engine.
 var (
 	_ Engine = (*SerialEngine)(nil)
 	_ Engine = (*InProcessEngine)(nil)
 	_ Engine = (*SimEngine)(nil)
 	_ Engine = (*TCPEngine)(nil)
+	_ Engine = (*CachedEngine)(nil)
 )

@@ -1,7 +1,6 @@
 package mpq_test
 
 import (
-	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -128,31 +127,31 @@ func TestEngineEquivalence(t *testing.T) {
 	ctx := context.Background()
 	for _, row := range engineWorkloads(t) {
 		t.Run(row.name, func(t *testing.T) {
-			var wantBest []byte
-			var wantFrontier [][]byte
+			var wantBest string
+			var wantFrontier []string
 			var wantCost float64
 			for _, e := range engines {
 				ans, err := e.eng.Optimize(ctx, row.q, row.spec)
 				if err != nil {
 					t.Fatalf("%s: %v", e.name, err)
 				}
-				bestB := mpq.EncodePlan(ans.Best)
-				var frontB [][]byte
+				bestFP := mpq.PlanFingerprint(ans.Best)
+				var frontFP []string
 				for _, p := range ans.Frontier {
-					frontB = append(frontB, mpq.EncodePlan(p))
+					frontFP = append(frontFP, mpq.PlanFingerprint(p))
 				}
-				if wantBest == nil {
-					wantBest, wantFrontier, wantCost = bestB, frontB, ans.Best.Cost
+				if wantBest == "" {
+					wantBest, wantFrontier, wantCost = bestFP, frontFP, ans.Best.Cost
 					continue
 				}
-				if !bytes.Equal(bestB, wantBest) {
+				if bestFP != wantBest {
 					t.Fatalf("%s best plan differs from %s: %s", e.name, engines[0].name, ans.Best)
 				}
-				if len(frontB) != len(wantFrontier) {
-					t.Fatalf("%s frontier size %d != %d", e.name, len(frontB), len(wantFrontier))
+				if len(frontFP) != len(wantFrontier) {
+					t.Fatalf("%s frontier size %d != %d", e.name, len(frontFP), len(wantFrontier))
 				}
-				for i := range frontB {
-					if !bytes.Equal(frontB[i], wantFrontier[i]) {
+				for i := range frontFP {
+					if frontFP[i] != wantFrontier[i] {
 						t.Fatalf("%s frontier plan %d differs", e.name, i)
 					}
 				}
@@ -251,7 +250,7 @@ func TestTCPEngineBatchBitIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !bytes.Equal(mpq.EncodePlan(batch[i].Best), mpq.EncodePlan(one.Best)) {
+		if mpq.PlanFingerprint(batch[i].Best) != mpq.PlanFingerprint(one.Best) {
 			t.Fatalf("job %d: batch plan differs from sequential plan", i)
 		}
 		if batch[i].Stats != one.Stats {
@@ -482,7 +481,7 @@ func TestEngineWithCostModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(mpq.EncodePlan(a.Best), mpq.EncodePlan(b.Best)) {
+	if mpq.PlanFingerprint(a.Best) != mpq.PlanFingerprint(b.Best) {
 		t.Fatal("engines disagree under a shared custom cost model")
 	}
 	// The explicit spec-level model must win over the engine default.
@@ -496,7 +495,7 @@ func TestEngineWithCostModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(mpq.EncodePlan(c.Best), mpq.EncodePlan(d.Best)) {
+	if mpq.PlanFingerprint(c.Best) != mpq.PlanFingerprint(d.Best) {
 		t.Fatal("spec-level cost model did not override the engine default")
 	}
 }
@@ -530,7 +529,7 @@ func TestSequentialEnginesBatch(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if !bytes.Equal(mpq.EncodePlan(batch[i].Best), mpq.EncodePlan(one.Best)) {
+			if mpq.PlanFingerprint(batch[i].Best) != mpq.PlanFingerprint(one.Best) {
 				t.Fatalf("%s job %d: batch differs from single", e.name, i)
 			}
 		}

@@ -1,0 +1,328 @@
+// Package cache implements the fingerprint-keyed plan cache that any
+// execution engine can wear (mpq.WithCache): at served-traffic volumes
+// most optimization requests are exact repeats, and not running the
+// dynamic program at all beats any amount of DP tuning.
+//
+// Three mechanisms compose:
+//
+//   - A canonical, collision-checked fingerprint. The cache key is the
+//     wire encoding of the full job — join-graph shape, table
+//     cardinalities, selectivities, plan space, worker count, objective,
+//     pruner configuration and cost model — so anything that could
+//     change the chosen plan changes the key, and nothing else does.
+//     Keys hash to a 64-bit fingerprint for the index; every lookup
+//     verifies the full encoded key, so a fingerprint collision can
+//     never serve the wrong plan.
+//
+//   - Singleflight collapsing (see singleflight.go). N concurrent
+//     identical requests run one dynamic program; the other N-1 wait
+//     and share the answer. A canceled leader hands leadership to a
+//     waiting follower instead of poisoning the flight.
+//
+//   - Cost-weighted LRU eviction under a byte budget (GreedyDual-Size):
+//     each entry's eviction priority is the running inflation level
+//     plus recompute-cost/size, where recompute cost is the DP's
+//     deterministic work-unit counter. Expensive-to-recompute plans
+//     survive longer than cheap ones of equal recency, and everything
+//     ages out eventually. Budget, priorities and sizes are all
+//     deterministic, so eviction order is reproducible.
+//
+// Cached answers are bit-identical (wire plan fingerprint) to uncached
+// ones by construction: the cache stores the engine's answer and serves
+// shallow copies that share the immutable plan trees. Hit/miss/evict/
+// collapse counters are surfaced per answer through core.Answer.Cache
+// and in aggregate through Totals.
+package cache
+
+import (
+	"container/heap"
+	"hash/fnv"
+	"sync"
+
+	"mpq/internal/core"
+	"mpq/internal/query"
+	"mpq/internal/wire"
+)
+
+// Config parameterizes a Cache.
+type Config struct {
+	// MaxBytes is the eviction budget: the sum of entry sizes (encoded
+	// key + encoded plans + bookkeeping) is kept at or below it.
+	// 0 means unlimited.
+	MaxBytes int64
+}
+
+// Key is the canonical cache key of one optimization request: the wire
+// encoding of the job (query plus complete JobSpec) and its 64-bit
+// fingerprint. Build it with Cache.KeyOf.
+type Key struct {
+	// FP is the FNV-1a fingerprint of Bytes — the index the cache hashes
+	// on.
+	FP uint64
+	// Bytes is the canonical encoding itself — the collision check.
+	// Lookups compare it in full, so equal fingerprints with different
+	// jobs can never alias.
+	Bytes string
+}
+
+// Totals is a snapshot of the cache-wide counters.
+type Totals struct {
+	// Hits counts lookups served from a stored entry.
+	Hits uint64
+	// Misses counts dynamic programs actually run on behalf of the
+	// cache (singleflight leaders and batch-path computes).
+	Misses uint64
+	// Collapses counts requests that shared another request's work: a
+	// singleflight follower, or a duplicate job inside one batch.
+	Collapses uint64
+	// Evictions counts entries removed to respect MaxBytes.
+	Evictions uint64
+	// Collisions counts stored key pairs whose 64-bit fingerprints
+	// coincide while their full keys differ (served correctly via the
+	// collision chain; counted for observability).
+	Collisions uint64
+	// Entries and Bytes are the current occupancy.
+	Entries int
+	Bytes   int64
+}
+
+// entry is one cached answer with its GreedyDual-Size accounting.
+type entry struct {
+	key   Key
+	ans   *core.Answer
+	bytes int64
+	cost  float64 // deterministic recompute cost (DP work units)
+	h     float64 // GreedyDual priority: inflation at last touch + cost/bytes
+	seq   uint64  // insertion order, the deterministic tiebreak
+	hidx  int     // index in the eviction heap
+}
+
+// Cache is a fingerprint-keyed plan cache with singleflight collapsing
+// and cost-weighted LRU eviction. The zero value is not usable; call
+// New. All methods are safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	entries  map[uint64][]*entry // fingerprint → collision chain
+	flights  map[string]*flight  // full key → in-flight computation
+	evict    entryHeap
+	lval     float64 // GreedyDual inflation level (max evicted priority)
+	bytes    int64
+	maxBytes int64
+	seq      uint64
+	t        Totals
+
+	// hashFn overrides the key fingerprint function in tests (forcing
+	// collisions); nil means FNV-1a.
+	hashFn func([]byte) uint64
+}
+
+// New returns an empty cache.
+func New(cfg Config) *Cache {
+	return &Cache{
+		entries:  make(map[uint64][]*entry),
+		flights:  make(map[string]*flight),
+		maxBytes: cfg.MaxBytes,
+	}
+}
+
+// KeyOf builds the canonical cache key for (q, spec): the wire job
+// encoding — the exact bytes a master would send a worker for this job,
+// with sequence and partition fixed to zero — fingerprinted with
+// FNV-1a. Everything that changes the chosen plan (statistics, join
+// graph, plan space, worker count, objective, α, order flags, cost
+// model) is in the encoding; nothing else is.
+func (c *Cache) KeyOf(q *query.Query, spec core.JobSpec) Key {
+	b := wire.EncodeJobRequest(&wire.JobRequest{Spec: spec, Query: q})
+	var fp uint64
+	if c.hashFn != nil {
+		fp = c.hashFn(b)
+	} else {
+		h := fnv.New64a()
+		h.Write(b)
+		fp = h.Sum64()
+	}
+	return Key{FP: fp, Bytes: string(b)}
+}
+
+// Totals returns a snapshot of the cache-wide counters.
+func (c *Cache) Totals() Totals {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.snapshotLocked()
+}
+
+func (c *Cache) snapshotLocked() Totals {
+	t := c.t
+	t.Entries = len(c.evict)
+	t.Bytes = c.bytes
+	return t
+}
+
+// Lookup returns the cached answer for (q, spec) as a shallow copy
+// stamped as a hit, or (nil, false). The copy shares the stored plan
+// trees — they are immutable — so its wire fingerprints equal the
+// original answer's.
+func (c *Cache) Lookup(q *query.Query, spec core.JobSpec) (*core.Answer, bool) {
+	key := c.KeyOf(q, spec)
+	c.mu.Lock()
+	e := c.lookupLocked(key)
+	if e == nil {
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.t.Hits++
+	c.touchLocked(e)
+	ans, snap := e.ans, c.snapshotLocked()
+	c.mu.Unlock()
+	return stamped(ans, snap, true, false), true
+}
+
+// Insert stores an answer for (q, spec), evicting as needed. The cache
+// keeps the answer as given; callers must not mutate it afterwards.
+func (c *Cache) Insert(q *query.Query, spec core.JobSpec, ans *core.Answer) {
+	key := c.KeyOf(q, spec)
+	c.mu.Lock()
+	c.insertLocked(key, ans)
+	c.mu.Unlock()
+}
+
+// lookupLocked finds the entry with exactly this key, walking the
+// fingerprint's collision chain.
+func (c *Cache) lookupLocked(key Key) *entry {
+	for _, e := range c.entries[key.FP] {
+		if e.key.Bytes == key.Bytes {
+			return e
+		}
+	}
+	return nil
+}
+
+// touchLocked refreshes an entry's GreedyDual priority on a hit: back
+// to the current inflation level plus its cost-per-byte bonus.
+func (c *Cache) touchLocked(e *entry) {
+	e.h = c.lval + e.cost/float64(e.bytes)
+	heap.Fix(&c.evict, e.hidx)
+}
+
+// insertLocked stores (key → ans), replacing an exact-key entry if one
+// exists and evicting the lowest-priority entries until the budget
+// holds. An answer larger than the whole budget is not cached.
+func (c *Cache) insertLocked(key Key, ans *core.Answer) {
+	size := entrySize(key, ans)
+	if c.maxBytes > 0 && size > c.maxBytes {
+		return
+	}
+	if old := c.lookupLocked(key); old != nil {
+		c.removeLocked(old)
+	} else if len(c.entries[key.FP]) > 0 {
+		c.t.Collisions++
+	}
+	for c.maxBytes > 0 && c.bytes+size > c.maxBytes && len(c.evict) > 0 {
+		victim := heap.Pop(&c.evict).(*entry)
+		if victim.h > c.lval {
+			c.lval = victim.h
+		}
+		c.unchainLocked(victim)
+		c.bytes -= victim.bytes
+		c.t.Evictions++
+	}
+	c.seq++
+	e := &entry{
+		key:   key,
+		ans:   ans,
+		bytes: size,
+		cost:  float64(ans.Stats.WorkUnits() + 1),
+		seq:   c.seq,
+	}
+	e.h = c.lval + e.cost/float64(e.bytes)
+	heap.Push(&c.evict, e)
+	c.entries[key.FP] = append(c.entries[key.FP], e)
+	c.bytes += size
+}
+
+// removeLocked deletes an entry from both the heap and the chain
+// without eviction accounting (used when replacing an exact key).
+func (c *Cache) removeLocked(e *entry) {
+	heap.Remove(&c.evict, e.hidx)
+	c.unchainLocked(e)
+	c.bytes -= e.bytes
+}
+
+// unchainLocked drops an entry from its fingerprint's collision chain.
+func (c *Cache) unchainLocked(e *entry) {
+	chain := c.entries[e.key.FP]
+	for i, o := range chain {
+		if o == e {
+			chain[i] = chain[len(chain)-1]
+			chain = chain[:len(chain)-1]
+			break
+		}
+	}
+	if len(chain) == 0 {
+		delete(c.entries, e.key.FP)
+	} else {
+		c.entries[e.key.FP] = chain
+	}
+}
+
+// entrySize is the deterministic byte accounting of one entry: the
+// encoded key, the encoded best plan and frontier (what a worker would
+// put on the wire for this answer), plus a fixed bookkeeping overhead.
+func entrySize(key Key, ans *core.Answer) int64 {
+	const overhead = 256 // entry struct, heap slot, chain slot, answer struct
+	size := int64(len(key.Bytes)) + overhead
+	if ans.Best != nil {
+		size += int64(len(wire.EncodePlan(ans.Best)))
+	}
+	for _, p := range ans.Frontier {
+		size += int64(len(wire.EncodePlan(p)))
+	}
+	return size
+}
+
+// stamped returns a shallow copy of ans carrying the per-answer cache
+// record. The copy shares Best, Frontier and PerWorker with the cached
+// answer — all immutable once optimization finished — so plan
+// fingerprints are bit-identical to the original's.
+func stamped(ans *core.Answer, snap Totals, hit, collapsed bool) *core.Answer {
+	cp := *ans
+	cp.Cache = &core.CacheStats{
+		Hit:       hit,
+		Collapsed: collapsed,
+		Hits:      snap.Hits,
+		Misses:    snap.Misses,
+		Collapses: snap.Collapses,
+		Evictions: snap.Evictions,
+		Entries:   snap.Entries,
+		Bytes:     snap.Bytes,
+	}
+	return &cp
+}
+
+// entryHeap is a min-heap over GreedyDual priority h, ties broken by
+// insertion order (older first) so eviction order is deterministic.
+type entryHeap []*entry
+
+func (h entryHeap) Len() int { return len(h) }
+func (h entryHeap) Less(i, j int) bool {
+	if h[i].h != h[j].h {
+		return h[i].h < h[j].h
+	}
+	return h[i].seq < h[j].seq
+}
+func (h entryHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].hidx, h[j].hidx = i, j
+}
+func (h *entryHeap) Push(x any) {
+	e := x.(*entry)
+	e.hidx = len(*h)
+	*h = append(*h, e)
+}
+func (h *entryHeap) Pop() any {
+	old := *h
+	e := old[len(old)-1]
+	old[len(old)-1] = nil
+	*h = old[:len(old)-1]
+	return e
+}

@@ -1,0 +1,244 @@
+package cache
+
+import (
+	"context"
+	"testing"
+
+	"mpq/internal/core"
+	"mpq/internal/partition"
+	"mpq/internal/plan"
+	"mpq/internal/query"
+	"mpq/internal/wire"
+	"mpq/internal/workload"
+)
+
+func genQuery(t *testing.T, n int, seed int64) *query.Query {
+	t.Helper()
+	_, q, err := workload.Generate(workload.NewParams(n, workload.Star), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func mustAnswer(t *testing.T, q *query.Query, spec core.JobSpec) *core.Answer {
+	t.Helper()
+	ans, err := core.Optimize(q, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ans
+}
+
+// TestKeyOfSensitivity: everything that can change the chosen plan must
+// change the key — statistics, join graph, space, workers, objective,
+// pruner flags and every cost-model knob.
+func TestKeyOfSensitivity(t *testing.T) {
+	c := New(Config{})
+	q := genQuery(t, 7, 1)
+	base := core.JobSpec{Space: partition.Linear, Workers: 4}
+	baseKey := c.KeyOf(q, base)
+
+	variants := []struct {
+		name string
+		spec core.JobSpec
+	}{}
+	add := func(name string, mut func(*core.JobSpec)) {
+		s := base
+		mut(&s)
+		variants = append(variants, struct {
+			name string
+			spec core.JobSpec
+		}{name, s})
+	}
+	add("space", func(s *core.JobSpec) { s.Space = partition.Bushy })
+	add("workers", func(s *core.JobSpec) { s.Workers = 8 })
+	add("objective", func(s *core.JobSpec) { s.Objective = core.MultiObjective; s.Alpha = 1 })
+	add("alpha", func(s *core.JobSpec) { s.Objective = core.MultiObjective; s.Alpha = 10 })
+	add("orders", func(s *core.JobSpec) { s.InterestingOrders = true })
+	add("crossproducts", func(s *core.JobSpec) { s.DisableCrossProducts = true })
+	add("costmodel", func(s *core.JobSpec) { s.CostModel.HashFactor = 99 })
+	for _, v := range variants {
+		if c.KeyOf(q, v.spec).Bytes == baseKey.Bytes {
+			t.Errorf("%s: spec change did not change the key", v.name)
+		}
+	}
+
+	// A statistics change — same shape, different selectivities — must
+	// change the key too.
+	if c.KeyOf(genQuery(t, 7, 2), base).Bytes == baseKey.Bytes {
+		t.Error("different query statistics did not change the key")
+	}
+	// And the same (query, spec) must reproduce the identical key.
+	if c.KeyOf(q, base) != baseKey {
+		t.Error("KeyOf is not deterministic")
+	}
+}
+
+// TestLookupInsert: a round trip serves a shallow copy that is
+// bit-identical under the wire plan fingerprint and stamped as a hit.
+func TestLookupInsert(t *testing.T) {
+	c := New(Config{})
+	q := genQuery(t, 7, 3)
+	spec := core.JobSpec{Space: partition.Linear, Workers: 4}
+
+	if _, ok := c.Lookup(q, spec); ok {
+		t.Fatal("lookup on empty cache hit")
+	}
+	ans := mustAnswer(t, q, spec)
+	c.Insert(q, spec, ans)
+	got, ok := c.Lookup(q, spec)
+	if !ok {
+		t.Fatal("lookup after insert missed")
+	}
+	if wire.PlanFingerprint(got.Best) != wire.PlanFingerprint(ans.Best) {
+		t.Fatal("cached best plan is not bit-identical")
+	}
+	if got.Cache == nil || !got.Cache.Hit || got.Cache.Collapsed {
+		t.Fatalf("hit stamp = %+v", got.Cache)
+	}
+	if got == ans {
+		t.Fatal("lookup returned the stored answer, not a copy")
+	}
+	tt := c.Totals()
+	if tt.Hits != 1 || tt.Entries != 1 || tt.Bytes <= 0 {
+		t.Fatalf("totals = %+v", tt)
+	}
+	// Re-inserting the same key replaces the entry without growing.
+	c.Insert(q, spec, ans)
+	if tt2 := c.Totals(); tt2.Entries != 1 || tt2.Bytes != tt.Bytes {
+		t.Fatalf("replacement changed occupancy: %+v -> %+v", tt, tt2)
+	}
+}
+
+// withCost returns a copy of ans whose deterministic recompute cost
+// (Stats.WorkUnits) is pinned to w, for eviction-order tests.
+func withCost(ans *core.Answer, w uint64) *core.Answer {
+	cp := *ans
+	cp.Stats = plan.Stats{SetsProcessed: w}
+	return &cp
+}
+
+// TestCostWeightedEviction: under a byte budget, the cheap-to-recompute
+// entries go first even when the expensive entry is the oldest, and the
+// eviction order among equals is deterministic (insertion order).
+func TestCostWeightedEviction(t *testing.T) {
+	q := genQuery(t, 7, 4)
+	ans := mustAnswer(t, q, core.JobSpec{Space: partition.Linear, Workers: 1})
+	// Distinct keys with identical sizes: same query and plan, varying
+	// worker count (a fixed-width field of the encoded spec).
+	spec := func(w int) core.JobSpec { return core.JobSpec{Space: partition.Linear, Workers: w} }
+
+	probe := New(Config{})
+	probe.Insert(q, spec(1), ans)
+	size := probe.Totals().Bytes
+
+	c := New(Config{MaxBytes: 3 * size})
+	c.Insert(q, spec(1), withCost(ans, 1000)) // expensive, oldest
+	c.Insert(q, spec(2), withCost(ans, 1))    // cheap
+	c.Insert(q, spec(3), withCost(ans, 1))    // cheap
+	c.Insert(q, spec(4), withCost(ans, 1))    // forces one eviction
+
+	if _, ok := c.Lookup(q, spec(1)); !ok {
+		t.Fatal("expensive entry was evicted before cheap ones")
+	}
+	if _, ok := c.Lookup(q, spec(2)); ok {
+		t.Fatal("oldest cheap entry survived; eviction order is not deterministic")
+	}
+	if _, ok := c.Lookup(q, spec(3)); !ok {
+		t.Fatal("newer cheap entry was evicted out of order")
+	}
+	tt := c.Totals()
+	if tt.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", tt.Evictions)
+	}
+	if tt.Bytes > 3*size {
+		t.Fatalf("occupancy %d exceeds budget %d", tt.Bytes, 3*size)
+	}
+
+	// GreedyDual aging: every eviction raises the inflation level to the
+	// victim's priority, so after enough cheap churn (cost ratio 1000:2
+	// and a two-entry residency buffer, hence ~1000 evictions) the
+	// untouched expensive entry's stale priority falls below the fresh
+	// cheap ones and it ages out too.
+	for w := 5; w < 1505; w++ {
+		c.Insert(q, spec(w), withCost(ans, 1))
+	}
+	if _, ok := c.Lookup(q, spec(1)); ok {
+		t.Fatal("untouched expensive entry never aged out")
+	}
+}
+
+// TestOversizeNotCached: an answer bigger than the whole budget is
+// refused rather than evicting everything.
+func TestOversizeNotCached(t *testing.T) {
+	q := genQuery(t, 7, 5)
+	spec := core.JobSpec{Space: partition.Linear, Workers: 1}
+	ans := mustAnswer(t, q, spec)
+	c := New(Config{MaxBytes: 16})
+	c.Insert(q, spec, ans)
+	if tt := c.Totals(); tt.Entries != 0 || tt.Evictions != 0 {
+		t.Fatalf("oversize insert changed the cache: %+v", tt)
+	}
+}
+
+// TestFingerprintCollision: with every key hashed to the same 64-bit
+// fingerprint, different jobs must still be served their own plans via
+// the full-key collision chain.
+func TestFingerprintCollision(t *testing.T) {
+	c := New(Config{})
+	c.hashFn = func([]byte) uint64 { return 42 }
+	qa, qb := genQuery(t, 7, 6), genQuery(t, 7, 7)
+	spec := core.JobSpec{Space: partition.Linear, Workers: 2}
+	ansA, ansB := mustAnswer(t, qa, spec), mustAnswer(t, qb, spec)
+
+	c.Insert(qa, spec, ansA)
+	c.Insert(qb, spec, ansB)
+	gotA, okA := c.Lookup(qa, spec)
+	gotB, okB := c.Lookup(qb, spec)
+	if !okA || !okB {
+		t.Fatal("collision chain lost an entry")
+	}
+	if wire.PlanFingerprint(gotA.Best) != wire.PlanFingerprint(ansA.Best) ||
+		wire.PlanFingerprint(gotB.Best) != wire.PlanFingerprint(ansB.Best) {
+		t.Fatal("colliding fingerprints served the wrong plan")
+	}
+	if tt := c.Totals(); tt.Collisions != 1 || tt.Entries != 2 {
+		t.Fatalf("totals = %+v, want 1 collision and 2 entries", tt)
+	}
+}
+
+// TestOptimizeMissThenHit: the singleflight front door computes once,
+// stamps the miss, and serves every repeat as a hit without calling
+// compute again.
+func TestOptimizeMissThenHit(t *testing.T) {
+	c := New(Config{})
+	q := genQuery(t, 7, 8)
+	spec := core.JobSpec{Space: partition.Linear, Workers: 4}
+	calls := 0
+	compute := func(ctx context.Context, q *query.Query, s core.JobSpec) (*core.Answer, error) {
+		calls++
+		return core.OptimizeContext(ctx, q, s, 0)
+	}
+	ctx := context.Background()
+	first, err := c.Optimize(ctx, q, spec, compute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cache == nil || first.Cache.Hit || first.Cache.Collapsed {
+		t.Fatalf("miss stamp = %+v", first.Cache)
+	}
+	second, err := c.Optimize(ctx, q, spec, compute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cache.Hit {
+		t.Fatalf("repeat was not a hit: %+v", second.Cache)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	if wire.PlanFingerprint(first.Best) != wire.PlanFingerprint(second.Best) {
+		t.Fatal("hit is not bit-identical to the miss")
+	}
+}

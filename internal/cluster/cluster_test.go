@@ -1,7 +1,6 @@
 package cluster
 
 import (
-	"bytes"
 	"math"
 	"testing"
 	"time"
@@ -94,8 +93,7 @@ func TestSimulationMatchesInProcessOnAllWorkloads(t *testing.T) {
 		if err != nil {
 			t.Fatalf("query %d: %v", i, err)
 		}
-		simBytes, localBytes := wire.EncodePlan(sim.Best), wire.EncodePlan(local.Best)
-		if !bytes.Equal(simBytes, localBytes) {
+		if wire.PlanFingerprint(sim.Best) != wire.PlanFingerprint(local.Best) {
 			t.Fatalf("query %d: simulated and in-process plans differ", i)
 		}
 	}
@@ -261,7 +259,7 @@ func TestFaultedSimulationBitIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !bytes.Equal(wire.EncodePlan(res.Best), wire.EncodePlan(clean.Best)) {
+		if wire.PlanFingerprint(res.Best) != wire.PlanFingerprint(clean.Best) {
 			t.Fatalf("dead=%v: recovered plan differs", deadSet)
 		}
 		if res.Metrics.Redispatches != len(deadSet) {

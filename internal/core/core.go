@@ -204,6 +204,9 @@ type Answer struct {
 	// Cluster holds the simulator's measurement record when the answer
 	// came from the simulated cluster (the sim engine); nil otherwise.
 	Cluster *ClusterMetrics
+	// Cache records how a plan cache served this answer when the engine
+	// wears one (mpq.WithCache); nil for uncached engines.
+	Cache *CacheStats
 }
 
 // FinalPrune implements the master's second phase (Algorithm 1, lines

@@ -37,6 +37,27 @@ type NetStats struct {
 	Redispatched int
 }
 
+// CacheStats records how a plan cache served one answer, plus a
+// snapshot of the cache-wide counters at that moment. It lives in core
+// — rather than in the cache that fills it — so the engine-agnostic
+// Answer can carry it without the algorithm layer importing the cache;
+// internal/cache fills it.
+type CacheStats struct {
+	// Hit reports that this answer was served from the cache without
+	// running the dynamic program.
+	Hit bool
+	// Collapsed reports that this answer was shared from a concurrent
+	// identical request's flight (singleflight): some other caller ran
+	// the dynamic program, this caller only waited.
+	Collapsed bool
+	// Hits, Misses, Collapses and Evictions are the cache's cumulative
+	// counters at the time the answer was served.
+	Hits, Misses, Collapses, Evictions uint64
+	// Entries and Bytes are the cache's occupancy at that time.
+	Entries int
+	Bytes   int64
+}
+
 // ClusterMetrics is the simulated shared-nothing cluster's measurement
 // record — one row of the paper's figures. It lives in core so a
 // simulator Answer can carry it; internal/cluster aliases it as

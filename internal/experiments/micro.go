@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
+	"mpq/internal/cache"
 	"mpq/internal/core"
 	"mpq/internal/dp"
 	"mpq/internal/partition"
+	"mpq/internal/query"
 	"mpq/internal/workload"
 )
 
@@ -74,6 +77,25 @@ func Micro(cfg Config) ([]MicroRow, error) {
 				}
 			}
 		}},
+		{"CachedHitServing", func(b *testing.B) {
+			// The plan cache's hit path: canonical keying, lookup and the
+			// stamped shallow copy — the per-request cost of a repeat.
+			spec := core.JobSpec{Space: partition.Linear, Workers: 4}
+			c := cache.New(cache.Config{})
+			compute := func(ctx context.Context, q *query.Query, s core.JobSpec) (*core.Answer, error) {
+				return core.OptimizeContext(ctx, q, s, 0)
+			}
+			ctx := context.Background()
+			if _, err := c.Optimize(ctx, q12, spec, compute); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Optimize(ctx, q12, spec, compute); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{"InProcessBatchSteadyState", func(b *testing.B) {
 			// Four identical jobs per op through the pooled worker path —
 			// the per-job steady state of Engine.OptimizeBatch.
@@ -119,7 +141,9 @@ func MicroTable(rows []MicroRow) *Table {
 	for _, r := range rows {
 		t.Rows = append(t.Rows, []string{
 			r.Name,
-			fmt.Sprintf("%.2f", r.MsPerOp),
+			// fmtFloat, not a fixed %.2f: the cache hit path sits in the
+			// microsecond range and would render as "0.00".
+			fmtFloat(r.MsPerOp),
 			fmt.Sprintf("%d", r.AllocsPerOp),
 			fmt.Sprintf("%.1f", float64(r.BytesPerOp)/1024),
 			fmt.Sprintf("%d", r.Iterations),

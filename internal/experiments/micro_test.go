@@ -21,7 +21,8 @@ func TestMicroSmoke(t *testing.T) {
 	}
 	want := []string{
 		"SerialLinear16", "MPQLinear16Workers8", "SerialBushy12",
-		"MPQBushy12Workers8", "MultiObjectiveLinear12", "InProcessBatchSteadyState",
+		"MPQBushy12Workers8", "MultiObjectiveLinear12", "CachedHitServing",
+		"InProcessBatchSteadyState",
 	}
 	if len(rows) != len(want) {
 		t.Fatalf("got %d rows, want %d", len(rows), len(want))

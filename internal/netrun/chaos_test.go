@@ -1,7 +1,6 @@
 package netrun
 
 import (
-	"bytes"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -48,11 +47,11 @@ func startChaosWorkers(t *testing.T, k int, plans []FaultPlan) ([]string, []*Cha
 // in-process engine (dp.Run per partition + FinalPrune).
 func assertBitIdentical(t *testing.T, faulted *plan.Node, clean *plan.Node, local *plan.Node) {
 	t.Helper()
-	ff, cf, lf := wire.EncodePlan(faulted), wire.EncodePlan(clean), wire.EncodePlan(local)
-	if !bytes.Equal(ff, cf) {
+	ff, cf, lf := wire.PlanFingerprint(faulted), wire.PlanFingerprint(clean), wire.PlanFingerprint(local)
+	if ff != cf {
 		t.Fatalf("faulted plan differs from failure-free plan:\n%s\nvs\n%s", faulted, clean)
 	}
-	if !bytes.Equal(ff, lf) {
+	if ff != lf {
 		t.Fatalf("faulted plan differs from in-process plan:\n%s\nvs\n%s", faulted, local)
 	}
 	if faulted.Cost != clean.Cost || faulted.Cost != local.Cost {
@@ -215,7 +214,7 @@ func TestMultiObjectiveFaultedFrontierIdentical(t *testing.T) {
 		t.Fatalf("frontier size %d != %d", len(dist.Frontier), len(local.Frontier))
 	}
 	for i := range dist.Frontier {
-		if !bytes.Equal(wire.EncodePlan(dist.Frontier[i]), wire.EncodePlan(local.Frontier[i])) {
+		if wire.PlanFingerprint(dist.Frontier[i]) != wire.PlanFingerprint(local.Frontier[i]) {
 			t.Fatalf("frontier plan %d differs", i)
 		}
 	}
@@ -248,7 +247,7 @@ func TestWorkerExclusionAfterRepeatedFailures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(wire.EncodePlan(ans.Best), wire.EncodePlan(local.Best)) {
+	if wire.PlanFingerprint(ans.Best) != wire.PlanFingerprint(local.Best) {
 		t.Fatal("plan differs after worker exclusion")
 	}
 	if ans.Redispatched < 2 {
@@ -283,7 +282,7 @@ func TestDuplicateResponseIgnored(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(wire.EncodePlan(ans.Best), wire.EncodePlan(local.Best)) {
+	if wire.PlanFingerprint(ans.Best) != wire.PlanFingerprint(local.Best) {
 		t.Fatal("plan differs under duplicated responses")
 	}
 	if ans.Redispatched != 0 {
@@ -366,10 +365,10 @@ func TestBatchBitIdenticalUnderFaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(wire.EncodePlan(answers[0].Best), wire.EncodePlan(localA.Best)) {
+	if wire.PlanFingerprint(answers[0].Best) != wire.PlanFingerprint(localA.Best) {
 		t.Fatal("batch answer 0 differs from the in-process plan")
 	}
-	if !bytes.Equal(wire.EncodePlan(answers[1].Best), wire.EncodePlan(localB.Best)) {
+	if wire.PlanFingerprint(answers[1].Best) != wire.PlanFingerprint(localB.Best) {
 		t.Fatal("batch answer 1 differs from the in-process plan")
 	}
 	redispatched := answers[0].Redispatched + answers[1].Redispatched
@@ -421,7 +420,7 @@ func TestSlowDripWithinDeadlineSucceeds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(wire.EncodePlan(ans.Best), wire.EncodePlan(local.Best)) {
+	if wire.PlanFingerprint(ans.Best) != wire.PlanFingerprint(local.Best) {
 		t.Fatal("plan differs under slow drip")
 	}
 	if ans.Redispatched != 0 {
@@ -449,7 +448,7 @@ func TestSlowDripBeyondDeadlineRedispatches(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(wire.EncodePlan(ans.Best), wire.EncodePlan(local.Best)) {
+	if wire.PlanFingerprint(ans.Best) != wire.PlanFingerprint(local.Best) {
 		t.Fatal("plan differs after drip timeout")
 	}
 	if ans.Redispatched == 0 {

@@ -1,0 +1,161 @@
+package pqo
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mpq/internal/partition"
+	"mpq/internal/plan"
+	"mpq/internal/query"
+	"mpq/internal/wire"
+)
+
+// CellCache caches parametric optimization results per parameter-space
+// cell: one parametric MPQ run per (query, space, workers, spill)
+// yields the frontier and its breakpoints, which partition θ ∈ [0,1]
+// into cells with a constant optimal plan. Point queries — "the plan
+// for this query at this θ" — are then served from the covering cell
+// without touching the dynamic program, which is the classical payoff
+// of parametric query optimization [13]: optimize once per cell, not
+// once per parameter value.
+//
+// The cache key is the wire encoding of the parametric job (the same
+// canonical keying contract as internal/cache), so any change to the
+// query statistics, plan space, worker count or spill factor computes a
+// fresh frontier. Entries are never evicted: one entry per distinct
+// parametric job, each a few plans — callers with unbounded distinct
+// queries should bound their own key population.
+//
+// All methods are safe for concurrent use; concurrent point queries for
+// the same uncomputed entry run one optimization (later callers block
+// until the first finishes).
+type CellCache struct {
+	mu      sync.Mutex
+	entries map[string]*cellEntry
+	hits    uint64
+	misses  uint64
+}
+
+// cellEntry is one parametric job's frontier, cut into cells.
+type cellEntry struct {
+	mu       sync.Mutex // held while computing; lookups block on it
+	computed bool
+	frontier []*plan.Node
+	breaks   []float64    // ascending, breaks[0]=0, breaks[len-1]=1
+	plans    []*plan.Node // plans[i] is optimal on [breaks[i], breaks[i+1]]
+	err      error
+}
+
+// CellCacheStats is a snapshot of a CellCache's counters.
+type CellCacheStats struct {
+	// Hits counts point queries served from an already-computed entry.
+	Hits uint64
+	// Misses counts parametric optimizations actually run.
+	Misses uint64
+	// Entries is the number of cached parametric jobs.
+	Entries int
+	// Cells is the total number of parameter-space cells across entries.
+	Cells int
+}
+
+// NewCellCache returns an empty parametric plan cache.
+func NewCellCache() *CellCache {
+	return &CellCache{entries: make(map[string]*cellEntry)}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *CellCache) Stats() CellCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CellCacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries)}
+	for _, e := range c.entries {
+		e.mu.Lock()
+		if e.computed && e.err == nil {
+			s.Cells += len(e.plans)
+		}
+		e.mu.Unlock()
+	}
+	return s
+}
+
+// BestAt returns the optimal plan for the query at parameter value
+// theta, running parametric MPQ only if this (query, space, workers,
+// spill) combination has not been optimized before. The returned plan
+// is the covering cell's optimal plan — bit-identical (wire encoding)
+// to what Best(Optimize(...), theta) selects, with exact-breakpoint
+// ties resolving to the lower cell exactly as Best resolves them. The
+// cache changes when work happens, never the answer.
+func (c *CellCache) BestAt(q *query.Query, space partition.Space, workers int, spill, theta float64) (*plan.Node, error) {
+	if theta < 0 || theta > 1 || theta != theta {
+		return nil, fmt.Errorf("pqo: parameter %g outside [0,1]", theta)
+	}
+	spec := JobSpec(space, workers, spill)
+	key := string(wire.EncodeJobRequest(&wire.JobRequest{Spec: spec, Query: q}))
+
+	c.mu.Lock()
+	e := c.entries[key]
+	hit := e != nil
+	if !hit {
+		e = &cellEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.computed {
+		e.compute(q, space, workers, spill)
+		e.computed = true
+		hit = false // this caller paid for the optimization
+	}
+	c.mu.Lock()
+	if hit {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	c.mu.Unlock()
+	if e.err != nil {
+		return nil, e.err
+	}
+
+	// The covering cell. Cells are right-closed — cell j covers
+	// (breaks[j], breaks[j+1]], with θ=0 in cell 0 — so a point query at
+	// an exact breakpoint resolves to the lower cell, matching Best's
+	// earliest-frontier-plan tie-break (the frontier is sorted by c0,
+	// and the lower cell's plan has the lower c0).
+	j := sort.SearchFloat64s(e.breaks, theta) - 1
+	if j < 0 {
+		j = 0
+	}
+	if j >= len(e.plans) {
+		j = len(e.plans) - 1
+	}
+	return e.plans[j], nil
+}
+
+// compute runs the parametric optimization and cuts the frontier into
+// cells, materializing one representative optimal plan per cell.
+func (e *cellEntry) compute(q *query.Query, space partition.Space, workers int, spill float64) {
+	frontier, err := Optimize(q, space, workers, spill)
+	if err != nil {
+		e.err = err
+		return
+	}
+	breaks, err := Breakpoints(frontier)
+	if err != nil {
+		e.err = err
+		return
+	}
+	plans := make([]*plan.Node, len(breaks)-1)
+	for i := range plans {
+		p, err := Best(frontier, mid(breaks[i], breaks[i+1]))
+		if err != nil {
+			e.err = err
+			return
+		}
+		plans[i] = p
+	}
+	e.frontier, e.breaks, e.plans = frontier, breaks, plans
+}

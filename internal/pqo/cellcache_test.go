@@ -1,0 +1,144 @@
+package pqo
+
+import (
+	"sync"
+	"testing"
+
+	"mpq/internal/partition"
+	"mpq/internal/wire"
+	"mpq/internal/workload"
+)
+
+// TestCellCacheBitIdentical: every point query through the cell cache
+// returns exactly the plan a fresh parametric run selects — including
+// at the breakpoints themselves, where ties must resolve the way Best
+// resolves them.
+func TestCellCacheBitIdentical(t *testing.T) {
+	// Star 7, seed 8, spill 8 yields a multi-plan frontier with several
+	// interior breakpoints — the interesting tie cases.
+	_, q, err := workload.Generate(workload.NewParams(7, workload.Star), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const spill = 8.0
+	frontier, err := Optimize(q, partition.Linear, 2, spill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	breaks, err := Breakpoints(frontier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(breaks) < 3 {
+		t.Fatalf("want a frontier with interior breakpoints, got %v", breaks)
+	}
+
+	thetas := append([]float64{}, breaks...) // exact breakpoints: the tie cases
+	for i := 0; i <= 10; i++ {
+		thetas = append(thetas, float64(i)/10)
+	}
+	c := NewCellCache()
+	for _, theta := range thetas {
+		want, err := Best(frontier, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.BestAt(q, partition.Linear, 2, spill, theta)
+		if err != nil {
+			t.Fatalf("theta=%g: %v", theta, err)
+		}
+		if wire.PlanFingerprint(got) != wire.PlanFingerprint(want) {
+			t.Fatalf("theta=%g: cell-cache plan differs from fresh parametric run", theta)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 1 {
+		t.Fatalf("%d point queries ran %d parametric optimizations, want 1", len(thetas), s.Misses)
+	}
+	if s.Hits != uint64(len(thetas)-1) {
+		t.Fatalf("hits = %d, want %d", s.Hits, len(thetas)-1)
+	}
+	if s.Entries != 1 || s.Cells != len(breaks)-1 {
+		t.Fatalf("stats = %+v, want 1 entry with %d cells", s, len(breaks)-1)
+	}
+}
+
+// TestCellCacheKeySeparation: a different spill factor or worker count
+// is a different parametric job and computes its own frontier.
+func TestCellCacheKeySeparation(t *testing.T) {
+	_, q, err := workload.Generate(workload.NewParams(7, workload.Chain), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCellCache()
+	if _, err := c.BestAt(q, partition.Linear, 2, 3.0, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.BestAt(q, partition.Linear, 2, 8.0, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.BestAt(q, partition.Linear, 4, 3.0, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Misses != 3 || s.Entries != 3 {
+		t.Fatalf("stats = %+v, want 3 distinct parametric jobs", s)
+	}
+}
+
+// TestCellCacheInvalidTheta rejects parameters outside [0,1].
+func TestCellCacheInvalidTheta(t *testing.T) {
+	_, q, err := workload.Generate(workload.NewParams(6, workload.Star), 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCellCache()
+	for _, theta := range []float64{-0.1, 1.1} {
+		if _, err := c.BestAt(q, partition.Linear, 2, 3.0, theta); err == nil {
+			t.Fatalf("theta=%g accepted", theta)
+		}
+	}
+}
+
+// TestCellCacheConcurrentPointQueries: concurrent first-touch point
+// queries for one parametric job run a single optimization (run under
+// -race).
+func TestCellCacheConcurrentPointQueries(t *testing.T) {
+	_, q, err := workload.Generate(workload.NewParams(8, workload.Cycle), 34)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCellCache()
+	const n = 16
+	fps := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := c.BestAt(q, partition.Linear, 2, 3.0, float64(i)/n)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			fps[i] = wire.PlanFingerprint(p)
+		}(i)
+	}
+	wg.Wait()
+	if s := c.Stats(); s.Misses != 1 || s.Hits != n-1 {
+		t.Fatalf("stats = %+v, want exactly one optimization", s)
+	}
+	// Spot-check against the fresh run now that the dust settled.
+	frontier, err := Optimize(q, partition.Linear, 2, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		want, err := Best(frontier, float64(i)/n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fps[i] != wire.PlanFingerprint(want) {
+			t.Fatalf("theta=%g: concurrent answer differs", float64(i)/n)
+		}
+	}
+}

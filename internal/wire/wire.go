@@ -9,7 +9,9 @@
 package wire
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"math"
 
@@ -295,6 +297,18 @@ func encodePlanBody(e *encoder, p *plan.Node) {
 		encodePlanBody(e, p.Left)
 		encodePlanBody(e, p.Right)
 	}
+}
+
+// PlanFingerprint returns a comparable, printable fingerprint of a plan
+// tree: the hex SHA-256 of its wire encoding. Two plans have equal
+// fingerprints iff they encode to identical bytes — same structure,
+// same join algorithms, same cost annotations bit for bit. This is the
+// equivalence the engine tests, the chaos-recovery tests and the plan
+// cache all assert; use this helper instead of comparing EncodePlan
+// output by hand.
+func PlanFingerprint(p *plan.Node) string {
+	sum := sha256.Sum256(EncodePlan(p))
+	return hex.EncodeToString(sum[:])
 }
 
 // DecodePlan parses a plan message.

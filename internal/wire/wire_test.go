@@ -162,6 +162,33 @@ func TestPlanRoundTrip(t *testing.T) {
 	}
 }
 
+// TestPlanFingerprint: fingerprints agree exactly when the encodings
+// agree — the equivalence contract the engine and cache tests rely on.
+func TestPlanFingerprint(t *testing.T) {
+	q := genQuery(t, 7, 3)
+	p := bestPlan(t, q, partition.Linear)
+	if PlanFingerprint(p) != PlanFingerprint(p) {
+		t.Fatal("fingerprint is not deterministic")
+	}
+	decoded, err := DecodePlan(EncodePlan(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if PlanFingerprint(decoded) != PlanFingerprint(p) {
+		t.Fatal("round-tripped plan has a different fingerprint")
+	}
+	other := bestPlan(t, genQuery(t, 7, 4), partition.Linear)
+	if PlanFingerprint(other) == PlanFingerprint(p) {
+		t.Fatal("different plans share a fingerprint")
+	}
+	// An annotation-only change (same structure) must change it too.
+	cp := *p
+	cp.Cost = p.Cost + 1
+	if PlanFingerprint(&cp) == PlanFingerprint(p) {
+		t.Fatal("cost annotation change did not change the fingerprint")
+	}
+}
+
 func TestPlanDecodeRejectsCorruption(t *testing.T) {
 	q := genQuery(t, 5, 0)
 	p := bestPlan(t, q, partition.Linear)

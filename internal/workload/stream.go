@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mpq/internal/query"
+)
+
+// StreamParams configures a Zipf-popularity repeat stream: the served-
+// traffic model where a bounded population of distinct queries arrives
+// with heavily skewed popularity (a few queries dominate, a long tail
+// trickles). This is the workload a plan cache is measured against —
+// hit rate and serving latency under realistic repetition.
+type StreamParams struct {
+	// Query configures the distinct queries' generation (shape, size,
+	// statistics), as for Generate.
+	Query Params
+	// Distinct is the number of distinct queries in the population.
+	Distinct int
+	// Length is the number of arrivals in the stream.
+	Length int
+	// Skew is the Zipf exponent s > 1: arrival i draws query rank k
+	// with probability proportional to 1/(1+k)^s. s ≈ 1.1 models web-
+	// style popularity skew; larger s concentrates traffic on fewer
+	// queries.
+	Skew float64
+}
+
+// Validate reports the first problem with the parameters.
+func (p StreamParams) Validate() error {
+	if err := p.Query.Validate(); err != nil {
+		return err
+	}
+	if p.Distinct < 1 {
+		return fmt.Errorf("workload: stream needs at least 1 distinct query, got %d", p.Distinct)
+	}
+	if p.Length < 1 {
+		return fmt.Errorf("workload: stream length %d must be positive", p.Length)
+	}
+	if !(p.Skew > 1) {
+		return fmt.Errorf("workload: Zipf skew %g must be > 1", p.Skew)
+	}
+	return nil
+}
+
+// Stream is a generated repeat stream: the distinct query population in
+// popularity-rank order plus the arrival order as indices into it.
+type Stream struct {
+	Params StreamParams
+	// Queries holds the distinct queries; Queries[0] is the most
+	// popular rank.
+	Queries []*query.Query
+	// Order is the arrival sequence: Order[i] indexes Queries.
+	Order []int
+}
+
+// At returns the i-th arrival's query.
+func (s *Stream) At(i int) *query.Query { return s.Queries[s.Order[i]] }
+
+// streamSalt decorrelates the arrival-order randomness from the query-
+// generation seeds (which are seed, seed+1, ... as in Batch).
+const streamSalt = 0x5eed51d3a9f0b274
+
+// GenerateStream builds a Zipf-popularity repeat stream. Fully
+// deterministic given (params, seed): the distinct queries are
+// Batch(p.Query, seed, p.Distinct) — so query k of a stream equals the
+// standalone query generated with seed+k — and the arrival order is
+// drawn from a separately salted generator, so the same population can
+// be replayed under different skews by varying only p.Skew.
+func GenerateStream(p StreamParams, seed int64) (*Stream, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	queries, err := Batch(p.Query, seed, p.Distinct)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed ^ streamSalt))
+	zipf := rand.NewZipf(rng, p.Skew, 1, uint64(p.Distinct-1))
+	order := make([]int, p.Length)
+	for i := range order {
+		order[i] = int(zipf.Uint64())
+	}
+	return &Stream{Params: p, Queries: queries, Order: order}, nil
+}

@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"testing"
+
+	"mpq/internal/wire"
+)
+
+func streamParams() StreamParams {
+	return StreamParams{
+		Query:    NewParams(7, Star),
+		Distinct: 16,
+		Length:   512,
+		Skew:     1.1,
+	}
+}
+
+// TestStreamDeterministic: same (params, seed) — same queries, same
+// arrival order; a different seed reorders arrivals.
+func TestStreamDeterministic(t *testing.T) {
+	a, err := GenerateStream(streamParams(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateStream(streamParams(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Order {
+		if a.Order[i] != b.Order[i] {
+			t.Fatalf("arrival %d differs between identical generations", i)
+		}
+	}
+	for k := range a.Queries {
+		if string(wire.EncodeQuery(a.Queries[k])) != string(wire.EncodeQuery(b.Queries[k])) {
+			t.Fatalf("distinct query %d differs between identical generations", k)
+		}
+	}
+	c, err := GenerateStream(streamParams(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Order {
+		if a.Order[i] != c.Order[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the same arrival order")
+	}
+}
+
+// TestStreamQueriesMatchBatch: rank k of the stream is exactly the
+// standalone query generated with seed+k, so cached-serving results are
+// comparable with per-query experiments.
+func TestStreamQueriesMatchBatch(t *testing.T) {
+	p := streamParams()
+	s, err := GenerateStream(p, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, q := range s.Queries {
+		_, want, err := Generate(p.Query, 42+int64(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(wire.EncodeQuery(q)) != string(wire.EncodeQuery(want)) {
+			t.Fatalf("stream query %d != Generate(seed+%d)", k, k)
+		}
+	}
+}
+
+// TestStreamZipfSkew: arrivals concentrate on the popular ranks, more
+// so at higher skew, and At indexes the right query.
+func TestStreamZipfSkew(t *testing.T) {
+	mass := func(skew float64) float64 {
+		p := streamParams()
+		p.Skew = skew
+		s, err := GenerateStream(p, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		top := 0
+		for i, r := range s.Order {
+			if r == 0 {
+				top++
+			}
+			if s.At(i) != s.Queries[r] {
+				t.Fatal("At does not follow Order")
+			}
+		}
+		return float64(top) / float64(len(s.Order))
+	}
+	lo, hi := mass(1.05), mass(2.5)
+	if lo <= 1.0/16 {
+		t.Fatalf("rank-0 mass %g not above uniform", lo)
+	}
+	if hi <= lo {
+		t.Fatalf("higher skew did not concentrate traffic: %g vs %g", hi, lo)
+	}
+}
+
+// TestStreamValidate rejects bad parameters.
+func TestStreamValidate(t *testing.T) {
+	bad := []func(*StreamParams){
+		func(p *StreamParams) { p.Distinct = 0 },
+		func(p *StreamParams) { p.Length = 0 },
+		func(p *StreamParams) { p.Skew = 1.0 },
+		func(p *StreamParams) { p.Query.Tables = 0 },
+	}
+	for i, mut := range bad {
+		p := streamParams()
+		mut(&p)
+		if _, err := GenerateStream(p, 1); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}

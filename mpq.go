@@ -46,6 +46,13 @@
 // docs/api.md for the full engine guide and the migration table from
 // the deprecated free functions (Optimize, SimulateMPQ, NewMaster, ...).
 //
+// Any engine composes with WithCache, which serves repeated requests
+// from a fingerprint-keyed plan cache (singleflight collapsing,
+// cost-weighted LRU eviction) with answers bit-identical to the
+// uncached engine's:
+//
+//	cached := mpq.WithCache(eng, mpq.CacheConfig{MaxBytes: 1 << 20})
+//
 // # Multi-objective optimization
 //
 // Set JobSpec.Objective to MultiObjective to approximate the Pareto
@@ -94,6 +101,9 @@ type (
 	JobSpec = core.JobSpec
 	// Answer is the result of an optimization run.
 	Answer = core.Answer
+	// CacheStats records how a plan cache served an answer (Answer.Cache,
+	// set by CachedEngine): hit/collapse flags plus cache-wide counters.
+	CacheStats = core.CacheStats
 	// CostVector is a plan's (time, buffer) cost in multi-objective mode.
 	CostVector = mo.Vector
 )
@@ -128,6 +138,12 @@ type (
 	// Shape is a join-graph structure (Star, Chain, Cycle, Clique,
 	// Snowflake).
 	Shape = workload.Shape
+	// StreamParams configures a Zipf-popularity repeat stream of queries
+	// (the workload a plan cache is measured against).
+	StreamParams = workload.StreamParams
+	// Stream is a generated repeat stream: distinct queries plus arrival
+	// order.
+	Stream = workload.Stream
 )
 
 // Distributed-runtime types.
@@ -311,6 +327,13 @@ func EncodePlan(p *Plan) []byte { return wire.EncodePlan(p) }
 // DecodePlan parses a serialized plan.
 func DecodePlan(b []byte) (*Plan, error) { return wire.DecodePlan(b) }
 
+// PlanFingerprint returns a comparable, printable fingerprint of a
+// plan: the hex SHA-256 of its wire encoding. Equal fingerprints mean
+// bit-identical plans — same structure, algorithms and cost
+// annotations. This is the equivalence the engines guarantee across
+// substrates and the plan cache guarantees across hits.
+func PlanFingerprint(p *Plan) string { return wire.PlanFingerprint(p) }
+
 // ExactFrontier filters plans down to their exact Pareto frontier over
 // (time, buffer).
 func ExactFrontier(plans []*Plan) []*Plan { return mo.ExactFrontier(plans) }
@@ -342,6 +365,28 @@ func ParametricBest(frontier []*Plan, theta float64) (*Plan, error) {
 // delimit the parameter regions with a constant optimal plan.
 func ParametricBreakpoints(frontier []*Plan) ([]float64, error) {
 	return pqo.Breakpoints(frontier)
+}
+
+// ParametricCellCache caches parametric optimizations per parameter-
+// space cell: one parametric MPQ run per (query, space, workers, spill)
+// serves every point query θ ∈ [0,1] from the covering cell. Point
+// answers are bit-identical to ParametricBest over a fresh
+// OptimizeParametric run.
+type ParametricCellCache = pqo.CellCache
+
+// ParametricCellCacheStats is a snapshot of a ParametricCellCache's
+// counters.
+type ParametricCellCacheStats = pqo.CellCacheStats
+
+// NewParametricCellCache returns an empty parametric plan cache.
+func NewParametricCellCache() *ParametricCellCache { return pqo.NewCellCache() }
+
+// GenerateWorkloadStream builds a Zipf-popularity repeat stream of
+// queries: p.Distinct distinct queries arriving p.Length times with
+// skew-s popularity. Deterministic per (params, seed); the distinct
+// queries equal GenerateWorkload(p.Query, seed+rank).
+func GenerateWorkloadStream(p StreamParams, seed int64) (*Stream, error) {
+	return workload.GenerateStream(p, seed)
 }
 
 // --- Reference executor (see internal/exec) ---

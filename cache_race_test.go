@@ -1,0 +1,183 @@
+package mpq_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"mpq"
+)
+
+// TestCachedEngineConcurrentConsistency hammers one CachedEngine from
+// many goroutines mixing Optimize and OptimizeBatch over a small query
+// pool, and checks the invariants the serving path depends on (run
+// under -race, this is also the data-race canary for the cache):
+//
+//   - every answer carries a Cache stamp, and Hit/Collapsed are
+//     mutually exclusive;
+//   - within one goroutine's call sequence the stamped cumulative
+//     counters never decrease (they are snapshots of monotonic
+//     counters taken at serve time);
+//   - totals observed by a concurrent CacheTotals poller never
+//     decrease either;
+//   - all answers for the same query are fingerprint-identical;
+//   - at the end, Hits+Misses+Collapses equals exactly the number of
+//     answers served — every served answer is classified once.
+func TestCachedEngineConcurrentConsistency(t *testing.T) {
+	inner := mpq.NewSerialEngine()
+	cached := mpq.WithCache(inner, mpq.CacheConfig{})
+	spec := mpq.JobSpec{Space: mpq.Linear, Workers: 1}
+
+	const poolSize = 4
+	queries := make([]*mpq.Query, poolSize)
+	for i := range queries {
+		_, q, err := mpq.GenerateWorkload(mpq.NewWorkloadParams(5, mpq.Star), int64(100+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries[i] = q
+	}
+
+	var (
+		mu           sync.Mutex
+		fingerprints = map[int]string{} // query index → expected fingerprint
+		served       uint64
+	)
+	checkAnswer := func(qi int, ans *mpq.Answer) {
+		if ans == nil || ans.Best == nil {
+			t.Error("nil answer from cached engine")
+			return
+		}
+		if ans.Cache == nil {
+			t.Error("answer missing Cache stamp")
+			return
+		}
+		if ans.Cache.Hit && ans.Cache.Collapsed {
+			t.Errorf("answer stamped both hit and collapsed: %+v", ans.Cache)
+		}
+		fp := mpq.PlanFingerprint(ans.Best)
+		mu.Lock()
+		defer mu.Unlock()
+		served++
+		if want, ok := fingerprints[qi]; !ok {
+			fingerprints[qi] = fp
+		} else if fp != want {
+			t.Errorf("query %d: fingerprint %s differs from first answer's %s", qi, fp, want)
+		}
+	}
+	// monotonic asserts a goroutine-local sequence of stamps never goes
+	// backwards; prev is owned by a single goroutine.
+	monotonic := func(prev, cur *mpq.Answer) {
+		if prev == nil || prev.Cache == nil || cur.Cache == nil {
+			return
+		}
+		p, c := prev.Cache, cur.Cache
+		if c.Hits < p.Hits || c.Misses < p.Misses || c.Collapses < p.Collapses || c.Evictions < p.Evictions {
+			t.Errorf("cache stamp went backwards: %+v then %+v", p, c)
+		}
+	}
+
+	stampTotal := func(a *mpq.Answer) uint64 {
+		if a == nil || a.Cache == nil {
+			return 0
+		}
+		return a.Cache.Hits + a.Cache.Misses + a.Cache.Collapses
+	}
+
+	ctx := context.Background()
+	const goroutines = 8
+	const iters = 20
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var prev *mpq.Answer
+			for i := 0; i < iters; i++ {
+				if g%2 == 0 {
+					qi := (g + i) % poolSize
+					ans, err := cached.Optimize(ctx, queries[qi], spec)
+					if err != nil {
+						t.Errorf("Optimize: %v", err)
+						return
+					}
+					checkAnswer(qi, ans)
+					monotonic(prev, ans)
+					prev = ans
+				} else {
+					// A batch with an in-batch duplicate, so the
+					// duplicate-collapse path runs concurrently with
+					// singleflight and plain hits.
+					qis := []int{i % poolSize, (i + 1) % poolSize, i % poolSize}
+					jobs := make([]mpq.Job, len(qis))
+					for j, qi := range qis {
+						jobs[j] = mpq.Job{Query: queries[qi], Spec: spec}
+					}
+					answers, err := cached.OptimizeBatch(ctx, jobs)
+					if err != nil {
+						t.Errorf("OptimizeBatch: %v", err)
+						return
+					}
+					// A batch's stamps are not taken in input order
+					// (hits are stamped at batch entry, misses and
+					// duplicates after the compute), so compare each
+					// against the pre-batch stamp, then advance to the
+					// batch's latest stamp — counters move together, so
+					// the largest classification total marks it.
+					latest := prev
+					for j, ans := range answers {
+						checkAnswer(qis[j], ans)
+						monotonic(prev, ans)
+						if latest == nil || stampTotal(ans) > stampTotal(latest) {
+							latest = ans
+						}
+					}
+					prev = latest
+				}
+			}
+		}(g)
+	}
+
+	// Concurrent totals poller: cache-wide counters must be monotonic
+	// under load, and occupancy must stay sane.
+	pollDone := make(chan struct{})
+	pollStopped := make(chan struct{})
+	go func() {
+		defer close(pollStopped)
+		var prev mpq.CacheTotals
+		for {
+			cur := cached.CacheTotals()
+			if cur.Hits < prev.Hits || cur.Misses < prev.Misses ||
+				cur.Collapses < prev.Collapses || cur.Evictions < prev.Evictions {
+				t.Errorf("CacheTotals went backwards: %+v then %+v", prev, cur)
+				return
+			}
+			if cur.Entries < 0 || cur.Bytes < 0 || cur.Entries > poolSize {
+				t.Errorf("implausible occupancy: %+v", cur)
+				return
+			}
+			prev = cur
+			select {
+			case <-pollDone:
+				return
+			default:
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(pollDone)
+	<-pollStopped
+
+	tt := cached.CacheTotals()
+	if got := tt.Hits + tt.Misses + tt.Collapses; got != served {
+		t.Errorf("hits %d + misses %d + collapses %d = %d, want %d (answers served)",
+			tt.Hits, tt.Misses, tt.Collapses, got, served)
+	}
+	if tt.Misses < uint64(poolSize) {
+		t.Errorf("misses %d < %d distinct queries", tt.Misses, poolSize)
+	}
+	if tt.Entries != poolSize {
+		t.Errorf("entries = %d, want %d (no eviction budget set)", tt.Entries, poolSize)
+	}
+}

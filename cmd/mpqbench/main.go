@@ -23,9 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"syscall"
 
+	"mpq/internal/cliutil"
 	"mpq/internal/experiments"
 )
 
@@ -67,8 +66,9 @@ func run() error {
 	// within one data point, and every table completed so far has
 	// already been flushed to stdout (render runs per experiment), so a
 	// partial -json run is a prefix of valid JSON lines rather than a
-	// line cut mid-write.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// line cut mid-write. A second Ctrl-C force-kills (SignalContext
+	// releases the registration after the first).
+	ctx, stop := cliutil.SignalContext(context.Background())
 	defer stop()
 	cfg.Ctx = ctx
 

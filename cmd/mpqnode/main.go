@@ -26,9 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 	"time"
 
 	"mpq"
@@ -70,9 +68,9 @@ func runWorker(args []string) error {
 		return err
 	}
 	fmt.Printf("mpq worker listening on %s\n", w.Addr())
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	ctx, stop := cliutil.SignalContext(context.Background())
+	defer stop()
+	<-ctx.Done()
 	fmt.Println("shutting down")
 	return w.Close()
 }
@@ -102,7 +100,7 @@ func runMaster(args []string) error {
 		return fmt.Errorf("provide -workers host:port[,host:port...]")
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cliutil.SignalContext(context.Background())
 	defer stop()
 
 	jobSpace := mpq.Linear

@@ -18,9 +18,10 @@
 //	-mo                    multi-objective (time + buffer) optimization
 //	-alpha A               approximation factor for -mo (default 10)
 //	-orders                track interesting orders
-//	-engine serial|local|sim|tcp
+//	-engine serial|local|sim|tcp|daemon
 //	                       execution engine (default local); tcp needs
-//	                       -tcp-workers, sim accepts -kill/-detect
+//	                       -tcp-workers, sim accepts -kill/-detect,
+//	                       daemon needs -daemon-addr (a running mpqd)
 package main
 
 import (
@@ -29,9 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 
 	"mpq"
 	"mpq/internal/catalog"
@@ -63,12 +62,15 @@ func run() error {
 	alpha := flag.Float64("alpha", 10, "approximation factor for -mo")
 	orders := flag.Bool("orders", false, "track interesting orders")
 	dot := flag.Bool("dot", false, "emit the best plan as a Graphviz digraph instead of a tree")
+	fingerprint := flag.Bool("fingerprint", false, "print the best plan's fingerprint (identical across engines for the same job)")
 	ef := cliutil.Register(flag.CommandLine, "local")
 	flag.Parse()
 
 	// Ctrl-C cancels the context; the engines abort the dynamic program
-	// between cardinality levels and shut their workers down.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// between cardinality levels and shut their workers down. A second
+	// Ctrl-C force-kills (SignalContext releases the registration after
+	// the first).
+	ctx, stop := cliutil.SignalContext(context.Background())
 	defer stop()
 
 	q, err := loadQuery(*queryFile, *tables, *shape, *seed, *schemaName, *sf)
@@ -121,6 +123,9 @@ func run() error {
 		render = ans.Best.DOT("plan")
 	}
 	printAnswer(render, ans, cliutil.Describe(ans))
+	if *fingerprint {
+		fmt.Printf("fingerprint: %s\n", mpq.PlanFingerprint(ans.Best))
+	}
 	return nil
 }
 

@@ -1,10 +1,10 @@
 // Package cliutil provides the -engine flag shared by the mpq command
 // line tools and the examples: one way to name an execution engine
-// (serial, local, sim, tcp), one set of tuning flags per engine, and
-// one constructor turning the selection into an mpq.Engine. Every tool
-// that optimizes a query offers the same choices with the same
-// spellings, which is what makes engine equivalence a user-visible
-// property rather than a test-suite secret.
+// (serial, local, sim, tcp, daemon), one set of tuning flags per
+// engine, and one constructor turning the selection into an
+// mpq.Engine. Every tool that optimizes a query offers the same
+// choices with the same spellings, which is what makes engine
+// equivalence a user-visible property rather than a test-suite secret.
 package cliutil
 
 import (
@@ -15,10 +15,11 @@ import (
 	"time"
 
 	"mpq"
+	"mpq/internal/server"
 )
 
 // EngineNames lists the accepted -engine values.
-func EngineNames() []string { return []string{"serial", "local", "sim", "tcp"} }
+func EngineNames() []string { return []string{"serial", "local", "sim", "tcp", "daemon"} }
 
 // EngineFlags collects the shared engine-selection flags after
 // parsing. Zero values mean engine defaults.
@@ -39,6 +40,8 @@ type EngineFlags struct {
 	Kill int
 	// Detect is the failure-detection timeout for Kill (sim engine).
 	Detect time.Duration
+	// DaemonAddr is a resident mpqd's wire address (daemon engine).
+	DaemonAddr string
 }
 
 // Register installs the shared flags on fs with the given default
@@ -53,7 +56,7 @@ func Register(fs *flag.FlagSet, def string) *EngineFlags {
 	fs.StringVar(&ef.TCPWorkers, "tcp-workers", "",
 		"tcp engine: comma-separated worker addresses (start them with: mpqnode worker)")
 	fs.DurationVar(&ef.Timeout, "timeout", 0,
-		"tcp engine: per-job-attempt deadline, also bounding the dial (0 = default 2m)")
+		"tcp engine: per-job-attempt deadline, also bounding the dial (0 = default 2m); daemon engine: dial timeout (0 = 10s)")
 	fs.IntVar(&ef.Retries, "retries", 0,
 		"tcp engine: attempts per partition before giving up (0 = default)")
 	fs.IntVar(&ef.WorkerFailures, "max-worker-failures", 0,
@@ -62,6 +65,8 @@ func Register(fs *flag.FlagSet, def string) *EngineFlags {
 		"sim engine: crash this many workers mid-query and measure recovery")
 	fs.DurationVar(&ef.Detect, "detect", 0,
 		"sim engine: failure-detection timeout for -kill (default 10s)")
+	fs.StringVar(&ef.DaemonAddr, "daemon-addr", "",
+		"daemon engine: wire address of a running mpqd (start one with: mpqd -wire ADDR)")
 	return ef
 }
 
@@ -99,6 +104,19 @@ func (ef *EngineFlags) Build(partitions int) (mpq.Engine, error) {
 				MaxAttempts:       ef.Retries,
 				MaxWorkerFailures: ef.WorkerFailures,
 			}))
+	case "daemon":
+		if ef.DaemonAddr == "" {
+			return nil, fmt.Errorf("-engine daemon requires -daemon-addr host:port")
+		}
+		timeout := ef.Timeout
+		if timeout == 0 {
+			timeout = 10 * time.Second
+		}
+		c, err := server.Dial(ef.DaemonAddr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return c, nil
 	default:
 		return nil, fmt.Errorf("unknown engine %q (want %s)", ef.Engine, strings.Join(EngineNames(), ", "))
 	}

@@ -1,0 +1,32 @@
+package cliutil
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// SignalContext returns a context canceled by the first SIGINT or
+// SIGTERM — and, crucially, releases the signal registration the
+// moment the context ends, restoring the OS default disposition. The
+// result is two-stage shutdown: the first Ctrl-C cancels the context
+// so the program can drain cleanly; a second Ctrl-C, instead of being
+// swallowed by a still-installed handler guarding an already-canceled
+// context, kills the process outright.
+//
+// signal.NotifyContext alone does not do this: its registration stays
+// installed until the returned stop function runs, which in the usual
+// `defer stop()` pattern is only after the cleanup the user is trying
+// to skip. Every mpq command uses SignalContext instead.
+//
+// The returned stop releases the registration early (idempotent, safe
+// to defer); after the context ends it is a no-op.
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+	// The moment ctx ends — first signal, parent cancellation, or an
+	// explicit stop — unregister, so the next signal gets the default
+	// treatment (terminate).
+	context.AfterFunc(ctx, stop)
+	return ctx, stop
+}

@@ -1,0 +1,42 @@
+package cliutil
+
+import (
+	"context"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestSignalContextFirstSignalCancels: one SIGINT cancels the context.
+// (The second-signal force-kill path necessarily terminates the
+// process and cannot run in-process; what this pins is that the first
+// stage still works after the registration-release change.)
+func TestSignalContextFirstSignalCancels(t *testing.T) {
+	ctx, stop := SignalContext(context.Background())
+	defer stop()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("SIGINT did not cancel the context")
+	}
+	// Releasing twice must be harmless.
+	stop()
+	stop()
+}
+
+// TestSignalContextParentCancel: parent cancellation propagates and
+// releases the registration without a signal ever arriving.
+func TestSignalContextParentCancel(t *testing.T) {
+	parent, cancel := context.WithCancel(context.Background())
+	ctx, stop := SignalContext(parent)
+	defer stop()
+	cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("parent cancellation did not propagate")
+	}
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"context"
+	"time"
+)
+
+// RequestMeta is the serving-path metadata of one optimization request:
+// who asked (tenant), through which front end (source), under what
+// request ID, and when it entered the arrival queue. The resident
+// daemon (internal/server) stamps it onto the request context before
+// calling the engine, so every layer below — engines, caches, the plan
+// log — can attribute work to a request without new parameters
+// threading through the Engine interface. It deliberately carries no
+// query content: the context is for attribution, the arguments are for
+// computation.
+type RequestMeta struct {
+	// ID is the serving layer's unique request identifier (empty outside
+	// a daemon).
+	ID string
+	// Tenant names the fairness bucket the request was admitted under.
+	Tenant string
+	// Source is the front end the request arrived through: "http",
+	// "wire", or empty for direct library calls.
+	Source string
+	// EnqueuedAt is when the request entered the arrival queue; the
+	// difference to serve time is the queueing delay.
+	EnqueuedAt time.Time
+}
+
+// metaKey is the private context key for RequestMeta.
+type metaKey struct{}
+
+// WithRequestMeta returns a context carrying the request metadata.
+func WithRequestMeta(ctx context.Context, m RequestMeta) context.Context {
+	return context.WithValue(ctx, metaKey{}, m)
+}
+
+// RequestMetaFrom extracts the request metadata stamped by a serving
+// layer, reporting whether any was present.
+func RequestMetaFrom(ctx context.Context) (RequestMeta, bool) {
+	m, ok := ctx.Value(metaKey{}).(RequestMeta)
+	return m, ok
+}

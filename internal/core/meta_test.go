@@ -1,0 +1,30 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestRequestMetaRoundTrip(t *testing.T) {
+	if _, ok := RequestMetaFrom(context.Background()); ok {
+		t.Fatal("bare context claims to carry request metadata")
+	}
+	want := RequestMeta{ID: "r-17", Tenant: "acme", Source: "http", EnqueuedAt: time.Unix(100, 0)}
+	ctx := WithRequestMeta(context.Background(), want)
+	got, ok := RequestMetaFrom(ctx)
+	if !ok || got != want {
+		t.Fatalf("RequestMetaFrom = %+v, %v; want %+v, true", got, ok, want)
+	}
+	// Metadata survives derivation and is overridden, not merged, by a
+	// closer stamp.
+	inner := WithRequestMeta(ctx, RequestMeta{ID: "r-18"})
+	if got, _ := RequestMetaFrom(inner); got.ID != "r-18" || got.Tenant != "" {
+		t.Fatalf("inner stamp = %+v, want a full replacement", got)
+	}
+	ctx2, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if got, ok := RequestMetaFrom(ctx2); !ok || got != want {
+		t.Fatalf("metadata lost through derivation: %+v, %v", got, ok)
+	}
+}

@@ -56,75 +56,30 @@
 package netrun
 
 import (
-	"encoding/binary"
-	"fmt"
 	"io"
+
+	"mpq/internal/wire"
 )
 
-// MaxFrameBytes caps a frame payload; the paper configured 1 GB maximum
-// message sizes for SMA's sake, and we keep the same ceiling.
-const MaxFrameBytes = 1 << 30
+// MaxFrameBytes caps a frame payload. Framing lives in internal/wire
+// (shared with the resident daemon's listener); this package re-exports
+// it under its historical names for the master/worker runtime.
+const MaxFrameBytes = wire.MaxFrameSize
 
-// frameChunk bounds how much ReadFrame allocates ahead of the bytes
-// that have actually arrived.
+// frameChunk mirrors wire's read-ahead chunk size for the framing tests.
 const frameChunk = 64 << 10
 
 // WriteFrame writes one length-prefixed frame.
 func WriteFrame(w io.Writer, payload []byte) error {
-	if len(payload) > MaxFrameBytes {
-		return fmt.Errorf("netrun: frame of %d bytes exceeds maximum %d", len(payload), MaxFrameBytes)
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
-	return err
+	return wire.WriteFrame(w, payload)
 }
 
-// ReadFrame reads one length-prefixed frame. The payload buffer grows as
-// bytes actually arrive, so a malicious or corrupted length prefix
-// cannot force a huge up-front allocation.
+// ReadFrame reads one length-prefixed frame under the MaxFrameBytes
+// cap. The payload buffer grows as bytes actually arrive, so a
+// malicious or corrupted length prefix cannot force a huge up-front
+// allocation; a prefix above the cap fails with wire.ErrFrameTooLarge
+// (retryable) before any payload byte is read. Listeners facing
+// untrusted peers should use wire.ReadFrameLimit with a tighter limit.
 func ReadFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
-	}
-	n32 := binary.BigEndian.Uint32(hdr[:])
-	if n32 > MaxFrameBytes {
-		// Compare before converting: on 32-bit platforms int(n32) can wrap
-		// negative and would slip past this guard.
-		return nil, fmt.Errorf("netrun: frame of %d bytes exceeds maximum %d", n32, MaxFrameBytes)
-	}
-	n := int(n32)
-	capHint := n
-	if capHint > frameChunk {
-		capHint = frameChunk
-	}
-	payload := make([]byte, 0, capHint)
-	for len(payload) < n {
-		step := n - len(payload)
-		if step > frameChunk {
-			step = frameChunk
-		}
-		if cap(payload)-len(payload) < step {
-			newCap := 2 * cap(payload)
-			if newCap < len(payload)+step {
-				newCap = len(payload) + step
-			}
-			if newCap > n {
-				newCap = n
-			}
-			grown := make([]byte, len(payload), newCap)
-			copy(grown, payload)
-			payload = grown
-		}
-		start := len(payload)
-		payload = payload[:start+step]
-		if _, err := io.ReadFull(r, payload[start:]); err != nil {
-			return nil, err
-		}
-	}
-	return payload, nil
+	return wire.ReadFrame(r)
 }

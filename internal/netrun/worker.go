@@ -1,6 +1,7 @@
 package netrun
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -56,6 +57,15 @@ func (w *Worker) acceptLoop() {
 	}
 }
 
+// serveConn processes a connection's frames sequentially, but reads
+// ahead in a separate goroutine so a peer disconnect is noticed even
+// while a job is computing: the reader's failure cancels the
+// connection context, the in-flight dynamic program aborts between
+// cardinality levels, and the worker stops burning CPU for a master
+// that will never read the answer (a crashed master, a canceled batch,
+// or a daemon client that gave up). Closing the worker closes the
+// connection, which trips the same path — Close no longer waits for
+// abandoned jobs to finish.
 func (w *Worker) serveConn(conn net.Conn) {
 	defer w.wg.Done()
 	defer func() {
@@ -64,34 +74,60 @@ func (w *Worker) serveConn(conn net.Conn) {
 		w.mu.Unlock()
 		conn.Close()
 	}()
-	for {
-		payload, err := ReadFrame(conn)
-		if err != nil {
-			return // EOF or closed
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	frames := make(chan []byte)
+	w.wg.Add(1)
+	go func() { // reader: detects disconnect even mid-compute
+		defer w.wg.Done()
+		defer cancel()
+		defer close(frames)
+		for {
+			payload, err := ReadFrame(conn)
+			if err != nil {
+				return // EOF or closed
+			}
+			select {
+			case frames <- payload:
+			case <-ctx.Done():
+				return
+			}
 		}
-		if err := WriteFrame(conn, handleRequest(payload)); err != nil {
+	}()
+	for payload := range frames {
+		resp := handleRequest(ctx, payload)
+		if resp == nil {
+			return // connection gone mid-compute; nothing to answer
+		}
+		if err := WriteFrame(conn, resp); err != nil {
 			return
 		}
 	}
 }
 
-// handleRequest decodes and executes one job. Failures are reported with
-// an explicit wire.WorkerError frame so the master can distinguish a
-// request damaged in transit (ErrBadRequest — the master validates jobs
-// before sending, so re-dispatch can help) from a deterministic job
-// failure (ErrJobFailed — every worker would fail identically). Every
-// reply echoes the request's sequence number so the master can discard
-// duplicated or stale frames; on a decode failure the Seq is recovered
-// best-effort (0 when unreadable, which masters accept for any job).
-func handleRequest(payload []byte) []byte {
+// handleRequest decodes and executes one job under the connection's
+// context. Failures are reported with an explicit wire.WorkerError
+// frame so the master can distinguish a request damaged in transit
+// (ErrBadRequest — the master validates jobs before sending, so
+// re-dispatch can help) from a deterministic job failure (ErrJobFailed
+// — every worker would fail identically). A context cancellation means
+// the connection died mid-compute; there is no one left to answer, so
+// it returns nil instead of a frame. Every reply echoes the request's
+// sequence number so the master can discard duplicated or stale
+// frames; on a decode failure the Seq is recovered best-effort (0 when
+// unreadable, which masters accept for any job).
+func handleRequest(ctx context.Context, payload []byte) []byte {
 	req, err := wire.DecodeJobRequest(payload)
 	if err != nil {
 		return wire.EncodeWorkerError(&wire.WorkerError{
 			Seq: wire.PeekJobRequestSeq(payload), Code: wire.ErrBadRequest, Msg: fmt.Sprintf("decode: %v", err),
 		})
 	}
-	res, err := core.RunWorker(req.Query, req.Spec, req.PartID)
+	res, err := core.RunWorkerContext(ctx, req.Query, req.Spec, req.PartID)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil
+		}
 		return wire.EncodeWorkerError(&wire.WorkerError{
 			Seq: req.Seq, Code: wire.ErrJobFailed, Msg: err.Error(),
 		})

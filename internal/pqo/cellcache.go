@@ -132,6 +132,14 @@ func (c *CellCache) BestAt(q *query.Query, space partition.Space, workers int, s
 	if j >= len(e.plans) {
 		j = len(e.plans) - 1
 	}
+	// Just above a breakpoint the two cost lines still differ by less
+	// than Best's 1e-12 relative noise floor, and Best keeps the earlier
+	// frontier plan on such ties; the raw cell search would switch one
+	// ulp too early. Walk left while the earlier cell's plan still ties,
+	// so the answer stays bit-identical to Best throughout the band.
+	for j > 0 && !(CostAt(e.plans[j], theta) < CostAt(e.plans[j-1], theta)*(1-1e-12)) {
+		j--
+	}
 	return e.plans[j], nil
 }
 

@@ -1,0 +1,217 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"mpq"
+	"mpq/internal/core"
+	"mpq/internal/wire"
+)
+
+// Client is a wire-protocol client for a resident daemon. It implements
+// mpq.Engine over a single TCP connection, pipelining concurrent
+// requests and matching the daemon's completion-order responses back to
+// callers by Seq — so a cheap query never waits behind an expensive one
+// submitted earlier on the same connection.
+type Client struct {
+	conn net.Conn
+
+	writeMu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex // guards seq, pending, err
+	seq     uint32
+	pending map[uint32]chan clientReply
+	err     error // terminal connection error, fails all future calls
+
+	readerDone chan struct{}
+}
+
+// clientReply is one decoded response frame.
+type clientReply struct {
+	resp *wire.JobResponse
+	werr *wire.WorkerError
+}
+
+// Dial connects to a daemon's wire listener.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("server: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		conn:       conn,
+		pending:    map[uint32]chan clientReply{},
+		readerDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop delivers response frames to their waiting callers. On a
+// connection error it fails every pending and future call.
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	for {
+		payload, err := wire.ReadFrame(c.conn)
+		if err != nil {
+			c.fail(fmt.Errorf("server: connection lost: %w", err))
+			return
+		}
+		tag, err := wire.MessageTag(payload)
+		if err != nil {
+			c.fail(fmt.Errorf("server: bad frame: %w", err))
+			return
+		}
+		var seq uint32
+		var reply clientReply
+		switch tag {
+		case wire.TagJobResponse:
+			resp, err := wire.DecodeJobResponse(payload)
+			if err != nil {
+				c.fail(fmt.Errorf("server: decode response: %w", err))
+				return
+			}
+			seq, reply = resp.Seq, clientReply{resp: resp}
+		case wire.TagWorkerError:
+			we, err := wire.DecodeWorkerError(payload)
+			if err != nil {
+				c.fail(fmt.Errorf("server: decode error frame: %w", err))
+				return
+			}
+			seq, reply = we.Seq, clientReply{werr: we}
+		default:
+			c.fail(fmt.Errorf("server: unexpected frame tag %d", tag))
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[seq]
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- reply // buffered
+		}
+	}
+}
+
+// fail marks the connection dead and wakes every pending caller.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	pending := c.pending
+	c.pending = map[uint32]chan clientReply{}
+	c.mu.Unlock()
+	for _, ch := range pending {
+		close(ch) // a closed channel signals "connection failed"
+	}
+}
+
+// Optimize sends one request and waits for its reply. It satisfies
+// mpq.Engine: answers carry the same plans — same fingerprints — the
+// daemon's engine produced.
+func (c *Client) Optimize(ctx context.Context, q *mpq.Query, spec mpq.JobSpec) (*mpq.Answer, error) {
+	start := time.Now()
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.seq++
+	seq := c.seq
+	ch := make(chan clientReply, 1)
+	c.pending[seq] = ch
+	c.mu.Unlock()
+
+	frame := wire.EncodeJobRequest(&wire.JobRequest{Seq: seq, Spec: spec, Query: q})
+	c.writeMu.Lock()
+	err := wire.WriteFrame(c.conn, frame)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.abandon(seq)
+		return nil, fmt.Errorf("server: send: %w", err)
+	}
+
+	select {
+	case reply, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.err
+			c.mu.Unlock()
+			return nil, err
+		}
+		return buildClientAnswer(reply, spec, time.Since(start))
+	case <-ctx.Done():
+		c.abandon(seq)
+		return nil, ctx.Err()
+	}
+}
+
+// abandon forgets a request whose caller gave up; a late reply for its
+// Seq is dropped by the read loop.
+func (c *Client) abandon(seq uint32) {
+	c.mu.Lock()
+	delete(c.pending, seq)
+	c.mu.Unlock()
+}
+
+// buildClientAnswer reconstructs an mpq.Answer from a reply frame.
+func buildClientAnswer(reply clientReply, spec mpq.JobSpec, elapsed time.Duration) (*mpq.Answer, error) {
+	if we := reply.werr; we != nil {
+		if we.Code == wire.ErrOverloaded {
+			return nil, fmt.Errorf("%w: %s", ErrOverloaded, we.Msg)
+		}
+		return nil, fmt.Errorf("server: remote: %s", we.Msg)
+	}
+	resp := reply.resp
+	if len(resp.Plans) == 0 {
+		return nil, errors.New("server: remote returned no plans")
+	}
+	ans := &mpq.Answer{Best: resp.Plans[0], Stats: resp.Stats, Elapsed: elapsed}
+	if spec.Objective == core.MultiObjective {
+		ans.Frontier = resp.Plans
+		for _, p := range resp.Plans {
+			if p.Cost < ans.Best.Cost {
+				ans.Best = p
+			}
+		}
+	}
+	return ans, nil
+}
+
+// OptimizeBatch pipelines the jobs over the connection concurrently —
+// the daemon interleaves them under its fairness scheduler and replies
+// in completion order — and collects the answers back in input order.
+// Matching the Engine contract, the first failure fails the batch.
+func (c *Client) OptimizeBatch(ctx context.Context, jobs []mpq.Job) ([]*mpq.Answer, error) {
+	answers := make([]*mpq.Answer, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			answers[i], errs[i] = c.Optimize(ctx, jobs[i].Query, jobs[i].Spec)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("batch job %d: %w", i, err)
+		}
+	}
+	return answers, nil
+}
+
+// Close tears down the connection; pending calls fail.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.readerDone
+	return err
+}

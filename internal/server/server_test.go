@@ -1,0 +1,581 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mpq"
+	"mpq/internal/core"
+	"mpq/internal/partition"
+	"mpq/internal/spec"
+	"mpq/internal/workload"
+)
+
+// gatedEngine wraps a real engine behind a token gate so tests control
+// exactly when each request executes. started (if set) reports the
+// tenant of each request the moment a dispatcher picks it up, read
+// from the core.RequestMeta stamp.
+type gatedEngine struct {
+	inner   mpq.Engine
+	gate    chan struct{} // nil = ungated; else one token per serve
+	started chan string   // nil = silent
+}
+
+func (e *gatedEngine) Optimize(ctx context.Context, q *mpq.Query, js mpq.JobSpec) (*mpq.Answer, error) {
+	if e.started != nil {
+		meta, _ := core.RequestMetaFrom(ctx)
+		e.started <- meta.Tenant
+	}
+	if e.gate != nil {
+		select {
+		case <-e.gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return e.inner.Optimize(ctx, q, js)
+}
+
+func (e *gatedEngine) OptimizeBatch(ctx context.Context, jobs []mpq.Job) ([]*mpq.Answer, error) {
+	answers := make([]*mpq.Answer, len(jobs))
+	for i, job := range jobs {
+		ans, err := e.Optimize(ctx, job.Query, job.Spec)
+		if err != nil {
+			return nil, err
+		}
+		answers[i] = ans
+	}
+	return answers, nil
+}
+
+// startServer builds, starts and auto-drains a server for a test.
+func startServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Engine == nil {
+		cfg.Engine = mpq.NewSerialEngine()
+	}
+	if cfg.HTTPAddr == "" && cfg.WireAddr == "" {
+		cfg.HTTPAddr = "127.0.0.1:0"
+		cfg.WireAddr = "127.0.0.1:0"
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s
+}
+
+func testQuery(tb testing.TB, n int, seed int64) *mpq.Query {
+	tb.Helper()
+	return workload.MustGenerate(workload.NewParams(n, workload.Star), seed)
+}
+
+// postOptimize submits one HTTP request; goroutine-safe (no testing.T).
+func postOptimize(s *Server, body OptimizeRequest) (*http.Response, []byte, error) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := http.Post("http://"+s.HTTPAddr()+"/v1/optimize", "application/json", bytes.NewReader(b))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes(), nil
+}
+
+// mustPost is postOptimize for direct (non-goroutine) call sites.
+func mustPost(t *testing.T, s *Server, body OptimizeRequest) (*http.Response, []byte) {
+	t.Helper()
+	resp, b, err := postOptimize(s, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// TestFingerprintParityAcrossFronts: the same query optimized directly,
+// over HTTP and over the wire protocol must carry identical plan
+// fingerprints — the daemon is a transport, not a different optimizer.
+func TestFingerprintParityAcrossFronts(t *testing.T) {
+	s := startServer(t, Config{})
+	q := testQuery(t, 6, 1)
+	js := mpq.JobSpec{Space: partition.Linear, Workers: 2}
+
+	direct, err := mpq.NewSerialEngine().Optimize(context.Background(), q, js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mpq.PlanFingerprint(direct.Best)
+
+	// HTTP front.
+	resp, body := mustPost(t, s, OptimizeRequest{Query: *spec.FromQuery(q), Workers: 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP status %d: %s", resp.StatusCode, body)
+	}
+	var or OptimizeResponse
+	if err := json.Unmarshal(body, &or); err != nil {
+		t.Fatal(err)
+	}
+	if or.Fingerprint != want {
+		t.Errorf("HTTP fingerprint %s, want %s", or.Fingerprint, want)
+	}
+	if or.Cost != direct.Best.Cost {
+		t.Errorf("HTTP cost %g, want %g", or.Cost, direct.Best.Cost)
+	}
+
+	// Wire front.
+	c, err := Dial(s.WireAddr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ans, err := c.Optimize(context.Background(), q, js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mpq.PlanFingerprint(ans.Best); got != want {
+		t.Errorf("wire fingerprint %s, want %s", got, want)
+	}
+}
+
+// TestMultiObjectiveOverWire: frontiers survive the wire round trip.
+func TestMultiObjectiveOverWire(t *testing.T) {
+	s := startServer(t, Config{})
+	q := testQuery(t, 5, 2)
+	js := mpq.JobSpec{Space: partition.Linear, Workers: 1, Objective: core.MultiObjective, Alpha: 10}
+
+	direct, err := mpq.NewSerialEngine().Optimize(context.Background(), q, js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(s.WireAddr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ans, err := c.Optimize(context.Background(), q, js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Frontier) != len(direct.Frontier) {
+		t.Fatalf("frontier size %d over wire, %d direct", len(ans.Frontier), len(direct.Frontier))
+	}
+	for i := range ans.Frontier {
+		if mpq.PlanFingerprint(ans.Frontier[i]) != mpq.PlanFingerprint(direct.Frontier[i]) {
+			t.Errorf("frontier[%d] fingerprint diverges", i)
+		}
+	}
+	if mpq.PlanFingerprint(ans.Best) != mpq.PlanFingerprint(direct.Best) {
+		t.Errorf("best plan diverges")
+	}
+}
+
+// TestOverloadRejection: once QueueDepth requests wait, the HTTP front
+// answers 429 with Retry-After and the wire front answers a retryable
+// ErrOverloaded — load sheds at admission instead of queueing without
+// bound.
+func TestOverloadRejection(t *testing.T) {
+	gate := make(chan struct{})
+	eng := &gatedEngine{inner: mpq.NewSerialEngine(), gate: gate, started: make(chan string, 16)}
+	s := startServer(t, Config{Engine: eng, QueueDepth: 1, Dispatchers: 1})
+	q := testQuery(t, 4, 3)
+	qs := *spec.FromQuery(q)
+
+	// Occupy the single dispatcher, then the single queue slot.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			postOptimize(s, OptimizeRequest{Query: qs})
+		}()
+	}
+	<-eng.started // dispatcher is now blocked on the gate
+	waitFor(t, func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.queued == 1
+	})
+
+	// Third request: no room.
+	resp, body := mustPost(t, s, OptimizeRequest{Query: qs})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429; body %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	// Wire front sheds the same way.
+	c, err := Dial(s.WireAddr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Optimize(context.Background(), q, mpq.JobSpec{Space: partition.Linear, Workers: 1}); err == nil {
+		t.Fatal("wire submit succeeded past a full queue")
+	} else if !strings.Contains(err.Error(), ErrOverloaded.Error()) {
+		t.Fatalf("wire error %v does not wrap ErrOverloaded", err)
+	}
+
+	close(gate) // release everything
+	wg.Wait()
+	for len(eng.started) > 0 {
+		<-eng.started
+	}
+}
+
+// TestWeightedFairness: with tenants queued back-to-back, stride
+// scheduling serves them proportionally to their weights. Weight 3 vs
+// weight 1 over 8 dispatches must give the heavy tenant 6 and the
+// light one 2.
+func TestWeightedFairness(t *testing.T) {
+	gate := make(chan struct{})
+	eng := &gatedEngine{inner: mpq.NewSerialEngine(), gate: gate, started: make(chan string, 32)}
+	s := startServer(t, Config{
+		Engine:        eng,
+		QueueDepth:    32,
+		Dispatchers:   1,
+		TenantWeights: map[string]float64{"heavy": 3, "light": 1},
+	})
+	q := testQuery(t, 4, 4)
+	qs := *spec.FromQuery(q)
+
+	// Stall the dispatcher with a throwaway request so both tenants'
+	// queues fill before any fairness decision happens.
+	var wg sync.WaitGroup
+	post := func(tenant string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			postOptimize(s, OptimizeRequest{Query: qs, Tenant: tenant})
+		}()
+	}
+	post("warmup")
+	<-eng.started
+	for i := 0; i < 6; i++ {
+		post("light")
+		post("heavy")
+	}
+	waitFor(t, func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.queued == 12
+	})
+
+	// Release the 13 requests one at a time; each token finishes the
+	// running request and lets the dispatcher pick the next queued one.
+	served := []string{}
+	for i := 0; i < 13; i++ {
+		gate <- struct{}{}
+		if i < 12 {
+			tn := <-eng.started
+			if i < 8 {
+				served = append(served, tn)
+			}
+		}
+	}
+	wg.Wait()
+
+	heavy := 0
+	for _, tn := range served {
+		if tn == "heavy" {
+			heavy++
+		}
+	}
+	if heavy != 6 {
+		t.Fatalf("heavy tenant served %d of the first 8 (order %v), want 6", heavy, served)
+	}
+}
+
+// TestCompletionOrderOverWire: a fast query pipelined behind a slow one
+// on the same connection returns first.
+func TestCompletionOrderOverWire(t *testing.T) {
+	gate := make(chan struct{}, 2)
+	eng := &gatedEngine{inner: mpq.NewSerialEngine(), gate: gate, started: make(chan string, 2)}
+	s := startServer(t, Config{Engine: eng, Dispatchers: 2})
+	q := testQuery(t, 4, 5)
+	js := mpq.JobSpec{Space: partition.Linear, Workers: 1}
+
+	c, err := Dial(s.WireAddr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	results := make(chan int, 2)
+	var wg sync.WaitGroup
+	for i := 1; i <= 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := c.Optimize(context.Background(), q, js); err != nil {
+				t.Errorf("job %d: %v", i, err)
+			}
+			results <- i
+		}(i)
+		<-eng.started // both jobs reach the gate in submission order
+	}
+	// Release one job; its reply must come back while the other is still
+	// gated — proving the connection does not serialize replies in
+	// submission order. (Gate tokens are anonymous, so either job may be
+	// the one released; liveness is the property under test.)
+	gate <- struct{}{}
+	first := <-results
+	gate <- struct{}{}
+	second := <-results
+	wg.Wait()
+	if first == second {
+		t.Fatalf("duplicate completion %d", first)
+	}
+}
+
+// TestDrainGraceful: Shutdown waits for queued and in-flight work, then
+// returns nil; later submissions fail with ErrDraining.
+func TestDrainGraceful(t *testing.T) {
+	gate := make(chan struct{}, 8)
+	eng := &gatedEngine{inner: mpq.NewSerialEngine(), gate: gate, started: make(chan string, 8)}
+	s := startServer(t, Config{Engine: eng, Dispatchers: 1})
+	q := testQuery(t, 4, 6)
+	qs := *spec.FromQuery(q)
+
+	done := make(chan struct {
+		code int
+		body []byte
+	}, 1)
+	go func() {
+		resp, body := mustPost(t, s, OptimizeRequest{Query: qs})
+		done <- struct {
+			code int
+			body []byte
+		}{resp.StatusCode, body}
+	}()
+	<-eng.started
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr <- s.Shutdown(ctx)
+	}()
+	waitFor(t, func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.draining
+	})
+
+	// New work is refused while draining.
+	req := &request{ctx: context.Background(), cancel: func() {}, tenant: "x", source: "http"}
+	if err := s.submit(req); err != ErrDraining {
+		t.Fatalf("submit during drain: %v, want ErrDraining", err)
+	}
+
+	gate <- struct{}{} // let the in-flight request finish
+	r := <-done
+	if r.code != http.StatusOK {
+		t.Fatalf("in-flight request got %d during graceful drain: %s", r.code, r.body)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("graceful Shutdown: %v", err)
+	}
+}
+
+// TestDrainDeadlineForcesCancel: when the drain deadline passes,
+// in-flight requests are canceled rather than awaited forever.
+func TestDrainDeadlineForcesCancel(t *testing.T) {
+	eng := &gatedEngine{inner: mpq.NewSerialEngine(), gate: make(chan struct{}), started: make(chan string, 1)}
+	s := startServer(t, Config{Engine: eng, Dispatchers: 1})
+	q := testQuery(t, 4, 7)
+	qs := *spec.FromQuery(q)
+
+	go postOptimize(s, OptimizeRequest{Query: qs}) // never released
+	<-eng.started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := s.Shutdown(ctx)
+	if err == nil {
+		t.Fatal("forced drain returned nil, want deadline error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("forced drain took %v; in-flight work was not canceled", elapsed)
+	}
+}
+
+// TestHealthz reports ok when serving.
+func TestHealthz(t *testing.T) {
+	s := startServer(t, Config{})
+	resp, err := http.Get("http://" + s.HTTPAddr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestMetricsExposition: served requests show up in /metrics with
+// tenant labels, and the histogram counts match.
+func TestMetricsExposition(t *testing.T) {
+	s := startServer(t, Config{Engine: mpq.WithCache(mpq.NewSerialEngine(), mpq.CacheConfig{})})
+	q := testQuery(t, 4, 8)
+	qs := *spec.FromQuery(q)
+	for i := 0; i < 3; i++ {
+		resp, body := mustPost(t, s, OptimizeRequest{Query: qs, Tenant: "acme"})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("optimize %d: %s", resp.StatusCode, body)
+		}
+	}
+	resp, err := http.Get("http://" + s.HTTPAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	text := buf.String()
+	for _, want := range []string{
+		`mpqd_requests_total{tenant="acme",source="http",outcome="served"} 3`,
+		"mpqd_request_seconds_count 3",
+		"mpqd_queue_depth 0",
+		"mpqd_cache_hits_total 2",
+		"mpqd_cache_misses_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q\n%s", want, text)
+		}
+	}
+}
+
+// TestBatchStreamsCompletionOrder: /v1/batch answers lines as jobs
+// finish, tagged with their input index.
+func TestBatchStreamsCompletionOrder(t *testing.T) {
+	s := startServer(t, Config{Dispatchers: 2})
+	q := testQuery(t, 4, 9)
+	body, _ := json.Marshal(BatchRequest{Jobs: []OptimizeRequest{
+		{Query: *spec.FromQuery(q)},
+		{Query: *spec.FromQuery(q), Workers: 2},
+	}})
+	resp, err := http.Post("http://"+s.HTTPAddr()+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	seen := map[int]bool{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var line BatchLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if line.Error != "" {
+			t.Fatalf("job %d failed: %s", line.Index, line.Error)
+		}
+		if line.Fingerprint == "" {
+			t.Fatalf("job %d missing fingerprint", line.Index)
+		}
+		seen[line.Index] = true
+	}
+	if !seen[0] || !seen[1] || len(seen) != 2 {
+		t.Fatalf("batch indices %v, want {0,1}", seen)
+	}
+}
+
+// TestPlanLogRotation: records land in the log as JSON lines and the
+// file rotates at its size cap.
+func TestPlanLogRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "plans.log")
+	s := startServer(t, Config{PlanLog: PlanLogConfig{Path: path, MaxBytes: 256, MaxFiles: 2}})
+	q := testQuery(t, 4, 10)
+	qs := *spec.FromQuery(q)
+	for i := 0; i < 6; i++ {
+		resp, body := mustPost(t, s, OptimizeRequest{Query: qs, Tenant: fmt.Sprintf("t%d", i)})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("optimize: %d %s", resp.StatusCode, body)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil { // flushes the log
+		t.Fatal(err)
+	}
+
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(b)), "\n") {
+		var rec Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad plan-log line %q: %v", line, err)
+		}
+		if rec.Fingerprint == "" || rec.Tenant == "" {
+			t.Fatalf("incomplete record: %+v", rec)
+		}
+	}
+	if _, err := os.Stat(path + ".1"); err != nil {
+		t.Errorf("expected rotated file %s.1: %v", path, err)
+	}
+	if _, err := os.Stat(path + ".3"); err == nil {
+		t.Errorf("rotation kept more than MaxFiles files")
+	}
+}
+
+// TestBadRequests: malformed input gets a 400, not a hang or a 500.
+func TestBadRequests(t *testing.T) {
+	s := startServer(t, Config{})
+	for name, body := range map[string]string{
+		"not json":    "{",
+		"empty query": `{"query":{"tables":[]}}`,
+		"bad space":   `{"query":{"tables":[{"name":"a","cardinality":10},{"name":"b","cardinality":10}],"predicates":[{"left":0,"right":1,"selectivity":0.1}]},"space":"galactic"}`,
+	} {
+		resp, err := http.Post("http://"+s.HTTPAddr()+"/v1/optimize", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+// waitFor polls cond until it holds or the test times out.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}

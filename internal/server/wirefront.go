@@ -1,0 +1,178 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"mpq"
+	"mpq/internal/core"
+	"mpq/internal/wire"
+)
+
+// The wire front end speaks the repo's binary protocol with full-query
+// semantics: a JobRequest carries a complete query plus spec, the
+// daemon optimizes it through the wrapped engine (PartID is ignored —
+// partitioning is the engine's business, not the client's), and the
+// reply is a JobResponse echoing the request's Seq. For MultiObjective
+// jobs Plans is the merged frontier; otherwise Plans is [Best].
+// Responses arrive in completion order — a connection may pipeline
+// requests and match replies by Seq. Admission rejections come back as
+// WorkerError{Code: ErrOverloaded}, which masters classify retryable.
+
+// acceptWire runs the wire listener's accept loop.
+func (s *Server) acceptWire(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed (shutdown)
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveWireConn(conn)
+		}()
+	}
+}
+
+// serveWireConn reads frames until the peer hangs up or a drain
+// half-closes the read side. Each frame is submitted to the arrival
+// queue; a per-connection writer goroutine serializes responses in the
+// order requests complete. A peer disconnect cancels the connection
+// context — and with it every pending request from this peer — while a
+// drain lets pending requests finish and flushes their responses
+// before the socket closes.
+func (s *Server) serveWireConn(conn net.Conn) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.wireConns[conn] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.wireConns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	connCtx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Wire fairness bucket: the peer host. Weights keyed by host names
+	// in Config.TenantWeights apply.
+	tenant := conn.RemoteAddr().String()
+	if host, _, err := net.SplitHostPort(tenant); err == nil {
+		tenant = host
+	}
+
+	writeCh := make(chan []byte, 64)
+	writerDone := make(chan struct{})
+	go func() { // writer: drains writeCh until it closes
+		defer close(writerDone)
+		broken := false
+		for frame := range writeCh {
+			if broken {
+				continue
+			}
+			if err := wire.WriteFrame(conn, frame); err != nil {
+				broken = true
+				cancel() // peer unreachable: kill this conn's in-flight work
+			}
+		}
+	}()
+
+	// reply hands a frame to the writer; drops it if the connection is
+	// already gone (nobody left to read it).
+	reply := func(frame []byte) {
+		select {
+		case writeCh <- frame:
+		case <-connCtx.Done():
+		}
+	}
+
+	// pending counts submitted requests whose respond has not run yet;
+	// every exit path waits for it before closing the write channel, so
+	// respond never races a closed writeCh.
+	var pending sync.WaitGroup
+	defer func() {
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if !draining {
+			// Peer disconnect: in-flight work has no reader, abort it.
+			cancel()
+		}
+		pending.Wait() // every respond has enqueued (or dropped) its frame
+		close(writeCh)
+		<-writerDone
+	}()
+
+	for {
+		payload, err := wire.ReadFrameLimit(conn, s.cfg.MaxWireFrame)
+		if err != nil {
+			return // EOF, peer reset, drain half-close, or oversized frame
+		}
+		jr, err := wire.DecodeJobRequest(payload)
+		if err != nil {
+			reply(wire.EncodeWorkerError(&wire.WorkerError{
+				Seq: wire.PeekJobRequestSeq(payload), Code: wire.ErrBadRequest,
+				Msg: fmt.Sprintf("decode: %v", err),
+			}))
+			continue
+		}
+		if err := jr.Spec.Validate(jr.Query.N()); err != nil {
+			reply(wire.EncodeWorkerError(&wire.WorkerError{
+				Seq: jr.Seq, Code: wire.ErrBadRequest, Msg: err.Error(),
+			}))
+			continue
+		}
+		seq := jr.Seq
+		multi := jr.Spec.Objective == core.MultiObjective
+		ctx, reqCancel := context.WithTimeout(connCtx, s.cfg.DefaultTimeout)
+		req := &request{
+			ctx:    ctx,
+			cancel: reqCancel,
+			id:     s.nextID(),
+			tenant: tenant,
+			source: "wire",
+			query:  jr.Query,
+			spec:   jr.Spec,
+			enq:    time.Now(),
+		}
+		pending.Add(1)
+		req.respond = func(res result) {
+			defer pending.Done()
+			reply(encodeWireResult(seq, multi, res))
+		}
+		if err := s.submit(req); err != nil {
+			pending.Done()
+			reqCancel()
+			reply(wire.EncodeWorkerError(&wire.WorkerError{
+				Seq: seq, Code: wire.ErrOverloaded, Msg: err.Error(),
+			}))
+		}
+	}
+}
+
+// encodeWireResult turns a request outcome into its response frame.
+func encodeWireResult(seq uint32, multi bool, res result) []byte {
+	if res.err != nil {
+		code := wire.ErrJobFailed
+		if errors.Is(res.err, context.Canceled) || errors.Is(res.err, context.DeadlineExceeded) {
+			// Transient serving-side conditions, not deterministic job
+			// failures: a retry against a less loaded daemon can succeed.
+			code = wire.ErrOverloaded
+		}
+		return wire.EncodeWorkerError(&wire.WorkerError{Seq: seq, Code: code, Msg: res.err.Error()})
+	}
+	plans := res.ans.Frontier
+	if !multi || len(plans) == 0 {
+		plans = []*mpq.Plan{res.ans.Best}
+	}
+	return wire.EncodeJobResponse(&wire.JobResponse{Seq: seq, Plans: plans, Stats: res.ans.Stats})
+}

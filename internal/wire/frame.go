@@ -1,0 +1,102 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// MaxFrameSize caps a frame payload; the paper configured 1 GB maximum
+// message sizes for SMA's sake, and the trusted master↔worker runtime
+// keeps the same ceiling. Public-facing listeners should pass a much
+// tighter limit to ReadFrameLimit: a well-formed job request or
+// response is kilobytes, not gigabytes, and the limit is what bounds
+// how many bytes a peer with a lying length prefix can drip into a
+// read loop before being cut off.
+const MaxFrameSize = 1 << 30
+
+// ErrFrameTooLarge reports a frame whose length prefix exceeds the
+// reader's size limit. It is a transport-level (retryable) condition:
+// the stream is out of sync or the peer is misbehaving, so the caller
+// should drop the connection and redial, exactly as for a truncated or
+// corrupt frame — the netrun master classifies it retryable. Test with
+// errors.Is.
+var ErrFrameTooLarge = fmt.Errorf("wire: frame exceeds size limit")
+
+// frameChunk bounds how much ReadFrameLimit allocates ahead of the
+// bytes that have actually arrived.
+const frameChunk = 64 << 10
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes, maximum %d", ErrFrameTooLarge, len(payload), MaxFrameSize)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame under the package-wide
+// MaxFrameSize cap. The payload buffer grows as bytes actually arrive,
+// so a malicious or corrupted length prefix cannot force a huge
+// up-front allocation.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	return ReadFrameLimit(r, MaxFrameSize)
+}
+
+// ReadFrameLimit is ReadFrame with an explicit payload size limit
+// (capped at MaxFrameSize; max <= 0 means MaxFrameSize). A length
+// prefix above the limit returns an error wrapping ErrFrameTooLarge
+// before any payload byte is read, so a lying prefix costs the reader
+// four header bytes, not an unbounded drip. Listeners facing untrusted
+// peers should pass the smallest limit their message mix allows.
+func ReadFrameLimit(r io.Reader, max int) ([]byte, error) {
+	if max <= 0 || max > MaxFrameSize {
+		max = MaxFrameSize
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n32 := binary.BigEndian.Uint32(hdr[:])
+	if n32 > uint32(max) {
+		// Compare before converting: on 32-bit platforms int(n32) can wrap
+		// negative and would slip past this guard.
+		return nil, fmt.Errorf("%w: %d bytes, maximum %d", ErrFrameTooLarge, n32, max)
+	}
+	n := int(n32)
+	capHint := n
+	if capHint > frameChunk {
+		capHint = frameChunk
+	}
+	payload := make([]byte, 0, capHint)
+	for len(payload) < n {
+		step := n - len(payload)
+		if step > frameChunk {
+			step = frameChunk
+		}
+		if cap(payload)-len(payload) < step {
+			newCap := 2 * cap(payload)
+			if newCap < len(payload)+step {
+				newCap = len(payload) + step
+			}
+			if newCap > n {
+				newCap = n
+			}
+			grown := make([]byte, len(payload), newCap)
+			copy(grown, payload)
+			payload = grown
+		}
+		start := len(payload)
+		payload = payload[:start+step]
+		if _, err := io.ReadFull(r, payload[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return payload, nil
+}

@@ -1,0 +1,134 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// frame returns payload wrapped in one length-prefixed frame.
+func frame(tb testing.TB, payload []byte) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, payload); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// prefix returns a bare 4-byte length header claiming n payload bytes.
+func prefix(n uint32) []byte {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], n)
+	return hdr[:]
+}
+
+// countingReader counts how many bytes ReadFrame actually consumed.
+type countingReader struct {
+	r io.Reader
+	n int
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += n
+	return n, err
+}
+
+func TestReadFrameLimitCapsLyingPrefix(t *testing.T) {
+	// A peer that claims a frame bigger than the limit and then drips
+	// bytes forever must be cut off after the 4-byte header: the error
+	// is ErrFrameTooLarge and not a single payload byte is consumed.
+	const limit = 1 << 10
+	body := bytes.Repeat([]byte{0xAB}, 64)
+	in := append(prefix(limit+1), body...)
+	cr := &countingReader{r: bytes.NewReader(in)}
+	_, err := ReadFrameLimit(cr, limit)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+	if cr.n != 4 {
+		t.Fatalf("consumed %d bytes after a lying prefix, want only the 4-byte header", cr.n)
+	}
+	// Exactly at the limit is fine.
+	payload := bytes.Repeat([]byte{7}, limit)
+	got, err := ReadFrameLimit(bytes.NewReader(frame(t, payload)), limit)
+	if err != nil {
+		t.Fatalf("frame exactly at limit rejected: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mangled")
+	}
+}
+
+func TestReadFrameDefaultCap(t *testing.T) {
+	// The package-wide ceiling applies when no explicit limit is given,
+	// and a limit of zero (or one beyond the ceiling) falls back to it.
+	for _, max := range []int{0, -5, MaxFrameSize + 1} {
+		if _, err := ReadFrameLimit(bytes.NewReader(prefix(MaxFrameSize+1)), max); !errors.Is(err, ErrFrameTooLarge) {
+			t.Fatalf("max=%d: err = %v, want ErrFrameTooLarge", max, err)
+		}
+	}
+	if _, err := ReadFrame(bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF})); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("4 GB prefix: err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestFrameRoundTripAcrossChunks(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xCD}, 3*frameChunk+17)
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("round trip changed the payload")
+	}
+}
+
+// FuzzReadFrameLimit: the framing decoder must never panic, never
+// over-allocate on a lying length prefix, never read past the header
+// when the prefix exceeds the limit, and every accepted frame must
+// re-encode to exactly the bytes it was parsed from.
+func FuzzReadFrameLimit(f *testing.F) {
+	f.Add([]byte{}, 1<<20)
+	f.Add(frame(f, nil), 1<<20)
+	f.Add(frame(f, []byte("job")), 1<<20)
+	f.Add([]byte{0, 0, 0, 10, 1, 2}, 1<<20)                    // claims 10 bytes, has 2
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}, 1<<20)               // 4 GB length prefix
+	f.Add([]byte{0x40, 0, 0, 1, 0}, 1<<20)                     // just above MaxFrameSize
+	f.Add(append(prefix(1<<20+1), 0xDE, 0xAD), 1<<20)          // just above the caller's limit
+	f.Add(append(prefix(1<<10), make([]byte, 1<<10)...), 1<<9) // drip: claim within global cap, above limit
+	f.Add(frame(f, bytes.Repeat([]byte{7}, 70<<10)), 0)        // spans multiple read chunks, default limit
+	f.Fuzz(func(t *testing.T, b []byte, max int) {
+		cr := &countingReader{r: bytes.NewReader(b)}
+		payload, err := ReadFrameLimit(cr, max)
+		if err != nil {
+			if errors.Is(err, ErrFrameTooLarge) && cr.n > 4 {
+				t.Fatalf("consumed %d bytes after an oversized prefix", cr.n)
+			}
+			return
+		}
+		if len(b) < 4 {
+			t.Fatalf("accepted a %d-byte input with no header", len(b))
+		}
+		if want := int(binary.BigEndian.Uint32(b)); len(payload) != want {
+			t.Fatalf("payload length %d, header says %d", len(payload), want)
+		}
+		if max > 0 && max <= MaxFrameSize && len(payload) > max {
+			t.Fatalf("accepted %d bytes over the %d limit", len(payload), max)
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, payload); err != nil {
+			t.Fatalf("re-frame failed: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), b[:4+len(payload)]) {
+			t.Fatal("re-framed bytes differ from input")
+		}
+	})
+}

@@ -112,6 +112,11 @@ const (
 	// failed the job. Workers are deterministic, so another worker would
 	// fail identically — fatal, never retried.
 	ErrJobFailed ErrCode = 2
+	// ErrOverloaded means the serving side's admission queue is full (the
+	// resident daemon's wire front end under load). The job itself is
+	// fine; retrying after a backoff — or on another node — can succeed,
+	// so masters classify it retryable like transport damage.
+	ErrOverloaded ErrCode = 3
 )
 
 // String names the error code.
@@ -121,6 +126,8 @@ func (c ErrCode) String() string {
 		return "bad-request"
 	case ErrJobFailed:
 		return "job-failed"
+	case ErrOverloaded:
+		return "overloaded"
 	default:
 		return fmt.Sprintf("ErrCode(%d)", uint8(c))
 	}
@@ -164,7 +171,7 @@ func DecodeWorkerError(b []byte) (*WorkerError, error) {
 		return nil, err
 	}
 	switch w.Code {
-	case ErrBadRequest, ErrJobFailed:
+	case ErrBadRequest, ErrJobFailed, ErrOverloaded:
 	default:
 		return nil, fmt.Errorf("wire: unknown worker error code %d", uint8(w.Code))
 	}

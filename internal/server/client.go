@@ -37,6 +37,11 @@ type clientReply struct {
 	werr *wire.WorkerError
 }
 
+// writeTimeout caps one request-frame send even when the caller's
+// context has no (or a distant) deadline: frames are small, so a write
+// this slow means the daemon has stalled and the connection is dead.
+const writeTimeout = 30 * time.Second
+
 // Dial connects to a daemon's wire listener.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
@@ -131,11 +136,26 @@ func (c *Client) Optimize(ctx context.Context, q *mpq.Query, spec mpq.JobSpec) (
 
 	frame := wire.EncodeJobRequest(&wire.JobRequest{Seq: seq, Spec: spec, Query: q})
 	c.writeMu.Lock()
+	// Bound the send so a stalled daemon (full socket buffer) cannot
+	// pin writeMu — and with it every concurrent Optimize on this
+	// connection — indefinitely: use the context deadline, capped at
+	// writeTimeout.
+	deadline := time.Now().Add(writeTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	c.conn.SetWriteDeadline(deadline)
 	err := wire.WriteFrame(c.conn, frame)
+	c.conn.SetWriteDeadline(time.Time{})
 	c.writeMu.Unlock()
 	if err != nil {
-		c.abandon(seq)
-		return nil, fmt.Errorf("server: send: %w", err)
+		// A failed or timed-out write may have left a partial frame on
+		// the stream; the connection is no longer framed, so fail it for
+		// every caller rather than letting the next send desync.
+		err = fmt.Errorf("server: send: %w", err)
+		c.fail(err)
+		c.conn.Close()
+		return nil, err
 	}
 
 	select {
@@ -161,7 +181,11 @@ func (c *Client) abandon(seq uint32) {
 	c.mu.Unlock()
 }
 
-// buildClientAnswer reconstructs an mpq.Answer from a reply frame.
+// buildClientAnswer reconstructs an mpq.Answer from a reply frame. The
+// daemon sends its chosen Best explicitly as Plans[0] (the frontier
+// follows for multi-objective jobs), so the client never re-derives the
+// best-plan tie-break — near-tied cost lines cannot make the daemon
+// engine's Best diverge from the in-process engine's.
 func buildClientAnswer(reply clientReply, spec mpq.JobSpec, elapsed time.Duration) (*mpq.Answer, error) {
 	if we := reply.werr; we != nil {
 		if we.Code == wire.ErrOverloaded {
@@ -174,13 +198,8 @@ func buildClientAnswer(reply clientReply, spec mpq.JobSpec, elapsed time.Duratio
 		return nil, errors.New("server: remote returned no plans")
 	}
 	ans := &mpq.Answer{Best: resp.Plans[0], Stats: resp.Stats, Elapsed: elapsed}
-	if spec.Objective == core.MultiObjective {
-		ans.Frontier = resp.Plans
-		for _, p := range resp.Plans {
-			if p.Cost < ans.Best.Cost {
-				ans.Best = p
-			}
-		}
+	if spec.Objective == core.MultiObjective && len(resp.Plans) > 1 {
+		ans.Frontier = resp.Plans[1:]
 	}
 	return ans, nil
 }

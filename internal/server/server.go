@@ -55,11 +55,12 @@ import (
 
 // Defaults for Config fields left at zero.
 const (
-	DefaultQueueDepth  = 256
-	DefaultDispatchers = 4
-	DefaultTimeout     = time.Minute
-	DefaultDrainWait   = 10 * time.Second
-	DefaultMaxWireMsg  = 8 << 20
+	DefaultQueueDepth       = 256
+	DefaultDispatchers      = 4
+	DefaultTimeout          = time.Minute
+	DefaultDrainWait        = 10 * time.Second
+	DefaultMaxWireMsg       = 8 << 20
+	DefaultWireWriteTimeout = 10 * time.Second
 )
 
 // strideScale is the stride numerator: a tenant of weight w advances
@@ -106,6 +107,12 @@ type Config struct {
 	// listener's defense against lying length prefixes). Zero means
 	// DefaultMaxWireMsg.
 	MaxWireFrame int
+	// WireWriteTimeout bounds one response-frame write on a wire
+	// connection. A peer that stops reading trips it, which tears the
+	// connection down (canceling its in-flight requests) instead of
+	// back-pressuring the dispatcher pool. Zero means
+	// DefaultWireWriteTimeout.
+	WireWriteTimeout time.Duration
 	// PlanLog configures the asynchronous per-query decision log; the
 	// zero value disables it.
 	PlanLog PlanLogConfig
@@ -124,6 +131,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.MaxWireFrame == 0 {
 		cfg.MaxWireFrame = DefaultMaxWireMsg
+	}
+	if cfg.WireWriteTimeout == 0 {
+		cfg.WireWriteTimeout = DefaultWireWriteTimeout
 	}
 	return cfg
 }
@@ -144,7 +154,13 @@ type request struct {
 	query   *mpq.Query
 	spec    mpq.JobSpec
 	enq     time.Time
-	respond func(result) // called exactly once, never blocks
+	// respond is called exactly once per admitted request and must
+	// return promptly: the HTTP front hands off to a buffered channel;
+	// the wire front may wait on its response backlog, but only for as
+	// long as Config.WireWriteTimeout — a peer that stops reading trips
+	// the writer's deadline, which tears the connection down and
+	// unblocks every reply on it.
+	respond func(result)
 }
 
 // tenantQueue is one tenant's FIFO plus its stride-scheduling state.
@@ -507,6 +523,7 @@ func (s *Server) drain(ctx context.Context) error {
 	defer stopWatch()
 
 	forced := false
+	var stuck []net.Conn
 	s.mu.Lock()
 	for s.queued > 0 || len(s.inflight) > 0 {
 		if ctx.Err() != nil {
@@ -521,6 +538,13 @@ func (s *Server) drain(ctx context.Context) error {
 					req.cancel()
 				}
 			}
+			// A peer that is not draining its responses holds reply() —
+			// and through it pending.Wait and s.wg.Wait — open past the
+			// deadline. Close its connection outright (not just the read
+			// side) so blocked writes fail and the handler unwinds.
+			for c := range s.wireConns {
+				stuck = append(stuck, c)
+			}
 			break
 		}
 		s.cond.Wait()
@@ -528,6 +552,9 @@ func (s *Server) drain(ctx context.Context) error {
 	s.closed = true
 	s.cond.Broadcast() // dispatchers drain the rest (canceled) and exit
 	s.mu.Unlock()
+	for _, c := range stuck {
+		c.Close()
+	}
 
 	s.wg.Wait() // dispatchers, accept loops, wire connections
 	<-httpDone

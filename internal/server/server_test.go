@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -18,6 +19,7 @@ import (
 	"mpq/internal/core"
 	"mpq/internal/partition"
 	"mpq/internal/spec"
+	"mpq/internal/wire"
 	"mpq/internal/workload"
 )
 
@@ -202,16 +204,21 @@ func TestOverloadRejection(t *testing.T) {
 	q := testQuery(t, 4, 3)
 	qs := *spec.FromQuery(q)
 
-	// Occupy the single dispatcher, then the single queue slot.
+	// Occupy the single dispatcher, then the single queue slot. The
+	// posts are sequenced — second only after the first reached the
+	// engine — else they race for the lone queue slot and one gets a
+	// 429 here instead of below.
 	var wg sync.WaitGroup
-	for i := 0; i < 2; i++ {
+	post := func() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			postOptimize(s, OptimizeRequest{Query: qs})
 		}()
 	}
+	post()
 	<-eng.started // dispatcher is now blocked on the gate
+	post()
 	waitFor(t, func() bool {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -421,6 +428,109 @@ func TestDrainDeadlineForcesCancel(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("forced drain took %v; in-flight work was not canceled", elapsed)
+	}
+}
+
+// TestStuckWirePeerDoesNotStallDispatchers: a peer that pipelines more
+// requests than the response backlog and then never reads a byte must
+// not wedge the dispatcher pool — the writer's deadline tears the
+// connection down and service continues for everyone else. net.Pipe has
+// no buffering, so the very first unread response blocks the writer,
+// which is the exact pathology under test.
+func TestStuckWirePeerDoesNotStallDispatchers(t *testing.T) {
+	s := startServer(t, Config{WireWriteTimeout: 200 * time.Millisecond})
+	q := testQuery(t, 4, 11)
+	js := mpq.JobSpec{Space: partition.Linear, Workers: 1}
+
+	peer, srv := net.Pipe()
+	defer peer.Close()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.serveWireConn(srv)
+	}()
+
+	// 80 pipelined requests > writeCh backlog (64) + dispatchers (4):
+	// once responses stop draining, every dispatcher ends up blocked in
+	// reply() until the write deadline cancels the connection. A write
+	// error just means the teardown already happened — also a pass.
+	for i := 1; i <= 80; i++ {
+		frame := wire.EncodeJobRequest(&wire.JobRequest{Seq: uint32(i), Spec: js, Query: q})
+		if err := wire.WriteFrame(peer, frame); err != nil {
+			break
+		}
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		resp, body, err := postOptimize(s, OptimizeRequest{Query: *spec.FromQuery(q)})
+		if err == nil && resp.StatusCode != http.StatusOK {
+			err = fmt.Errorf("status %d: %s", resp.StatusCode, body)
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("HTTP request after wire peer stalled: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("HTTP service stalled behind a wire peer that stopped reading")
+	}
+}
+
+// closeRecorder is a wire conn whose CloseRead is a no-op — like a real
+// *net.TCPConn half-close against a peer that keeps its socket open —
+// and whose full Close is observable.
+type closeRecorder struct {
+	net.Conn
+	once   sync.Once
+	closed chan struct{}
+}
+
+func (c *closeRecorder) CloseRead() error { return nil }
+func (c *closeRecorder) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+// TestForcedDrainClosesStuckWireConns: when the drain deadline forces
+// cancellation, wire connections must be fully closed — not just
+// read-half-closed — so a peer that is not draining its responses
+// cannot hold reply(), pending.Wait and wg.Wait open past the bounded
+// -drain-timeout guarantee.
+func TestForcedDrainClosesStuckWireConns(t *testing.T) {
+	eng := &gatedEngine{inner: mpq.NewSerialEngine(), gate: make(chan struct{}), started: make(chan string, 1)}
+	s := startServer(t, Config{Engine: eng, Dispatchers: 1})
+	q := testQuery(t, 4, 12)
+
+	_, inner := net.Pipe()
+	rec := &closeRecorder{Conn: inner, closed: make(chan struct{})}
+	s.mu.Lock()
+	s.wireConns[rec] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.wireConns, rec)
+		s.mu.Unlock()
+	}()
+
+	go postOptimize(s, OptimizeRequest{Query: *spec.FromQuery(q)}) // never released
+	<-eng.started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := s.Shutdown(ctx); err == nil {
+		t.Fatal("forced drain returned nil, want deadline error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("forced drain took %v", elapsed)
+	}
+	select {
+	case <-rec.closed:
+	default:
+		t.Error("forced drain left a wire conn read-half-closed only; a peer not draining responses would hang Shutdown")
 	}
 }
 

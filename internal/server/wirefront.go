@@ -17,8 +17,10 @@ import (
 // semantics: a JobRequest carries a complete query plus spec, the
 // daemon optimizes it through the wrapped engine (PartID is ignored —
 // partitioning is the engine's business, not the client's), and the
-// reply is a JobResponse echoing the request's Seq. For MultiObjective
-// jobs Plans is the merged frontier; otherwise Plans is [Best].
+// reply is a JobResponse echoing the request's Seq. Plans[0] is always
+// the engine's chosen Best — sent explicitly so clients never re-derive
+// it and near-tied cost lines cannot make the two sides disagree; for
+// MultiObjective jobs the merged frontier follows at Plans[1:].
 // Responses arrive in completion order — a connection may pipeline
 // requests and match replies by Seq. Admission rejections come back as
 // WorkerError{Code: ErrOverloaded}, which masters classify retryable.
@@ -62,6 +64,11 @@ func (s *Server) serveWireConn(conn net.Conn) {
 	}()
 	connCtx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	// Canceling connCtx is a full teardown: closing the conn unblocks a
+	// reader waiting on a silent peer and a writer stuck mid-frame, so
+	// every goroutine tied to this connection unwinds promptly.
+	stopKill := context.AfterFunc(connCtx, func() { conn.Close() })
+	defer stopKill()
 
 	// Wire fairness bucket: the peer host. Weights keyed by host names
 	// in Config.TenantWeights apply.
@@ -79,6 +86,12 @@ func (s *Server) serveWireConn(conn net.Conn) {
 			if broken {
 				continue
 			}
+			// The deadline is the liveness guarantee for the whole
+			// connection: a peer that stops reading fails this write
+			// within WireWriteTimeout, which cancels connCtx, closes the
+			// conn, and unblocks every reply() waiting on the backlog —
+			// dispatchers are never wedged behind a dead client.
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.WireWriteTimeout))
 			if err := wire.WriteFrame(conn, frame); err != nil {
 				broken = true
 				cancel() // peer unreachable: kill this conn's in-flight work
@@ -87,7 +100,9 @@ func (s *Server) serveWireConn(conn net.Conn) {
 	}()
 
 	// reply hands a frame to the writer; drops it if the connection is
-	// already gone (nobody left to read it).
+	// already gone (nobody left to read it). When the backlog is full it
+	// waits, but boundedly: the writer's deadline cancels connCtx if the
+	// peer really has stopped reading.
 	reply := func(frame []byte) {
 		select {
 		case writeCh <- frame:
@@ -155,11 +170,20 @@ func (s *Server) serveWireConn(conn net.Conn) {
 			reply(wire.EncodeWorkerError(&wire.WorkerError{
 				Seq: seq, Code: wire.ErrOverloaded, Msg: err.Error(),
 			}))
+			if errors.Is(err, ErrDraining) {
+				// The daemon is going away for good; close the conn
+				// (after in-flight responses flush) so the client
+				// redirects instead of retrying a dying server.
+				return
+			}
 		}
 	}
 }
 
 // encodeWireResult turns a request outcome into its response frame.
+// Plans[0] is the engine's chosen Best; for multi-objective jobs the
+// merged frontier follows in order, so the client reconstructs both
+// without re-deriving the best-plan tie-break.
 func encodeWireResult(seq uint32, multi bool, res result) []byte {
 	if res.err != nil {
 		code := wire.ErrJobFailed
@@ -170,9 +194,9 @@ func encodeWireResult(seq uint32, multi bool, res result) []byte {
 		}
 		return wire.EncodeWorkerError(&wire.WorkerError{Seq: seq, Code: code, Msg: res.err.Error()})
 	}
-	plans := res.ans.Frontier
-	if !multi || len(plans) == 0 {
-		plans = []*mpq.Plan{res.ans.Best}
+	plans := []*mpq.Plan{res.ans.Best}
+	if multi {
+		plans = append(plans, res.ans.Frontier...)
 	}
 	return wire.EncodeJobResponse(&wire.JobResponse{Seq: seq, Plans: plans, Stats: res.ans.Stats})
 }

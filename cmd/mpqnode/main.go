@@ -91,6 +91,14 @@ func runMaster(args []string) error {
 	retries := fs.Int("retries", netrun.DefaultMaxAttempts, "attempts per partition before giving up")
 	workerFailures := fs.Int("max-worker-failures", netrun.DefaultMaxWorkerFailures,
 		"consecutive failures before a worker is excluded for the query")
+	speculate := fs.Bool("speculate", false,
+		"race straggling partitions against speculative clones on idle workers")
+	specMult := fs.Float64("spec-multiplier", 0,
+		"straggler threshold as a multiple of the median service time (0 = default)")
+	specFloor := fs.Duration("spec-floor", 0,
+		"lower bound on the straggler threshold (0 = default)")
+	readmitAfter := fs.Duration("readmit-after", 0,
+		"probe excluded workers with a pending partition after this backoff (0 = never)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -124,9 +132,13 @@ func runMaster(args []string) error {
 	}
 
 	eng, err := mpq.NewTCPEngine(addrs, mpq.WithMasterOptions(mpq.MasterOptions{
-		Timeout:           *timeout,
-		MaxAttempts:       *retries,
-		MaxWorkerFailures: *workerFailures,
+		Timeout:               *timeout,
+		MaxAttempts:           *retries,
+		MaxWorkerFailures:     *workerFailures,
+		Speculate:             *speculate,
+		SpeculationMultiplier: *specMult,
+		SpeculationFloor:      *specFloor,
+		ReadmitAfter:          *readmitAfter,
 	}))
 	if err != nil {
 		return err

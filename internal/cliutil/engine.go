@@ -40,6 +40,22 @@ type EngineFlags struct {
 	Kill int
 	// Detect is the failure-detection timeout for Kill (sim engine).
 	Detect time.Duration
+	// Speculate races straggling partitions against speculative clones
+	// (tcp and sim engines).
+	Speculate bool
+	// SpecMultiplier scales the straggler threshold (tcp and sim).
+	SpecMultiplier float64
+	// SpecFloor bounds the straggler threshold from below (tcp and sim).
+	SpecFloor time.Duration
+	// ReadmitAfter probes excluded workers after this backoff (tcp engine).
+	ReadmitAfter time.Duration
+	// Stall slows this many simulated workers by StallFactor (sim engine).
+	Stall int
+	// StallFactor is the stalled workers' slowdown (sim engine).
+	StallFactor float64
+	// Nodes bounds the simulated node pool (sim engine; 0 = one node per
+	// partition).
+	Nodes int
 	// DaemonAddr is a resident mpqd's wire address (daemon engine).
 	DaemonAddr string
 }
@@ -65,6 +81,20 @@ func Register(fs *flag.FlagSet, def string) *EngineFlags {
 		"sim engine: crash this many workers mid-query and measure recovery")
 	fs.DurationVar(&ef.Detect, "detect", 0,
 		"sim engine: failure-detection timeout for -kill (default 10s)")
+	fs.BoolVar(&ef.Speculate, "speculate", false,
+		"tcp/sim engine: race straggling partitions against speculative clones on idle workers")
+	fs.Float64Var(&ef.SpecMultiplier, "spec-multiplier", 0,
+		"tcp/sim engine: straggler threshold as a multiple of the median service time (0 = default)")
+	fs.DurationVar(&ef.SpecFloor, "spec-floor", 0,
+		"tcp/sim engine: lower bound on the straggler threshold (0 = default)")
+	fs.DurationVar(&ef.ReadmitAfter, "readmit-after", 0,
+		"tcp engine: probe excluded workers with a pending partition after this backoff (0 = never)")
+	fs.IntVar(&ef.Stall, "stall", 0,
+		"sim engine: slow this many simulated workers by -stall-factor")
+	fs.Float64Var(&ef.StallFactor, "stall-factor", 0,
+		"sim engine: compute slowdown of -stall workers (0 = default 100)")
+	fs.IntVar(&ef.Nodes, "nodes", 0,
+		"sim engine: bound the simulated node pool (0 = one node per partition)")
 	fs.StringVar(&ef.DaemonAddr, "daemon-addr", "",
 		"daemon engine: wire address of a running mpqd (start one with: mpqd -wire ADDR)")
 	return ef
@@ -79,17 +109,42 @@ func (ef *EngineFlags) Build(partitions int) (mpq.Engine, error) {
 	case "local", "inprocess":
 		return mpq.NewInProcessEngine(mpq.WithParallelism(ef.Parallelism)), nil
 	case "sim":
-		opts := []mpq.EngineOption{mpq.WithClusterModel(mpq.DefaultClusterModel())}
+		model := mpq.DefaultClusterModel()
+		if ef.Nodes < 0 {
+			return nil, fmt.Errorf("-nodes %d must not be negative", ef.Nodes)
+		}
+		model.Nodes = ef.Nodes
+		opts := []mpq.EngineOption{mpq.WithClusterModel(model)}
 		if ef.Kill < 0 {
 			return nil, fmt.Errorf("-kill %d must not be negative", ef.Kill)
 		}
-		if ef.Kill > 0 {
-			if ef.Kill >= partitions {
-				return nil, fmt.Errorf("-kill %d must leave at least one of %d workers alive", ef.Kill, partitions)
+		if ef.Stall < 0 {
+			return nil, fmt.Errorf("-stall %d must not be negative", ef.Stall)
+		}
+		pool := partitions
+		if ef.Nodes > 0 {
+			pool = ef.Nodes
+		}
+		if ef.Kill+ef.Stall > 0 || ef.Speculate {
+			if ef.Kill >= pool {
+				return nil, fmt.Errorf("-kill %d must leave at least one of %d nodes alive", ef.Kill, pool)
 			}
-			faults := mpq.ClusterFaults{DetectTimeout: ef.Detect}
+			if ef.Kill+ef.Stall > pool {
+				return nil, fmt.Errorf("-kill %d plus -stall %d exceeds the %d-node pool", ef.Kill, ef.Stall, pool)
+			}
+			faults := mpq.ClusterFaults{
+				DetectTimeout:  ef.Detect,
+				StallFactor:    ef.StallFactor,
+				Speculate:      ef.Speculate,
+				SpecMultiplier: ef.SpecMultiplier,
+				SpecFloor:      ef.SpecFloor,
+			}
 			for i := 0; i < ef.Kill; i++ {
 				faults.Dead = append(faults.Dead, i)
+			}
+			// Stalled nodes follow the dead ones so the scripts don't overlap.
+			for i := 0; i < ef.Stall; i++ {
+				faults.Stalled = append(faults.Stalled, ef.Kill+i)
 			}
 			opts = append(opts, mpq.WithClusterFaults(faults))
 		}
@@ -100,9 +155,13 @@ func (ef *EngineFlags) Build(partitions int) (mpq.Engine, error) {
 		}
 		return mpq.NewTCPEngine(strings.Split(ef.TCPWorkers, ","),
 			mpq.WithMasterOptions(mpq.MasterOptions{
-				Timeout:           ef.Timeout,
-				MaxAttempts:       ef.Retries,
-				MaxWorkerFailures: ef.WorkerFailures,
+				Timeout:               ef.Timeout,
+				MaxAttempts:           ef.Retries,
+				MaxWorkerFailures:     ef.WorkerFailures,
+				Speculate:             ef.Speculate,
+				SpeculationMultiplier: ef.SpecMultiplier,
+				SpeculationFloor:      ef.SpecFloor,
+				ReadmitAfter:          ef.ReadmitAfter,
 			}))
 	case "daemon":
 		if ef.DaemonAddr == "" {
@@ -134,12 +193,22 @@ func Describe(ans *mpq.Answer) string {
 			line += fmt.Sprintf("; %d re-dispatches, recovery overhead %v",
 				ans.Cluster.Redispatches, ans.Cluster.RecoveryOverhead.Round(1000))
 		}
+		if ans.Cluster.Speculations > 0 {
+			line += fmt.Sprintf("; %d speculations, %d work units wasted",
+				ans.Cluster.Speculations, ans.Cluster.WastedWork)
+		}
 		return line
 	case ans.Net != nil:
 		line := fmt.Sprintf("wall %v; network %d bytes sent, %d received, %d messages over %d connections",
 			ans.Elapsed.Round(1000), ans.Net.BytesSent, ans.Net.BytesReceived, ans.Net.Messages, ans.Net.Dials)
 		if ans.Net.Redispatched > 0 {
 			line += fmt.Sprintf("; recovered from failures: %d re-dispatched", ans.Net.Redispatched)
+		}
+		if ans.Net.Speculations > 0 {
+			line += fmt.Sprintf("; %d speculations (%d wasted)", ans.Net.Speculations, ans.Net.SpeculationWasted)
+		}
+		if ans.Net.Probes > 0 {
+			line += fmt.Sprintf("; %d probes, %d workers readmitted", ans.Net.Probes, ans.Net.Readmitted)
 		}
 		return line
 	default:

@@ -49,6 +49,17 @@ type Model struct {
 	// FinalPrunePerPlan is the master-side cost of comparing one
 	// returned plan during FinalPrune.
 	FinalPrunePerPlan time.Duration
+	// Nodes bounds the simulated node pool. Zero keeps the classic
+	// one-node-per-partition layout; a positive value runs the adaptive
+	// scheduler, which interleaves partitions over the pool largest-
+	// estimated-cost first (each to the node with the earliest projected
+	// finish).
+	Nodes int
+	// Resources gives per-node capacities for the multi-resource model;
+	// non-empty Resources also selects the adaptive scheduler, and the
+	// slice length must equal the node count (Nodes, or the partition
+	// count when Nodes is zero). Empty means homogeneous unit-CPU nodes.
+	Resources []NodeResources
 }
 
 // Default returns the model used by the experiment harness: 1 ms
@@ -73,6 +84,17 @@ func (m Model) Validate() error {
 	if m.Latency < 0 || m.Bandwidth <= 0 || m.TaskSetup < 0 || m.DispatchPerTask < 0 ||
 		m.NsPerWorkUnit < 0 || m.FinalPrunePerPlan < 0 {
 		return fmt.Errorf("cluster: invalid model %+v", m)
+	}
+	if m.Nodes < 0 {
+		return fmt.Errorf("cluster: negative node count %d", m.Nodes)
+	}
+	for i, r := range m.Resources {
+		if !(r.CPU > 0) {
+			return fmt.Errorf("cluster: node %d CPU %g, must be positive", i, r.CPU)
+		}
+		if r.Bandwidth < 0 {
+			return fmt.Errorf("cluster: node %d negative bandwidth %g", i, r.Bandwidth)
+		}
 	}
 	return nil
 }
@@ -121,8 +143,9 @@ func (m Model) MPQTime(reqBytes, respBytes []int, units []uint64) (total, maxWor
 // timeout, so Fig-style experiments can quantify recovery overhead
 // without a wall clock.
 type Faults struct {
-	// Dead lists virtual workers (partition indices) that crash after
-	// receiving their request and never answer. At least one worker must
+	// Dead lists virtual nodes that crash after receiving their request
+	// and never answer. With Model.Nodes zero, nodes and partition
+	// indices coincide (the classic layout). At least one node must
 	// survive.
 	Dead []int
 	// DetectTimeout is the virtual time after a request's arrival at
@@ -130,13 +153,33 @@ type Faults struct {
 	// re-dispatches its partition to a survivor. Zero means
 	// DefaultDetectTimeout.
 	DetectTimeout time.Duration
+	// Stalled lists nodes that compute StallFactor× slower than the
+	// model's rate — the straggler script. A non-empty Stalled selects
+	// the adaptive scheduler.
+	Stalled []int
+	// StallFactor is the stalled nodes' compute slowdown. Zero means
+	// DefaultStallFactor; values below 1 are an error.
+	StallFactor float64
+	// Speculate enables speculative re-dispatch in the simulated master,
+	// mirroring netrun.Options.Speculate: a partition whose master-
+	// observed elapsed time exceeds the straggler threshold is cloned to
+	// an idle node, the first answer wins, the loser is canceled and its
+	// burned work recorded in Metrics.WastedWork.
+	Speculate bool
+	// SpecMultiplier scales the straggler threshold (multiple of the
+	// median completed service time). Zero means
+	// DefaultSpeculationMultiplier; values below 1 are an error.
+	SpecMultiplier float64
+	// SpecFloor bounds the straggler threshold from below. Zero means
+	// DefaultSpeculationFloor; negative is an error.
+	SpecFloor time.Duration
 }
 
 // DefaultDetectTimeout is the virtual failure-detection timeout used
 // when Faults.DetectTimeout is zero.
 const DefaultDetectTimeout = 10 * time.Second
 
-// Validate checks the fault script against m workers.
+// Validate checks the fault script against m nodes.
 func (f Faults) Validate(m int) error {
 	if f.DetectTimeout < 0 {
 		return fmt.Errorf("cluster: negative detect timeout %v", f.DetectTimeout)
@@ -154,7 +197,35 @@ func (f Faults) Validate(m int) error {
 	if len(seen) >= m {
 		return fmt.Errorf("cluster: all %d workers dead, nothing can recover", m)
 	}
+	stalledSeen := make(map[int]bool, len(f.Stalled))
+	for _, s := range f.Stalled {
+		if s < 0 || s >= m {
+			return fmt.Errorf("cluster: stalled worker %d out of range [0,%d)", s, m)
+		}
+		if stalledSeen[s] {
+			return fmt.Errorf("cluster: worker %d listed stalled twice", s)
+		}
+		if seen[s] {
+			return fmt.Errorf("cluster: worker %d both dead and stalled", s)
+		}
+		stalledSeen[s] = true
+	}
+	if f.StallFactor != 0 && f.StallFactor < 1 {
+		return fmt.Errorf("cluster: stall factor %g below 1", f.StallFactor)
+	}
+	if f.SpecMultiplier != 0 && f.SpecMultiplier < 1 {
+		return fmt.Errorf("cluster: speculation multiplier %g below 1", f.SpecMultiplier)
+	}
+	if f.SpecFloor < 0 {
+		return fmt.Errorf("cluster: negative speculation floor %v", f.SpecFloor)
+	}
 	return nil
+}
+
+// adaptive reports whether the fault script needs the event-driven
+// adaptive scheduler rather than the closed-form one-round formulas.
+func (f Faults) adaptive() bool {
+	return len(f.Stalled) > 0 || f.Speculate
 }
 
 // faultSchedule evaluates the MPQ schedule with scripted worker deaths:
@@ -289,11 +360,19 @@ func RunMPQWithFaultsContext(ctx context.Context, model Model, q *query.Query, s
 	if err := spec.Validate(q.N()); err != nil {
 		return nil, err
 	}
-	if err := faults.Validate(spec.Workers); err != nil {
+	nodeCount := model.Nodes
+	if nodeCount <= 0 {
+		nodeCount = spec.Workers
+	}
+	if err := faults.Validate(nodeCount); err != nil {
 		return nil, err
 	}
 	q.Freeze()
 	m := spec.Workers
+	// The closed-form one-round formulas cover the classic layout; a
+	// bounded node pool, per-node resources, stall scripts or
+	// speculation need the event-driven adaptive scheduler (sched.go).
+	adaptive := model.Nodes > 0 || len(model.Resources) > 0 || faults.adaptive()
 
 	// Master builds and "sends" one request per worker. The master NIC
 	// serializes outbound messages, so send completions are cumulative
@@ -362,6 +441,7 @@ func RunMPQWithFaultsContext(ctx context.Context, model Model, q *query.Query, s
 	reqBytes := make([]int, m)
 	respBytes := make([]int, m)
 	units := make([]uint64, m)
+	memo := make([]uint64, m)
 	var planCount int
 	for partID := 0; partID < m; partID++ {
 		r := runs[partID]
@@ -384,6 +464,7 @@ func RunMPQWithFaultsContext(ctx context.Context, model Model, q *query.Query, s
 		reqBytes[partID] = len(r.req)
 		respBytes[partID] = r.respBytes
 		units[partID] = r.resp.Stats.WorkUnits()
+		memo[partID] = r.resp.Stats.MemoEntries
 		frontiers = append(frontiers, r.resp.Plans)
 		planCount += len(r.resp.Plans)
 		out.PerWorker = append(out.PerWorker, core.WorkerReport{
@@ -394,12 +475,40 @@ func RunMPQWithFaultsContext(ctx context.Context, model Model, q *query.Query, s
 			out.MaxWorkerStats = r.resp.Stats
 		}
 	}
-	total, maxWorker := model.faultSchedule(reqBytes, respBytes, units, dead, detect)
-	met.VirtualTime = total + time.Duration(planCount)*model.FinalPrunePerPlan
-	met.MaxWorkerTime = maxWorker
-	if len(dead) > 0 {
-		cleanTotal, _ := model.MPQTime(reqBytes, respBytes, units)
-		met.RecoveryOverhead = total - cleanTotal
+	if adaptive {
+		in := simInput{reqBytes: reqBytes, respBytes: respBytes, units: units, memo: memo}
+		sim, err := model.adaptiveSchedule(in, faults)
+		if err != nil {
+			return nil, err
+		}
+		// The event simulation accounts traffic itself (clones, cancels
+		// and re-dispatches included): override the per-partition tallies.
+		met.Bytes = sim.bytes
+		met.Messages = sim.messages
+		met.Redispatches = sim.redispatches
+		met.Rounds = 1
+		if sim.redispatches > 0 {
+			met.Rounds = 2
+		}
+		met.VirtualTime = sim.total + time.Duration(planCount)*model.FinalPrunePerPlan
+		met.MaxWorkerTime = sim.maxWorker
+		met.Speculations = sim.speculations
+		met.WastedWork = sim.wasted
+		if len(dead) > 0 || len(faults.Stalled) > 0 {
+			clean, err := model.adaptiveSchedule(in, Faults{})
+			if err != nil {
+				return nil, err
+			}
+			met.RecoveryOverhead = sim.total - clean.total
+		}
+	} else {
+		total, maxWorker := model.faultSchedule(reqBytes, respBytes, units, dead, detect)
+		met.VirtualTime = total + time.Duration(planCount)*model.FinalPrunePerPlan
+		met.MaxWorkerTime = maxWorker
+		if len(dead) > 0 {
+			cleanTotal, _ := model.MPQTime(reqBytes, respBytes, units)
+			met.RecoveryOverhead = total - cleanTotal
+		}
 	}
 
 	best, frontier, err := core.FinalPrune(spec, frontiers)

@@ -35,6 +35,24 @@ type NetStats struct {
 	// level and were re-queued onto another worker (or retried). Zero in
 	// a failure-free run.
 	Redispatched int
+	// Speculations counts speculative clones the master dispatched: a
+	// partition whose elapsed time exceeded the straggler threshold was
+	// re-sent to an idle worker, and the first answer won. Zero unless
+	// speculation is enabled (netrun.Options.Speculate).
+	Speculations int
+	// SpeculationWasted counts discarded speculative-race outcomes: a
+	// completed response for a partition the master had already
+	// aggregated from the other racer, or an explicit ErrCanceled
+	// acknowledgment from the loser. Wasted work is the price of the
+	// latency win; this counter is how it is audited.
+	SpeculationWasted int
+	// Probes counts re-admission probes sent to excluded workers: after
+	// Options.ReadmitAfter of exclusion, the master clones one pending
+	// partition to the excluded worker as a low-priority health check.
+	Probes int
+	// Readmitted counts excluded workers that answered a probe correctly
+	// and rejoined the pool.
+	Readmitted int
 }
 
 // CacheStats records how a plan cache served one answer, plus a
@@ -89,4 +107,18 @@ type ClusterMetrics struct {
 	// in a failure-free run). Computed from the schedule, not by
 	// re-running the optimizer.
 	RecoveryOverhead time.Duration
+	// Speculations counts speculative clones the simulated master
+	// dispatched under the adaptive scheduler (cluster.Faults.Speculate):
+	// partitions whose elapsed time exceeded the straggler threshold and
+	// were re-sent to an idle node.
+	Speculations int
+	// WastedWork is the DP work (in work units) burned by speculative-
+	// race losers before their cancel arrived — compute that produced no
+	// aggregated answer. Zero when nothing was speculated.
+	WastedWork uint64
+	// Probes counts re-admission probes sent to excluded nodes. The
+	// one-round simulator only reports this when a fault script drives
+	// exclusion and re-admission; the TCP runtime's equivalent lives on
+	// NetStats.Probes.
+	Probes int
 }

@@ -1,0 +1,51 @@
+package experiments
+
+import "testing"
+
+// The straggler sweep's headline claims, at CI scale: a scripted stall
+// slows the batch down, speculation wins most of that time back, and
+// neither policy ever changes a chosen plan.
+func TestStragglersSweep(t *testing.T) {
+	cfg := Quick()
+	cfg.Queries = 2
+	rows, err := Stragglers(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, factors := stragglerScale(cfg)
+	if want := 1 + 2*len(factors); len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	base := rows[0]
+	if base.StallFactor != 0 || base.XClean != 1 {
+		t.Fatalf("first row is not the fault-free baseline: %+v", base)
+	}
+	for i := 1; i < len(rows); i += 2 {
+		wait, spec := rows[i], rows[i+1]
+		if wait.Speculate || !spec.Speculate {
+			t.Fatalf("rows %d/%d not a wait/speculate pair: %+v %+v", i, i+1, wait, spec)
+		}
+		if wait.TimeMs <= base.TimeMs {
+			t.Errorf("stall %gx: waiting (%.1f ms) not slower than fault-free (%.1f ms)",
+				wait.StallFactor, wait.TimeMs, base.TimeMs)
+		}
+		if spec.TimeMs >= wait.TimeMs {
+			t.Errorf("stall %gx: speculation (%.1f ms) not faster than waiting (%.1f ms)",
+				spec.StallFactor, spec.TimeMs, wait.TimeMs)
+		}
+		if spec.Speculations == 0 {
+			t.Errorf("stall %gx: speculative run recorded no speculations", spec.StallFactor)
+		}
+		if wait.Speculations != 0 {
+			t.Errorf("stall %gx: wait policy speculated %d times", wait.StallFactor, wait.Speculations)
+		}
+		if !wait.PlanSafe || !spec.PlanSafe {
+			t.Errorf("stall %gx: a policy changed the chosen plan", wait.StallFactor)
+		}
+	}
+	table := StragglersTable(rows)
+	if len(table.Rows) != len(rows) || len(table.Columns) != len(table.Rows[0]) {
+		t.Fatalf("table shape mismatch: %d cols, rows %d/%d",
+			len(table.Columns), len(table.Rows), len(rows))
+	}
+}

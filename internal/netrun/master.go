@@ -21,6 +21,19 @@ const (
 	DefaultTimeout           = 2 * time.Minute
 	DefaultMaxAttempts       = 3
 	DefaultMaxWorkerFailures = 2
+	// DefaultSpeculationMultiplier is the straggler threshold multiplier
+	// used when Options.Speculate is set and SpeculationMultiplier is
+	// zero: a partition is a straggler once its elapsed time exceeds
+	// twice the median service time of the query's completed partitions.
+	DefaultSpeculationMultiplier = 2
+	// DefaultSpeculationFloor bounds the straggler threshold from below
+	// so near-instant medians (tiny queries) cannot trigger speculation
+	// on ordinary scheduling jitter.
+	DefaultSpeculationFloor = 250 * time.Millisecond
+	// cancelWriteTimeout bounds the advisory CancelRequest frame write
+	// to a speculative loser; a peer too wedged to accept 8 bytes loses
+	// its connection on the next use anyway.
+	cancelWriteTimeout = 2 * time.Second
 )
 
 // Options configures a Master beyond its worker addresses.
@@ -44,6 +57,31 @@ type Options struct {
 	// which a worker is excluded from the rest of the query. Zero means
 	// DefaultMaxWorkerFailures; negative is an error.
 	MaxWorkerFailures int
+	// Speculate enables adaptive scheduling: an idle worker steals queued
+	// partitions from loaded peers, and a partition whose elapsed time
+	// exceeds the straggler threshold (see SpeculationMultiplier) is
+	// cloned to an idle worker. The first answer wins; the loser is
+	// canceled with a CancelRequest frame and its late response — carrying
+	// a sequence number for a partition already aggregated — is discarded.
+	// Off by default: the static schedule is then byte-for-byte the
+	// pre-adaptive behavior.
+	Speculate bool
+	// SpeculationMultiplier scales the straggler threshold: a partition
+	// is speculated once its elapsed time exceeds Multiplier × the median
+	// service time of its query's completed partitions. Zero means
+	// DefaultSpeculationMultiplier; values below 1 (which would speculate
+	// faster-than-median partitions) are an error.
+	SpeculationMultiplier float64
+	// SpeculationFloor bounds the straggler threshold from below. Zero
+	// means DefaultSpeculationFloor; negative is an error.
+	SpeculationFloor time.Duration
+	// ReadmitAfter enables re-admission probes: a worker excluded by
+	// MaxWorkerFailures is sent a low-priority probe clone of a pending
+	// partition after this backoff (doubling after every failed probe)
+	// and rejoins the pool if it answers correctly. Zero disables probes
+	// — excluded workers then stay excluded for the rest of the batch,
+	// the pre-adaptive behavior. Negative is an error.
+	ReadmitAfter time.Duration
 }
 
 // NetStats records measured traffic of one distributed optimization.
@@ -78,6 +116,10 @@ type Master struct {
 	timeout           time.Duration
 	maxAttempts       int
 	maxWorkerFailures int
+	speculate         bool
+	specMultiplier    float64
+	specFloor         time.Duration
+	readmitAfter      time.Duration
 }
 
 // NewMaster returns a master that will distribute work over the given
@@ -127,12 +169,25 @@ func NewMasterWithOptions(addrs []string, opts Options) (*Master, error) {
 	if opts.MaxWorkerFailures < 0 {
 		return nil, fmt.Errorf("netrun: negative worker failure limit %d", opts.MaxWorkerFailures)
 	}
+	if opts.SpeculationMultiplier != 0 && opts.SpeculationMultiplier < 1 {
+		return nil, fmt.Errorf("netrun: speculation multiplier %g below 1", opts.SpeculationMultiplier)
+	}
+	if opts.SpeculationFloor < 0 {
+		return nil, fmt.Errorf("netrun: negative speculation floor %v", opts.SpeculationFloor)
+	}
+	if opts.ReadmitAfter < 0 {
+		return nil, fmt.Errorf("netrun: negative re-admission backoff %v", opts.ReadmitAfter)
+	}
 	ms := &Master{
 		addrs:             addrs,
 		weights:           opts.Weights,
 		timeout:           opts.Timeout,
 		maxAttempts:       opts.MaxAttempts,
 		maxWorkerFailures: opts.MaxWorkerFailures,
+		speculate:         opts.Speculate,
+		specMultiplier:    opts.SpeculationMultiplier,
+		specFloor:         opts.SpeculationFloor,
+		readmitAfter:      opts.ReadmitAfter,
 	}
 	if ms.timeout == 0 {
 		ms.timeout = DefaultTimeout
@@ -142,6 +197,12 @@ func NewMasterWithOptions(addrs []string, opts Options) (*Master, error) {
 	}
 	if ms.maxWorkerFailures == 0 {
 		ms.maxWorkerFailures = DefaultMaxWorkerFailures
+	}
+	if ms.specMultiplier == 0 {
+		ms.specMultiplier = DefaultSpeculationMultiplier
+	}
+	if ms.specFloor == 0 {
+		ms.specFloor = DefaultSpeculationFloor
 	}
 	return ms, nil
 }
@@ -273,23 +334,59 @@ func (r *connReg) closeAll() {
 // query it belongs to, so a late duplicate can be billed to the right
 // query; it is reset on redial (a fresh stream cannot replay old
 // frames).
+//
+// mu serializes writes on the connection and guards the conn pointer
+// and inflight field: the coordinator goroutine injects advisory
+// CancelRequest frames (cancelInFlight) into a stream the worker loop
+// otherwise owns. seq and owner stay worker-loop-private.
 type connState struct {
-	conn  net.Conn
-	seq   uint32
-	owner map[uint32]int
+	mu       sync.Mutex
+	conn     net.Conn
+	inflight uint32 // seq awaiting a response; 0 = none
+	seq      uint32
+	owner    map[uint32]int
+}
+
+// cancelInFlight asks the worker to abort the request currently
+// awaiting a response on this connection — the master no longer wants
+// the answer (a speculative clone of the same partition won the race).
+// Advisory and non-blocking for the caller beyond a short write: if the
+// write fails or stalls, the worker simply finishes the job and its
+// late response is discarded as stale. A partial write can desync the
+// stream; the worker then answers the next request with a decode
+// error, which the transport-failure path already handles by redialing.
+// Returns the frame bytes put on the wire (0 if nothing was sent) so
+// the caller can bill the traffic.
+func (st *connState) cancelInFlight() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.conn == nil || st.inflight == 0 {
+		return 0
+	}
+	payload := wire.EncodeCancelRequest(&wire.CancelRequest{Seq: st.inflight})
+	st.conn.SetWriteDeadline(time.Now().Add(cancelWriteTimeout))
+	if err := WriteFrame(st.conn, payload); err != nil {
+		return 0
+	}
+	return len(payload) + 4
 }
 
 // workerLoop executes jobs for one worker address: it dials lazily,
 // keeps the connection across jobs (and across the queries of a
 // batch), and reports every outcome on results. At most one job is in
 // flight per worker, so a results buffer with one slot per worker can
-// never block a loop after the coordinator stops receiving.
-func (ms *Master) workerLoop(ctx context.Context, ni int, jobs []Job, give <-chan unit, results chan<- jobResult, reg *connReg) {
-	st := &connState{}
+// never block a loop after the coordinator stops receiving. st is
+// shared with the coordinator, which uses it only through
+// cancelInFlight.
+func (ms *Master) workerLoop(ctx context.Context, ni int, jobs []Job, give <-chan unit, results chan<- jobResult, reg *connReg, st *connState) {
 	defer func() {
-		if st.conn != nil {
-			reg.drop(st.conn)
-			st.conn.Close()
+		st.mu.Lock()
+		conn := st.conn
+		st.conn = nil
+		st.mu.Unlock()
+		if conn != nil {
+			reg.drop(conn)
+			conn.Close()
 		}
 	}()
 	for u := range give {
@@ -308,26 +405,42 @@ func (ms *Master) runJob(ctx context.Context, ni int, job Job, u unit, st *connS
 	if cd, ok := ctx.Deadline(); ok && cd.Before(deadline) {
 		deadline = cd
 	}
+	// Whatever the outcome, the request is no longer awaiting a response
+	// once runJob returns — late cancels must not target the next job's
+	// sequence number.
+	defer func() {
+		st.mu.Lock()
+		st.inflight = 0
+		st.mu.Unlock()
+	}()
 	// fail records a transport-level error and drops the connection: the
 	// stream may be out of sync, and the next attempt should redial.
 	fail := func(err error) jobResult {
 		res.err = err
 		res.elapsed = time.Since(t0)
-		if st.conn != nil {
-			reg.drop(st.conn)
-			st.conn.Close()
-			st.conn = nil
+		st.mu.Lock()
+		conn := st.conn
+		st.conn = nil
+		st.inflight = 0
+		st.mu.Unlock()
+		if conn != nil {
+			reg.drop(conn)
+			conn.Close()
 			st.owner = nil // a fresh stream cannot replay old frames
 		}
 		return res
 	}
 	if st.conn == nil {
+		// Dialing happens outside the mutex — a nil conn means nothing is
+		// in flight, so cancelInFlight correctly no-ops meanwhile.
 		d := net.Dialer{Deadline: deadline}
 		c, err := d.DialContext(reg.ctx, "tcp", addr)
 		if err != nil {
 			return fail(fmt.Errorf("dial %s: %w", addr, err))
 		}
+		st.mu.Lock()
 		st.conn = c
+		st.mu.Unlock()
 		st.owner = map[uint32]int{}
 		res.dialed = true
 		reg.add(c)
@@ -337,9 +450,18 @@ func (ms *Master) runJob(ctx context.Context, ni int, job Job, u unit, st *connS
 	seq := st.seq
 	st.owner[seq] = u.qi
 	payload := wire.EncodeJobRequest(&wire.JobRequest{Seq: seq, Spec: job.Spec, PartID: u.partID, Query: job.Query})
+	// The request write and the in-flight marker share one critical
+	// section so a concurrent cancel frame can never interleave with (or
+	// target a request that precedes) the request bytes.
+	st.mu.Lock()
 	conn.SetDeadline(deadline)
-	if err := WriteFrame(conn, payload); err != nil {
-		return fail(fmt.Errorf("send to %s: %w", addr, err))
+	werr := WriteFrame(conn, payload)
+	if werr == nil {
+		st.inflight = seq
+	}
+	st.mu.Unlock()
+	if werr != nil {
+		return fail(fmt.Errorf("send to %s: %w", addr, werr))
 	}
 	res.sent = uint64(len(payload) + 4)
 	res.msgs++
@@ -502,13 +624,15 @@ func (ms *Master) OptimizeBatch(ctx context.Context, jobs []Job) ([]*Answer, err
 	results := make(chan jobResult, k)
 	regCtx, regCancel := context.WithCancel(ctx)
 	reg := &connReg{ctx: regCtx, cancel: regCancel, conns: map[net.Conn]struct{}{}}
+	sts := make([]*connState, k)
 	var wg sync.WaitGroup
 	for ni := 0; ni < k; ni++ {
 		gives[ni] = make(chan unit, 1)
+		sts[ni] = &connState{}
 		wg.Add(1)
 		go func(ni int) {
 			defer wg.Done()
-			ms.workerLoop(ctx, ni, jobs, gives[ni], results, reg)
+			ms.workerLoop(ctx, ni, jobs, gives[ni], results, reg, sts[ni])
 		}(ni)
 	}
 	defer func() {
@@ -544,6 +668,51 @@ func (ms *Master) OptimizeBatch(ctx context.Context, jobs []Job) ([]*Answer, err
 		answers[qi] = &Answer{Answer: core.Answer{Net: &core.NetStats{}}}
 	}
 
+	// Adaptive-scheduling state, inert unless Speculate or ReadmitAfter
+	// is set: what each worker runs and since when, how many copies of
+	// each partition are in flight, each query's completed-partition
+	// service times (the straggler threshold's median source), and the
+	// per-worker probe backoff bookkeeping.
+	type partKey struct{ qi, partID int }
+	adaptive := ms.speculate || ms.readmitAfter > 0
+	runningU := make([]unit, k)
+	runningActive := make([]bool, k)
+	runningSince := make([]time.Time, k)
+	probing := make([]bool, k)
+	excludedAt := make([]time.Time, k)
+	probeBackoff := make([]time.Duration, k)
+	inflightCnt := map[partKey]int{}
+	svcTimes := make([][]time.Duration, len(jobs))
+
+	isDone := func(u unit) bool { return done[u.qi][u.partID].resp != nil }
+
+	// threshold is one query's straggler bar: SpeculationMultiplier × the
+	// median service time of its completed partitions, never below
+	// SpeculationFloor. Unknown until at least one partition finished —
+	// with no baseline there is no notion of "slow".
+	threshold := func(qi int) (time.Duration, bool) {
+		ts := svcTimes[qi]
+		if len(ts) == 0 {
+			return 0, false
+		}
+		sorted := slices.Clone(ts)
+		slices.Sort(sorted)
+		thr := time.Duration(float64(sorted[len(sorted)/2]) * ms.specMultiplier)
+		if thr < ms.specFloor {
+			thr = ms.specFloor
+		}
+		return thr, true
+	}
+
+	sendTo := func(ni int, u unit, probe bool) {
+		idle[ni] = false
+		outstanding++
+		runningU[ni], runningActive[ni], runningSince[ni] = u, true, time.Now()
+		probing[ni] = probe
+		inflightCnt[partKey{u.qi, u.partID}]++
+		gives[ni] <- u
+	}
+
 	// failedOnAllAlive reports whether every surviving worker has already
 	// failed this unit; if so, any survivor may retry it (the alternative
 	// is giving up while budget remains).
@@ -556,17 +725,98 @@ func (ms *Master) OptimizeBatch(ctx context.Context, jobs []Job) ([]*Answer, err
 		return true
 	}
 
+	// specSource picks what an otherwise-idle worker should clone: the
+	// longest-over-threshold partition that has exactly one copy in
+	// flight. Probe jobs are never speculated — they are already clones.
+	specSource := func(ni int, now time.Time) (int, bool) {
+		best := -1
+		var bestElapsed time.Duration
+		for nj := 0; nj < k; nj++ {
+			if nj == ni || !runningActive[nj] || probing[nj] {
+				continue
+			}
+			r := runningU[nj]
+			if isDone(r) || inflightCnt[partKey{r.qi, r.partID}] > 1 {
+				continue
+			}
+			thr, ok := threshold(r.qi)
+			if !ok {
+				continue
+			}
+			if el := now.Sub(runningSince[nj]); el >= thr && el > bestElapsed {
+				best, bestElapsed = nj, el
+			}
+		}
+		return best, best >= 0
+	}
+
+	// probeUnitFor picks a low-priority clone for a re-admission probe:
+	// the head of the longest pending queue, a retry unit the excluded
+	// worker has not already failed, or the oldest in-flight unit — in
+	// that order. Originals stay where they are; whichever copy answers
+	// second is reconciled by the duplicate-discard machinery.
+	probeUnitFor := func(ni int) (unit, bool) {
+		best := -1
+		for nj := 0; nj < k; nj++ {
+			if len(queues[nj]) > 0 && (best < 0 || len(queues[nj]) > len(queues[best])) {
+				best = nj
+			}
+		}
+		if best >= 0 {
+			for _, cand := range queues[best] {
+				if !isDone(cand) {
+					return cand, true
+				}
+			}
+		}
+		for _, r := range retryQ {
+			if !isDone(r) && !slices.Contains(r.failedOn, ni) {
+				return r, true
+			}
+		}
+		oldest := -1
+		for nj := 0; nj < k; nj++ {
+			if nj == ni || !runningActive[nj] || probing[nj] || isDone(runningU[nj]) {
+				continue
+			}
+			if oldest < 0 || runningSince[nj].Before(runningSince[oldest]) {
+				oldest = nj
+			}
+		}
+		if oldest >= 0 {
+			return runningU[oldest], true
+		}
+		return unit{}, false
+	}
+
 	dispatch := func() {
+		now := time.Now()
+		if adaptive {
+			// Partitions answered by a winning clone may still sit in the
+			// retry queue; purge it eagerly (worker queues purge on pop).
+			kept := retryQ[:0]
+			for _, r := range retryQ {
+				if !isDone(r) {
+					kept = append(kept, r)
+				}
+			}
+			retryQ = kept
+		}
 		for ni := 0; ni < k; ni++ {
 			if !alive[ni] || !idle[ni] {
 				continue
 			}
 			var u unit
 			ok := false
-			if len(queues[ni]) > 0 {
-				u, queues[ni] = queues[ni][0], queues[ni][1:]
-				ok = true
-			} else {
+			for len(queues[ni]) > 0 {
+				cand := queues[ni][0]
+				queues[ni] = queues[ni][1:]
+				if !isDone(cand) {
+					u, ok = cand, true
+					break
+				}
+			}
+			if !ok {
 				for i := range retryQ {
 					r := retryQ[i]
 					if !slices.Contains(r.failedOn, ni) || failedOnAllAlive(r) {
@@ -577,12 +827,104 @@ func (ms *Master) OptimizeBatch(ctx context.Context, jobs []Job) ([]*Answer, err
 					}
 				}
 			}
+			if !ok && ms.speculate {
+				// Work stealing: an idle worker drains the most loaded peer's
+				// queue instead of watching it struggle.
+				src := -1
+				for nj := 0; nj < k; nj++ {
+					if nj != ni && len(queues[nj]) > 0 && (src < 0 || len(queues[nj]) > len(queues[src])) {
+						src = nj
+					}
+				}
+				for src >= 0 && len(queues[src]) > 0 {
+					cand := queues[src][0]
+					queues[src] = queues[src][1:]
+					if !isDone(cand) {
+						u, ok = cand, true
+						break
+					}
+				}
+			}
 			if ok {
-				idle[ni] = false
-				outstanding++
-				gives[ni] <- u
+				sendTo(ni, u, false)
+				continue
+			}
+			if !ms.speculate {
+				continue
+			}
+			// Speculative re-dispatch: clone the worst straggler onto this
+			// otherwise-idle worker; first answer wins.
+			if nj, found := specSource(ni, now); found {
+				orig := runningU[nj]
+				clone := unit{qi: orig.qi, partID: orig.partID, attempts: orig.attempts,
+					failedOn: append(slices.Clone(orig.failedOn), nj)}
+				answers[orig.qi].Net.Speculations++
+				sendTo(ni, clone, false)
 			}
 		}
+		// Re-admission probes for excluded workers past their backoff.
+		if ms.readmitAfter > 0 {
+			for ni := 0; ni < k; ni++ {
+				if alive[ni] || !idle[ni] || now.Sub(excludedAt[ni]) < probeBackoff[ni] {
+					continue
+				}
+				if u, ok := probeUnitFor(ni); ok {
+					answers[u.qi].Net.Probes++
+					sendTo(ni, u, true)
+				} else {
+					// Nothing suitable to probe with; look again one backoff
+					// from now instead of spinning.
+					excludedAt[ni] = now
+				}
+			}
+		}
+	}
+
+	// nextWake is the earliest instant at which dispatch could do
+	// something it cannot do now: a running partition crossing the
+	// straggler bar while an idle worker waits, or a probe backoff
+	// expiring. It mirrors dispatch's eligibility rules exactly — a timer
+	// that fired into a dispatch that refuses to act would busy-loop.
+	nextWake := func() (time.Time, bool) {
+		var wake time.Time
+		if ms.speculate {
+			idleAlive := false
+			for ni := 0; ni < k; ni++ {
+				if alive[ni] && idle[ni] {
+					idleAlive = true
+					break
+				}
+			}
+			if idleAlive {
+				for nj := 0; nj < k; nj++ {
+					if !runningActive[nj] || probing[nj] {
+						continue
+					}
+					r := runningU[nj]
+					if isDone(r) || inflightCnt[partKey{r.qi, r.partID}] > 1 {
+						continue
+					}
+					thr, ok := threshold(r.qi)
+					if !ok {
+						continue
+					}
+					if t := runningSince[nj].Add(thr); wake.IsZero() || t.Before(wake) {
+						wake = t
+					}
+				}
+			}
+		}
+		if ms.readmitAfter > 0 {
+			for ni := 0; ni < k; ni++ {
+				if alive[ni] || !idle[ni] {
+					continue
+				}
+				if t := excludedAt[ni].Add(probeBackoff[ni]); wake.IsZero() || t.Before(wake) {
+					wake = t
+				}
+			}
+		}
+		return wake, !wake.IsZero()
 	}
 
 	for nDone < totalParts {
@@ -599,16 +941,54 @@ func (ms *Master) OptimizeBatch(ctx context.Context, jobs []Job) ([]*Answer, err
 			// accepts pending work. Guard against coordination bugs anyway.
 			return nil, fmt.Errorf("netrun: stalled with %d of %d partitions unanswered", totalParts-nDone, totalParts)
 		}
+		var timerC <-chan time.Time
+		var timer *time.Timer
+		if adaptive {
+			if wake, ok := nextWake(); ok {
+				d := time.Until(wake)
+				if d < time.Millisecond {
+					d = time.Millisecond
+				}
+				timer = time.NewTimer(d)
+				timerC = timer.C
+			}
+		}
 		var res jobResult
+		gotRes := false
 		select {
 		case res = <-results:
+			gotRes = true
+		case <-timerC:
+			// A straggler threshold or probe backoff just expired; loop so
+			// dispatch can act on it.
 		case <-ctx.Done():
+			if timer != nil {
+				timer.Stop()
+			}
 			// The deferred cleanup force-closes every connection, aborting
 			// in-flight work, and waits for the worker loops to exit.
 			return nil, fmt.Errorf("netrun: %w", context.Cause(ctx))
 		}
+		if timer != nil {
+			timer.Stop()
+		}
+		if !gotRes {
+			continue
+		}
 		outstanding--
-		idle[res.worker] = true
+		ni := res.worker
+		idle[ni] = true
+		wasProbe := probing[ni]
+		probing[ni] = false
+		runningActive[ni] = false
+		key := partKey{res.unit.qi, res.unit.partID}
+		if inflightCnt[key]--; inflightCnt[key] <= 0 {
+			delete(inflightCnt, key)
+		}
+		// stale: some other copy of this partition already won the race
+		// and was aggregated; whatever this attempt brought back is
+		// redundant by construction.
+		stale := isDone(res.unit)
 		ans := answers[res.unit.qi]
 		ans.Net.BytesSent += res.sent
 		ans.Net.BytesReceived += res.rcvd
@@ -623,15 +1003,77 @@ func (ms *Master) OptimizeBatch(ctx context.Context, jobs []Job) ([]*Answer, err
 			ans.Net.Dials++
 		}
 		if res.err == nil {
-			consecFails[res.worker] = 0
+			consecFails[ni] = 0
+			if wasProbe && !alive[ni] {
+				// The excluded worker answered a probe correctly: readmit it.
+				alive[ni] = true
+				aliveCount++
+				ans.Net.Readmitted++
+			}
+			if stale {
+				// The race's loser finished anyway (our cancel lost its own
+				// race with the response): correct but redundant, discarded.
+				ans.Net.SpeculationWasted++
+				continue
+			}
 			done[res.unit.qi][res.unit.partID] = partDone{resp: res.resp, elapsed: res.elapsed}
+			svcTimes[res.unit.qi] = append(svcTimes[res.unit.qi], res.elapsed)
 			nDone++
 			if remaining[res.unit.qi]--; remaining[res.unit.qi] == 0 {
 				ans.Elapsed = time.Since(start)
 			}
+			if _, racing := inflightCnt[key]; racing {
+				// This partition is still running elsewhere: tell the losers
+				// to abort their dynamic programs.
+				for nj := 0; nj < k; nj++ {
+					if nj != ni && runningActive[nj] && runningU[nj].qi == key.qi && runningU[nj].partID == key.partID {
+						if n := sts[nj].cancelInFlight(); n > 0 {
+							ans.Net.BytesSent += uint64(n)
+							ans.Net.Messages++
+						}
+					}
+				}
+			}
+			continue
+		}
+		var we *wire.WorkerError
+		if errors.As(res.err, &we) && we.Code == wire.ErrCanceled {
+			// The loser acknowledged our cancel: benign — no penalty, no
+			// connection drop, nothing to re-dispatch.
+			ans.Net.SpeculationWasted++
+			if wasProbe {
+				// The probe's own partition finished elsewhere before the
+				// probe did. Proves nothing about the worker's health either
+				// way: stay excluded, try again one backoff from now.
+				excludedAt[ni] = time.Now()
+				continue
+			}
+			if stale {
+				continue
+			}
+			// A worker canceled a job the master still wants — spurious, but
+			// recoverable: re-queue under the attempt budget.
+			u := res.unit
+			u.attempts++
+			u.failedOn = append(u.failedOn, ni)
+			if u.attempts >= ms.maxAttempts {
+				return nil, fmt.Errorf("netrun: partition %d failed %d times, giving up: %w",
+					u.partID, u.attempts, res.err)
+			}
+			ans.Redispatched++
+			ans.Net.Redispatched++
+			retryQ = append(retryQ, u)
 			continue
 		}
 		if res.fatal {
+			if stale {
+				// A deterministic failure from a race's loser, for a
+				// partition that already has a correct answer: it cannot
+				// poison the batch (the canceled DP may legitimately error
+				// out mid-abort).
+				ans.Net.SpeculationWasted++
+				continue
+			}
 			return nil, fmt.Errorf("netrun: %w", res.err)
 		}
 		// A transport failure at or past the caller's deadline is the
@@ -645,17 +1087,35 @@ func (ms *Master) OptimizeBatch(ctx context.Context, jobs []Job) ([]*Answer, err
 		}
 		// Transport-level failure: hold the worker accountable and
 		// re-dispatch the unit.
-		consecFails[res.worker]++
-		if consecFails[res.worker] >= ms.maxWorkerFailures {
-			alive[res.worker] = false
+		consecFails[ni]++
+		if alive[ni] && consecFails[ni] >= ms.maxWorkerFailures {
+			alive[ni] = false
 			aliveCount--
+			excludedAt[ni] = time.Now()
+			probeBackoff[ni] = ms.readmitAfter
 			// Hand the excluded worker's untouched share to the survivors.
-			retryQ = append(retryQ, queues[res.worker]...)
-			queues[res.worker] = nil
+			retryQ = append(retryQ, queues[ni]...)
+			queues[ni] = nil
+		}
+		if wasProbe {
+			// A failed probe: stay excluded and back off harder. The probe
+			// was a clone, so its original is still queued or running —
+			// nothing needs re-dispatching.
+			excludedAt[ni] = time.Now()
+			probeBackoff[ni] *= 2
+			continue
+		}
+		if stale {
+			// The loser's connection died — often our own cancel tearing
+			// down a chaos proxy mid-stall. The partition is answered;
+			// nothing to re-dispatch. The consecutive-failure penalty above
+			// stands: the worker did fail at the transport level.
+			ans.Net.SpeculationWasted++
+			continue
 		}
 		u := res.unit
 		u.attempts++
-		u.failedOn = append(u.failedOn, res.worker)
+		u.failedOn = append(u.failedOn, ni)
 		if u.attempts >= ms.maxAttempts {
 			return nil, fmt.Errorf("netrun: partition %d failed %d times, giving up: %w",
 				u.partID, u.attempts, res.err)

@@ -66,6 +66,14 @@ func (w *Worker) acceptLoop() {
 // or a daemon client that gave up). Closing the worker closes the
 // connection, which trips the same path — Close no longer waits for
 // abandoned jobs to finish.
+//
+// The reader also intercepts CancelRequest frames without queueing
+// them: a master that speculatively re-dispatched the in-flight
+// partition elsewhere (and saw the clone win) cancels just that
+// request's sequence number. The in-flight dynamic program aborts, and
+// the main loop answers with an explicit WorkerError{ErrCanceled}
+// frame — the master is blocked reading this connection and needs a
+// frame to resynchronize — after which the connection keeps serving.
 func (w *Worker) serveConn(conn net.Conn) {
 	defer w.wg.Done()
 	defer func() {
@@ -76,9 +84,10 @@ func (w *Worker) serveConn(conn net.Conn) {
 	}()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	jobs := &seqCancels{canceled: map[uint32]bool{}}
 	frames := make(chan []byte)
 	w.wg.Add(1)
-	go func() { // reader: detects disconnect even mid-compute
+	go func() { // reader: detects disconnect and cancels even mid-compute
 		defer w.wg.Done()
 		defer cancel()
 		defer close(frames)
@@ -86,6 +95,12 @@ func (w *Worker) serveConn(conn net.Conn) {
 			payload, err := ReadFrame(conn)
 			if err != nil {
 				return // EOF or closed
+			}
+			if tag, err := wire.MessageTag(payload); err == nil && tag == wire.TagCancelRequest {
+				if c, err := wire.DecodeCancelRequest(payload); err == nil {
+					jobs.cancel(c.Seq)
+				}
+				continue // never queued: it must act while a job computes
 			}
 			select {
 			case frames <- payload:
@@ -95,14 +110,80 @@ func (w *Worker) serveConn(conn net.Conn) {
 		}
 	}()
 	for payload := range frames {
-		resp := handleRequest(ctx, payload)
+		seq := wire.PeekJobRequestSeq(payload)
+		jobCtx, stop := jobs.begin(ctx, seq)
+		resp := handleRequest(jobCtx, payload)
+		jobs.end()
+		stop()
 		if resp == nil {
-			return // connection gone mid-compute; nothing to answer
+			if ctx.Err() != nil {
+				return // connection gone mid-compute; nothing to answer
+			}
+			// Per-sequence cancel: the master explicitly no longer wants
+			// this answer but is still reading — acknowledge and move on.
+			resp = wire.EncodeWorkerError(&wire.WorkerError{
+				Seq: seq, Code: wire.ErrCanceled, Msg: "canceled by master",
+			})
 		}
 		if err := WriteFrame(conn, resp); err != nil {
 			return
 		}
 	}
+}
+
+// seqCancels routes per-sequence CancelRequest frames (arriving on a
+// connection's reader goroutine) to the job currently computing on the
+// main loop. A cancel can also race ahead of its own request — the
+// reader processes frames the main loop has not started yet — so
+// cancels for unknown sequence numbers are remembered and applied the
+// moment that request begins.
+type seqCancels struct {
+	mu       sync.Mutex
+	seq      uint32
+	active   bool
+	stop     context.CancelFunc
+	canceled map[uint32]bool
+}
+
+// begin registers the request about to compute and returns its context,
+// pre-canceled if the cancel frame arrived first.
+func (s *seqCancels) begin(parent context.Context, seq uint32) (context.Context, context.CancelFunc) {
+	ctx, stop := context.WithCancel(parent)
+	s.mu.Lock()
+	s.seq, s.active, s.stop = seq, true, stop
+	if s.canceled[seq] {
+		delete(s.canceled, seq)
+		stop()
+	}
+	s.mu.Unlock()
+	return ctx, stop
+}
+
+// end marks the in-flight request finished; later cancels for its
+// sequence number are stale and must not touch the next job.
+func (s *seqCancels) end() {
+	s.mu.Lock()
+	s.active, s.stop = false, nil
+	s.mu.Unlock()
+}
+
+// cancel aborts the given sequence number: immediately if it is the
+// job in flight, or on arrival if the request has not started yet.
+func (s *seqCancels) cancel(seq uint32) {
+	s.mu.Lock()
+	if s.active && s.seq == seq {
+		s.stop()
+	} else if !s.active || s.seq < seq {
+		// Not started yet (masters send at most one cancel, always after
+		// its request, so an unmatched cancel for a future seq is a
+		// read-ahead race). Cancels for already-answered sequence numbers
+		// fall through here too; the bound below keeps the map finite
+		// against a misbehaving peer.
+		if len(s.canceled) < 1024 {
+			s.canceled[seq] = true
+		}
+	}
+	s.mu.Unlock()
 }
 
 // handleRequest decodes and executes one job under the connection's

@@ -67,9 +67,16 @@ func NewCellCache() *CellCache {
 // Stats returns a snapshot of the cache counters.
 func (c *CellCache) Stats() CellCacheStats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	s := CellCacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries)}
+	entries := make([]*cellEntry, 0, len(c.entries))
 	for _, e := range c.entries {
+		entries = append(entries, e)
+	}
+	c.mu.Unlock()
+	// Entry locks are taken only after releasing c.mu: BestAt holds an
+	// entry's lock while bumping the counters under c.mu, so acquiring
+	// them in the opposite order here would deadlock against it.
+	for _, e := range entries {
 		e.mu.Lock()
 		if e.computed && e.err == nil {
 			s.Cells += len(e.plans)

@@ -3,8 +3,10 @@ package pqo
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"mpq/internal/partition"
+	"mpq/internal/query"
 	"mpq/internal/wire"
 	"mpq/internal/workload"
 )
@@ -139,6 +141,124 @@ func TestCellCacheConcurrentPointQueries(t *testing.T) {
 		}
 		if fps[i] != wire.PlanFingerprint(want) {
 			t.Fatalf("theta=%g: concurrent answer differs", float64(i)/n)
+		}
+	}
+}
+
+// TestCellCacheConcurrentMixedCellsConsistency extends the single-cell
+// race above to the serving shape the daemon sees, mirroring the
+// invariants of the engine-level TestCachedEngineConcurrentConsistency
+// (run under -race, this is the cell cache's data-race canary):
+//
+//   - goroutines mix first touches, hits and distinct cells over a
+//     small pool of parametric jobs;
+//   - all answers for the same (job, theta) are fingerprint-identical
+//     and match a fresh uncached run;
+//   - a concurrent Stats poller never observes counters decrease;
+//   - at the end, every cell ran its optimization exactly once
+//     (singleflight) and Hits+Misses equals the number of calls.
+func TestCellCacheConcurrentMixedCellsConsistency(t *testing.T) {
+	type job struct {
+		q       *query.Query
+		space   partition.Space
+		workers int
+		spill   float64
+	}
+	jobs := make([]job, 3)
+	for i := range jobs {
+		_, q, err := workload.Generate(workload.NewParams(7+i%2, workload.Cycle), int64(40+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = job{q: q, space: partition.Linear, workers: 2, spill: 3.0 + float64(i)}
+	}
+	thetas := []float64{0, 0.25, 0.5, 0.75, 1}
+
+	c := NewCellCache()
+	stop := make(chan struct{})
+	pollerDone := make(chan struct{})
+	go func() { // Stats must be safe and monotonic concurrently with BestAt
+		defer close(pollerDone)
+		var prev CellCacheStats
+		for {
+			s := c.Stats()
+			if s.Hits < prev.Hits || s.Misses < prev.Misses {
+				t.Errorf("stats went backwards: %+v then %+v", prev, s)
+				return
+			}
+			prev = s
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Millisecond): // poll, don't starve BestAt of the lock
+			}
+		}
+	}()
+
+	const goroutines = 8
+	const iters = 20
+	var (
+		mu  sync.Mutex
+		fps = map[[2]int]string{} // (job, theta index) → fingerprint
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				ji := (g + i) % len(jobs)
+				ti := (g * iters) % len(thetas)
+				if i%2 == 0 {
+					ti = i % len(thetas)
+				}
+				j := jobs[ji]
+				p, err := c.BestAt(j.q, j.space, j.workers, j.spill, thetas[ti])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				fp := wire.PlanFingerprint(p)
+				mu.Lock()
+				key := [2]int{ji, ti}
+				if want, ok := fps[key]; !ok {
+					fps[key] = fp
+				} else if fp != want {
+					t.Errorf("job %d theta %g: fingerprint %s differs from first answer's %s",
+						ji, thetas[ti], fp, want)
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	<-pollerDone
+
+	s := c.Stats()
+	if s.Misses != uint64(len(jobs)) {
+		t.Fatalf("Misses = %d, want exactly one optimization per cell (%d)", s.Misses, len(jobs))
+	}
+	if s.Entries != len(jobs) {
+		t.Fatalf("Entries = %d, want %d", s.Entries, len(jobs))
+	}
+	if total := s.Hits + s.Misses; total != goroutines*iters {
+		t.Fatalf("Hits+Misses = %d, want %d: every call classified exactly once", total, goroutines*iters)
+	}
+
+	// Every concurrently-served answer must match the fresh run.
+	for key, fp := range fps {
+		j := jobs[key[0]]
+		frontier, err := Optimize(j.q, j.space, j.workers, j.spill)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Best(frontier, thetas[key[1]])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp != wire.PlanFingerprint(want) {
+			t.Fatalf("job %d theta %g: cached answer differs from fresh run", key[0], thetas[key[1]])
 		}
 	}
 }

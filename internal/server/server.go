@@ -146,14 +146,14 @@ type result struct {
 
 // request is one admitted optimization request.
 type request struct {
-	ctx     context.Context
-	cancel  context.CancelFunc
-	id      string
-	tenant  string
-	source  string // "http" or "wire"
-	query   *mpq.Query
-	spec    mpq.JobSpec
-	enq     time.Time
+	ctx    context.Context
+	cancel context.CancelFunc
+	id     string
+	tenant string
+	source string // "http" or "wire"
+	query  *mpq.Query
+	spec   mpq.JobSpec
+	enq    time.Time
 	// respond is called exactly once per admitted request and must
 	// return promptly: the HTTP front hands off to a buffered channel;
 	// the wire front may wait on its response backlog, but only for as
@@ -432,6 +432,9 @@ func (s *Server) serve(req *request) {
 		outcome = "failed"
 	}
 	s.metrics.observe(req.tenant, req.source, outcome, served)
+	if res.ans != nil {
+		s.metrics.observeAnswer(res.ans)
+	}
 	s.logDecision(req, res, queueWait, served)
 	req.respond(res)
 }

@@ -573,6 +573,9 @@ func TestMetricsExposition(t *testing.T) {
 		"mpqd_queue_depth 0",
 		"mpqd_cache_hits_total 2",
 		"mpqd_cache_misses_total 1",
+		"mpqd_speculations_total 0",
+		"mpqd_probes_total 0",
+		"mpqd_redispatched_total 0",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q\n%s", want, text)

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"mpq"
+)
+
+// Property test for the stride scheduler, driven directly through
+// submit/pop (no listeners, no engine calls): under random weights and
+// random arrival interleavings, as long as every tenant stays
+// backlogged, (1) dispatch counts converge to the weight ratios with
+// O(1) per-tenant error, and (2) no tenant is ever starved — the gap
+// between a tenant's consecutive dispatches is bounded by its inverse
+// share of the pool.
+func TestStrideSchedulingProperty(t *testing.T) {
+	weightChoices := []float64{0.5, 1, 2, 3, 5, 8}
+	rng := rand.New(rand.NewSource(2016))
+	for trial := 0; trial < 20; trial++ {
+		nTenants := 2 + rng.Intn(4)
+		weights := map[string]float64{}
+		names := make([]string, nTenants)
+		var total float64
+		for i := range names {
+			names[i] = fmt.Sprintf("tenant-%d", i)
+			w := weightChoices[rng.Intn(len(weightChoices))]
+			weights[names[i]] = w
+			total += w
+		}
+		s, err := New(Config{
+			Engine:        mpq.NewSerialEngine(),
+			HTTPAddr:      "127.0.0.1:0", // required by New; never started
+			QueueDepth:    1024,
+			TenantWeights: weights,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		backlog := map[string]int{}
+		enqueue := func(tenant string) {
+			if err := s.submit(&request{tenant: tenant, source: "http"}); err != nil {
+				t.Fatalf("trial %d: submit: %v", trial, err)
+			}
+			backlog[tenant]++
+		}
+
+		n := 100 * nTenants
+		counts := map[string]int{}
+		last := map[string]int{}
+		maxGap := map[string]int{}
+		for _, name := range names {
+			last[name] = -1
+		}
+		for i := 0; i < n; i++ {
+			// Random arrivals, constrained only so no queue ever empties —
+			// the proportional-share property is defined over intervals
+			// where every tenant is backlogged.
+			for _, name := range names {
+				for backlog[name] < 2 || (backlog[name] < 10 && rng.Intn(2) == 0) {
+					enqueue(name)
+				}
+			}
+			req := s.pop()
+			backlog[req.tenant]--
+			counts[req.tenant]++
+			if gap := i - last[req.tenant]; gap > maxGap[req.tenant] {
+				maxGap[req.tenant] = gap
+			}
+			last[req.tenant] = i
+		}
+
+		for _, name := range names {
+			ideal := float64(n) * weights[name] / total
+			// Each competitor contributes at most ~1 quantum of pass
+			// misalignment, so the absolute error is O(#tenants), not O(n).
+			if diff := math.Abs(float64(counts[name]) - ideal); diff > float64(1+nTenants) {
+				t.Errorf("trial %d: tenant %s (weight %g of %g) served %d of %d, ideal %.1f (off by %.1f)",
+					trial, name, weights[name], total, counts[name], n, ideal, diff)
+			}
+			// Starvation bound: a backlogged tenant of weight w is served
+			// about every ceil(W/w) dispatches; between two of its turns,
+			// each competitor's pass offset can admit at most one extra
+			// dispatch.
+			bound := int(math.Ceil(total/weights[name])) + nTenants
+			if maxGap[name] > bound {
+				t.Errorf("trial %d: tenant %s starved: max dispatch gap %d exceeds bound %d",
+					trial, name, maxGap[name], bound)
+			}
+		}
+		if t.Failed() {
+			t.FailNow()
+		}
+	}
+}
+
+// A tenant returning from idle must not bank credit for its absence: a
+// low-weight tenant that sat out many dispatches rejoins at the current
+// virtual time and is immediately held to its steady-state share, not
+// granted a compensating burst.
+func TestStrideIdleTenantBanksNoCredit(t *testing.T) {
+	s, err := New(Config{
+		Engine:        mpq.NewSerialEngine(),
+		HTTPAddr:      "127.0.0.1:0",
+		QueueDepth:    1024,
+		TenantWeights: map[string]float64{"steady": 1, "returner": 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enqueue := func(tenant string, k int) {
+		for i := 0; i < k; i++ {
+			if err := s.submit(&request{tenant: tenant, source: "http"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Both active briefly, then the returner goes idle while steady is
+	// served 50 times on its own.
+	enqueue("steady", 60)
+	enqueue("returner", 1)
+	seen := map[string]int{}
+	for i := 0; i < 51; i++ {
+		seen[s.pop().tenant]++
+	}
+	if seen["returner"] != 1 {
+		t.Fatalf("setup served returner %d times, want 1", seen["returner"])
+	}
+
+	// The returner comes back with a deep backlog. With equal weights it
+	// must alternate with steady, not burn down its "missed" 50 turns.
+	enqueue("returner", 20)
+	burst, maxBurst := 0, 0
+	for i := 0; i < 20; i++ {
+		if s.pop().tenant == "returner" {
+			burst++
+			if burst > maxBurst {
+				maxBurst = burst
+			}
+		} else {
+			burst = 0
+		}
+	}
+	if maxBurst > 2 {
+		t.Fatalf("returning tenant burst %d consecutive dispatches; idle time was banked as credit", maxBurst)
+	}
+}

@@ -117,6 +117,12 @@ const (
 	// fine; retrying after a backoff — or on another node — can succeed,
 	// so masters classify it retryable like transport damage.
 	ErrOverloaded ErrCode = 3
+	// ErrCanceled means the master canceled the request with an explicit
+	// CancelRequest frame — typically because a speculative clone of the
+	// same partition answered first — and the worker aborted its dynamic
+	// program. It is neither a worker failure nor a job failure: the
+	// master already has (or no longer wants) the answer.
+	ErrCanceled ErrCode = 4
 )
 
 // String names the error code.
@@ -128,6 +134,8 @@ func (c ErrCode) String() string {
 		return "job-failed"
 	case ErrOverloaded:
 		return "overloaded"
+	case ErrCanceled:
+		return "canceled"
 	default:
 		return fmt.Sprintf("ErrCode(%d)", uint8(c))
 	}
@@ -171,11 +179,45 @@ func DecodeWorkerError(b []byte) (*WorkerError, error) {
 		return nil, err
 	}
 	switch w.Code {
-	case ErrBadRequest, ErrJobFailed, ErrOverloaded:
+	case ErrBadRequest, ErrJobFailed, ErrOverloaded, ErrCanceled:
 	default:
 		return nil, fmt.Errorf("wire: unknown worker error code %d", uint8(w.Code))
 	}
 	return w, nil
+}
+
+// CancelRequest is the master-to-worker abort message: the master no
+// longer wants the answer to the request it sent with the given
+// sequence number on this connection — a speculative clone of the same
+// partition already answered, or the batch is shutting down. A worker
+// that is computing the request aborts its dynamic program and replies
+// with a WorkerError frame carrying ErrCanceled (the master is waiting
+// on the connection and needs a frame to resynchronize); a cancel for
+// any other sequence number is ignored without a reply, because the
+// response it raced has already been (or will be) sent.
+type CancelRequest struct {
+	// Seq is the sequence number of the request to abort (see
+	// JobRequest.Seq).
+	Seq uint32
+}
+
+// EncodeCancelRequest serializes a cancel frame.
+func EncodeCancelRequest(c *CancelRequest) []byte {
+	e := &encoder{}
+	e.header(TagCancelRequest)
+	e.u32(c.Seq)
+	return e.buf
+}
+
+// DecodeCancelRequest parses a cancel frame.
+func DecodeCancelRequest(b []byte) (*CancelRequest, error) {
+	d := &decoder{b: b}
+	d.header(TagCancelRequest)
+	c := &CancelRequest{Seq: d.u32()}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 // EncodeJobResponse serializes a response.

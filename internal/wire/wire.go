@@ -25,6 +25,10 @@ import (
 // Version 2 added the Seq echo to job requests, job responses and
 // worker-error frames so masters can discard duplicated or stale
 // response frames instead of mistaking them for the job in flight.
+// The advisory CancelRequest frame (TagCancelRequest) rides within
+// version 2: it adds a new tag without changing any existing message,
+// and a peer that does not understand it answers ErrBadRequest, which
+// cancel senders tolerate.
 const Version = 2
 
 const magic = 0x4D50 // "MP"
@@ -33,11 +37,12 @@ const magic = 0x4D50 // "MP"
 // frame (MessageTag) without decoding the body — the master needs this
 // to tell a worker-error frame from a job response.
 const (
-	TagQuery       uint8 = 1
-	TagPlan        uint8 = 2
-	TagJobRequest  uint8 = 3
-	TagJobResponse uint8 = 4
-	TagWorkerError uint8 = 5
+	TagQuery         uint8 = 1
+	TagPlan          uint8 = 2
+	TagJobRequest    uint8 = 3
+	TagJobResponse   uint8 = 4
+	TagWorkerError   uint8 = 5
+	TagCancelRequest uint8 = 6
 )
 
 // MessageTag reports the message type tag of an encoded message after

@@ -129,6 +129,10 @@ type (
 	ClusterResult = cluster.Result
 	// ClusterMetrics holds bytes, messages, virtual times and memory.
 	ClusterMetrics = cluster.Metrics
+	// NodeResources gives one simulated node's CPU/memory/network
+	// capacities for the multi-resource cluster model
+	// (ClusterModel.Resources).
+	NodeResources = cluster.NodeResources
 )
 
 // Workload-generation types.
@@ -158,7 +162,8 @@ type (
 	// deadline, per-partition retry budget, worker-exclusion threshold,
 	// and per-worker weights.
 	MasterOptions = netrun.Options
-	// ClusterFaults scripts worker deaths for the cluster simulator.
+	// ClusterFaults scripts worker deaths, stalls and speculative
+	// re-dispatch for the cluster simulator.
 	ClusterFaults = cluster.Faults
 )
 

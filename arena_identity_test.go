@@ -1,3 +1,5 @@
+//lint:file-ignore SA1019 TestArenaOnOffBitIdenticalLegacySerial pins the deprecated serial wrapper to the arena bit-identity guarantee on purpose.
+
 package mpq_test
 
 import (

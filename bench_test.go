@@ -137,10 +137,11 @@ func benchQuery(b *testing.B, n int) *mpq.Query {
 // 16-table query (the Figure 2 baseline workload at reduced size).
 func BenchmarkSerialLinear16(b *testing.B) {
 	q := benchQuery(b, 16)
+	eng := mpq.NewSerialEngine()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := mpq.OptimizeSerial(q, mpq.Linear, false); err != nil {
+		if _, err := eng.Optimize(context.Background(), q, mpq.JobSpec{Space: mpq.Linear}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -151,10 +152,11 @@ func BenchmarkSerialLinear16(b *testing.B) {
 func BenchmarkMPQLinear16Workers8(b *testing.B) {
 	q := benchQuery(b, 16)
 	spec := mpq.JobSpec{Space: mpq.Linear, Workers: 8}
+	eng := mpq.NewInProcessEngine()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := mpq.Optimize(q, spec); err != nil {
+		if _, err := eng.Optimize(context.Background(), q, spec); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -163,10 +165,11 @@ func BenchmarkMPQLinear16Workers8(b *testing.B) {
 // BenchmarkSerialBushy12 is the serial bushy-space optimizer.
 func BenchmarkSerialBushy12(b *testing.B) {
 	q := benchQuery(b, 12)
+	eng := mpq.NewSerialEngine()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := mpq.OptimizeSerial(q, mpq.Bushy, false); err != nil {
+		if _, err := eng.Optimize(context.Background(), q, mpq.JobSpec{Space: mpq.Bushy}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -176,10 +179,11 @@ func BenchmarkSerialBushy12(b *testing.B) {
 func BenchmarkMPQBushy12Workers8(b *testing.B) {
 	q := benchQuery(b, 12)
 	spec := mpq.JobSpec{Space: mpq.Bushy, Workers: 8}
+	eng := mpq.NewInProcessEngine()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := mpq.Optimize(q, spec); err != nil {
+		if _, err := eng.Optimize(context.Background(), q, spec); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -205,10 +209,11 @@ func BenchmarkWorkerPartitionLinear18of64(b *testing.B) {
 func BenchmarkMultiObjectiveLinear12(b *testing.B) {
 	q := benchQuery(b, 12)
 	spec := mpq.JobSpec{Space: mpq.Linear, Workers: 8, Objective: mpq.MultiObjective, Alpha: 10}
+	eng := mpq.NewInProcessEngine()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := mpq.Optimize(q, spec); err != nil {
+		if _, err := eng.Optimize(context.Background(), q, spec); err != nil {
 			b.Fatal(err)
 		}
 	}

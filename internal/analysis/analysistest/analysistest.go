@@ -1,0 +1,236 @@
+// Package analysistest runs an analyzer over golden fixture packages,
+// mirroring golang.org/x/tools/go/analysis/analysistest: fixture
+// sources live under <analyzer>/testdata/src/<pkg>/, expected findings
+// are `// want "regexp"` comments on the offending line, and
+// //lint:allow directives are honored exactly as in production runs —
+// so every fixture can demonstrate both a flagged and an allowed case.
+//
+// Fixture imports resolve against testdata/src first (so fixtures can
+// stub repository packages like "plan" or "wire" at short import
+// paths), then against the standard library via compiled export data.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"mpq/internal/analysis"
+)
+
+// Run loads the fixture package at testdata/src/<pkgPath> (relative to
+// dir, conventionally "testdata"), applies the analyzer, and compares
+// its findings against the fixture's // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	pkg, err := loadFixture(filepath.Join(dir, "src"), pkgPath)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", pkgPath, err)
+	}
+	findings, err := analysis.RunAnalyzer(pkg, a)
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, pkgPath, err)
+	}
+	expects := parseWants(t, pkg)
+
+	matched := make([]bool, len(expects))
+	for _, f := range findings {
+		ok := false
+		for i, w := range expects {
+			if matched[i] || w.file != f.File || w.line != f.Line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for i, w := range expects {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// parseWants extracts `// want "re" ["re" ...]` comments. The
+// expectation anchors to the comment's own line.
+func parseWants(t *testing.T, pkg *analysis.Package) []want {
+	t.Helper()
+	var out []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				matches := wantRE.FindAllStringSubmatch(c.Text[idx:], -1)
+				if len(matches) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, m := range matches {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					out = append(out, want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		return out[i].line < out[j].line
+	})
+	return out
+}
+
+// fixtureLoader type-checks fixture packages from source, resolving
+// fixture-local imports recursively and standard-library imports from
+// export data.
+type fixtureLoader struct {
+	srcRoot string
+	fset    *token.FileSet
+	pkgs    map[string]*analysis.Package
+	std     types.Importer
+}
+
+func loadFixture(srcRoot, pkgPath string) (*analysis.Package, error) {
+	fset := token.NewFileSet()
+	l := &fixtureLoader{
+		srcRoot: srcRoot,
+		fset:    fset,
+		pkgs:    map[string]*analysis.Package{},
+		std:     importer.ForCompiler(fset, "gc", stdExportLookup),
+	}
+	return l.load(pkgPath)
+}
+
+func (l *fixtureLoader) load(pkgPath string) (*analysis.Package, error) {
+	if pkg, ok := l.pkgs[pkgPath]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		full := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(l.fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		names = append(names, full)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	info := analysis.NewTypesInfo()
+	// Soft errors ("declared and not used", unused imports) are
+	// tolerated: fixtures often deliberately leave a variable unused —
+	// that is the very shape some analyzers flag.
+	hardErr := false
+	conf := types.Config{Error: func(err error) {
+		if te, ok := err.(types.Error); ok && te.Soft {
+			return
+		}
+		hardErr = true
+	}}
+	conf.Importer = importerFunc(func(path string) (*types.Package, error) {
+		if st, err := os.Stat(filepath.Join(l.srcRoot, filepath.FromSlash(path))); err == nil && st.IsDir() {
+			dep, err := l.load(path)
+			if err != nil {
+				return nil, err
+			}
+			return dep.Types, nil
+		}
+		return l.std.Import(path)
+	})
+	tpkg, err := conf.Check(pkgPath, l.fset, files, info)
+	if err != nil && hardErr {
+		return nil, fmt.Errorf("typecheck %s: %v", pkgPath, err)
+	}
+	pkg := &analysis.Package{
+		PkgPath: pkgPath,
+		Name:    tpkg.Name(),
+		Dir:     dir,
+		GoFiles: names,
+		Fset:    l.fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}
+	l.pkgs[pkgPath] = pkg
+	return pkg, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// Standard-library export data, discovered through `go list` once per
+// import path and shared across all fixture loads in the process.
+var (
+	stdMu      sync.Mutex
+	stdExports = map[string]string{}
+)
+
+func stdExportLookup(path string) (io.ReadCloser, error) {
+	stdMu.Lock()
+	defer stdMu.Unlock()
+	if f, ok := stdExports[path]; ok {
+		return os.Open(f)
+	}
+	out, err := exec.Command("go", "list", "-deps", "-export",
+		"-f", "{{.ImportPath}}\t{{.Export}}", path).Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list -export %s: %v", path, err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		ip, export, ok := strings.Cut(line, "\t")
+		if ok && export != "" {
+			stdExports[ip] = export
+		}
+	}
+	f, ok := stdExports[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %s", path)
+	}
+	return os.Open(f)
+}

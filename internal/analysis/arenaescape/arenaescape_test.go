@@ -1,0 +1,18 @@
+package arenaescape_test
+
+import (
+	"testing"
+
+	"mpq/internal/analysis/analysistest"
+	"mpq/internal/analysis/arenaescape"
+)
+
+func TestArenaEscape(t *testing.T) {
+	analysistest.Run(t, "testdata", arenaescape.Analyzer, "pooluser")
+}
+
+// TestArenaItselfExempt runs the analyzer over the plan stub: Arena
+// methods return their own nodes by design and must not be flagged.
+func TestArenaItselfExempt(t *testing.T) {
+	analysistest.Run(t, "testdata", arenaescape.Analyzer, "plan")
+}

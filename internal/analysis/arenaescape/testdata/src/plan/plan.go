@@ -1,0 +1,40 @@
+// Package plan is a fixture stub of the repository's internal/plan:
+// the Arena constructor API and CloneTree, which is all the
+// arenaescape analyzer consults.
+package plan
+
+// Node is one operator of a join tree.
+type Node struct {
+	Left, Right *Node
+	Table       int
+}
+
+// Arena bulk-allocates nodes; Reset invalidates everything it handed
+// out.
+type Arena struct {
+	nodes []Node
+}
+
+// Scan returns an arena-owned leaf. Arena methods returning their own
+// nodes are the constructor API itself and are exempt inside plan.
+func (a *Arena) Scan(table int) *Node {
+	a.nodes = append(a.nodes, Node{Table: table})
+	return &a.nodes[len(a.nodes)-1]
+}
+
+// Join returns an arena-owned inner node.
+func (a *Arena) Join(l, r *Node) *Node {
+	a.nodes = append(a.nodes, Node{Left: l, Right: r})
+	return &a.nodes[len(a.nodes)-1]
+}
+
+// Reset invalidates every node the arena has produced.
+func (a *Arena) Reset() { a.nodes = a.nodes[:0] }
+
+// CloneTree deep-copies a tree out of its arena: the sanctioned escape.
+func CloneTree(n *Node) *Node {
+	if n == nil {
+		return nil
+	}
+	return &Node{Left: CloneTree(n.Left), Right: CloneTree(n.Right), Table: n.Table}
+}

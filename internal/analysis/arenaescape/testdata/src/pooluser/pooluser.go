@@ -1,0 +1,65 @@
+// Package pooluser exercises the arenaescape analyzer: nodes produced
+// by plan.Arena constructors must not outlive the run that allocated
+// them — no field stores, returns or channel sends without a
+// plan.CloneTree deep copy.
+package pooluser
+
+import "plan"
+
+type solver struct {
+	best  *plan.Node
+	memo  map[int]*plan.Node
+	arena plan.Arena
+}
+
+// storeField stores an arena node to a struct field: flagged.
+func (s *solver) storeField() {
+	n := s.arena.Scan(1)
+	s.best = n // want "arena-allocated plan node is stored to a struct field"
+}
+
+// storeElem stores one to a map element: flagged.
+func (s *solver) storeElem() {
+	n := s.arena.Join(s.arena.Scan(1), s.arena.Scan(2))
+	s.memo[1] = n // want "arena-allocated plan node is stored to a slice or map element"
+}
+
+// returnNode returns one: flagged, including taint through locals.
+func (s *solver) returnNode() *plan.Node {
+	x := s.arena.Scan(3)
+	y := x
+	return y // want "arena-allocated plan node is returned"
+}
+
+// sendNode sends one on a channel: flagged.
+func (s *solver) sendNode(out chan *plan.Node) {
+	out <- s.arena.Scan(4) // want "arena-allocated plan node is sent on a channel"
+}
+
+// cloneOut deep-copies before every escape: compliant.
+func (s *solver) cloneOut(out chan *plan.Node) *plan.Node {
+	n := s.arena.Join(s.arena.Scan(1), s.arena.Scan(2))
+	s.best = plan.CloneTree(n)
+	out <- plan.CloneTree(n)
+	return plan.CloneTree(n)
+}
+
+// localOnly keeps arena nodes local to the run: compliant.
+func (s *solver) localOnly() int {
+	n := s.arena.Join(s.arena.Scan(1), s.arena.Scan(2))
+	depth := 0
+	for n != nil {
+		depth++
+		n = n.Left
+	}
+	return depth
+}
+
+// allowedEscape is the reasoned exception: the field is cleared before
+// the arena's next Reset (the fixture's stand-in for an audited
+// same-run scratch slot), so the store carries an allow directive.
+func (s *solver) allowedEscape() {
+	n := s.arena.Scan(9)
+	s.best = n //lint:allow arenaescape fixture: scratch slot cleared before the arena resets
+	s.best = nil
+}

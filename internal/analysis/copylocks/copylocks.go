@@ -1,0 +1,146 @@
+// Package copylocks is a stdlib-only port of the upstream
+// go/analysis "copylocks" pass (the build environment is offline, so
+// golang.org/x/tools cannot be vendored): it reports values containing
+// a sync lock — Mutex, RWMutex, WaitGroup, Once, Cond, Pool, Map — that
+// are copied by value, which silently forks the lock state.
+package copylocks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mpq/internal/analysis"
+)
+
+// Analyzer is the copylocks analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "copylocks",
+	Doc: `locks must not be copied by value
+
+Reports function parameters, results, receivers, assignments and range
+clauses that copy a value containing a sync.Mutex (or RWMutex,
+WaitGroup, Once, Cond, Pool, Map): the copy forks the lock state and
+both halves believe they own it.`,
+	Run: run,
+}
+
+// lockTypes are the sync types that must never be copied once used.
+var lockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Pool": true, "Map": true,
+}
+
+// containsLock reports whether t holds a lock by value, and names the
+// offending type.
+func containsLock(t types.Type, seen map[types.Type]bool) (string, bool) {
+	if seen[t] {
+		return "", false
+	}
+	seen[t] = true
+	switch u := t.(type) {
+	case *types.Alias:
+		return containsLock(types.Unalias(t), seen)
+	case *types.Named:
+		if obj := u.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync" && lockTypes[obj.Name()] {
+			return "sync." + obj.Name(), true
+		}
+		return containsLock(u.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name, ok := containsLock(u.Field(i).Type(), seen); ok {
+				return name, true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return "", false
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	lockName := func(t types.Type) (string, bool) {
+		return containsLock(t, map[types.Type]bool{})
+	}
+
+	checkFieldList(pass, lockName)
+
+	pass.Inspect(func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range s.Rhs {
+				if !copiesValue(rhs) {
+					continue
+				}
+				tv, ok := pass.TypesInfo.Types[rhs]
+				if !ok {
+					continue
+				}
+				if name, bad := lockName(tv.Type); bad {
+					pass.Reportf(rhs.Pos(), "assignment copies a value containing %s; use a pointer", name)
+				}
+			}
+		case *ast.RangeStmt:
+			if s.Value == nil {
+				return true
+			}
+			// In the := form the value ident is a definition, recorded in
+			// Defs rather than Types.
+			var t types.Type
+			if tv, ok := pass.TypesInfo.Types[s.Value]; ok {
+				t = tv.Type
+			} else if id, ok := s.Value.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					t = obj.Type()
+				}
+			}
+			if t == nil {
+				return true
+			}
+			if name, bad := lockName(t); bad {
+				pass.Reportf(s.Value.Pos(), "range clause copies a value containing %s per iteration; range over indices or pointers", name)
+			}
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// copiesValue reports whether reading e copies an existing value (as
+// opposed to creating a fresh one via a composite literal or call).
+func copiesValue(e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// checkFieldList flags by-value lock types in every function
+// signature: parameters, results and receivers.
+func checkFieldList(pass *analysis.Pass, lockName func(types.Type) (string, bool)) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := pass.TypesInfo.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if name, bad := lockName(tv.Type); bad {
+				pass.Reportf(field.Type.Pos(), "%s passes a value containing %s by value; use a pointer", what, name)
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			check(fd.Recv, "receiver")
+			check(fd.Type.Params, "parameter")
+			check(fd.Type.Results, "result")
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package copylocks_test
+
+import (
+	"testing"
+
+	"mpq/internal/analysis/analysistest"
+	"mpq/internal/analysis/copylocks"
+)
+
+func TestCopyLocks(t *testing.T) {
+	analysistest.Run(t, "testdata", copylocks.Analyzer, "locks")
+}

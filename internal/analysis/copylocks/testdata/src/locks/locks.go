@@ -1,0 +1,71 @@
+// Package locks exercises the copylocks analyzer: values containing a
+// sync lock must not be copied.
+package locks
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+type registry struct {
+	byName map[string]counter
+	all    []counter
+}
+
+// byValueParam passes a lock-bearing struct by value: flagged.
+func byValueParam(c counter) int { // want "parameter passes a value containing sync.Mutex by value"
+	return c.n
+}
+
+// byValueReceiver copies the lock on every call: flagged.
+func (c counter) bump() { // want "receiver passes a value containing sync.Mutex by value"
+	c.n++
+}
+
+// byValueResult returns a lock-bearing struct by value: flagged.
+func byValueResult() (c counter) { // want "result passes a value containing sync.Mutex by value"
+	return
+}
+
+// assignCopy copies an existing value: flagged.
+func assignCopy(r *registry) {
+	c := r.all[0] // want "assignment copies a value containing sync.Mutex"
+	_ = c.n
+}
+
+// rangeCopy copies one per iteration: flagged.
+func rangeCopy(r *registry) int {
+	total := 0
+	for _, c := range r.all { // want "range clause copies a value containing sync.Mutex per iteration"
+		total += c.n
+	}
+	return total
+}
+
+// pointers never copy the lock: compliant.
+func pointers(cs []*counter) int {
+	total := 0
+	for _, c := range cs {
+		c.mu.Lock()
+		total += c.n
+		c.mu.Unlock()
+	}
+	return total
+}
+
+// freshValue creates a new value rather than copying a used one:
+// compliant (composite literals are not copies).
+func freshValue() *counter {
+	c := counter{}
+	return &c
+}
+
+// allowedCopy is the reasoned exception: the value is copied before
+// any goroutine can have touched its lock (the fixture's stand-in for
+// an init-time snapshot), so the copy carries an allow directive.
+func allowedCopy(tmpl counter) counter { //lint:allow copylocks fixture: init-time snapshot taken before the lock is ever used
+	c := tmpl //lint:allow copylocks fixture: init-time snapshot taken before the lock is ever used
+	return c
+}

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"mpq/internal/analysis/analysistest"
+	"mpq/internal/analysis/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxflow.Analyzer, "cache")
+}

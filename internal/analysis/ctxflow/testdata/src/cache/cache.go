@@ -1,0 +1,69 @@
+// Package cache exercises the ctxflow analyzer: its import path ends
+// in "cache", one of the serving-path packages the cancellation
+// invariant covers.
+package cache
+
+import "context"
+
+// fetch is context-aware work: its first parameter is a context.
+func fetch(ctx context.Context, key string) (string, error) {
+	return key, ctx.Err()
+}
+
+// Refresh calls context-aware fetch without accepting a context:
+// cancellation cannot reach the blocking work. Flagged.
+func Refresh(key string) error { // want "exported Refresh calls context-aware fetch but does not accept a context.Context"
+	_, err := fetch(context.TODO(), key) // want "context.TODO.. severs the caller"
+	return err
+}
+
+// Detached mints a root context in a library package. Flagged even
+// though the function itself takes one.
+func Detached(ctx context.Context, key string) error {
+	_, err := fetch(context.Background(), key) // want "context.Background.. severs the caller"
+	return err
+}
+
+// RefreshContext threads its context into fetch: compliant.
+func RefreshContext(ctx context.Context, key string) error {
+	_, err := fetch(ctx, key)
+	return err
+}
+
+// refreshAll is unexported; only exported API is required to accept a
+// context (callers inside the package thread one to fetch themselves).
+func refreshAll(keys []string) {
+	for _, k := range keys {
+		_, _ = fetch(nil, k)
+	}
+}
+
+// Size does no context-aware work: no context needed.
+func Size() int { return 0 }
+
+// store is an unexported type; its exported methods are not API
+// surface, so BestEffort is not flagged.
+type store struct{}
+
+func (s *store) BestEffort(key string) {
+	_, _ = fetch(nil, key)
+}
+
+// Conn's Close is pinned by io.Closer: exempt by method name.
+type Conn struct{}
+
+func (c *Conn) Close() error {
+	_, err := fetch(nil, "flush")
+	return err
+}
+
+// Refresh on Legacy reproduces the deprecated-wrapper shape from the
+// real tree with a reasoned exception: both the missing-context finding
+// (on this line) and the Background call (next line) are suppressed by
+// the one directive.
+type Legacy struct{}
+
+func (l *Legacy) Refresh(key string) error { //lint:allow ctxflow fixture: deprecated no-ctx wrapper kept for API compatibility
+	_, err := fetch(context.Background(), key)
+	return err
+}

@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// FactsVersion invalidates every cached entry when the cache layout or
+// the driver's semantics change. Bump it when a change to the framework
+// alters findings without changing any analyzed file.
+const FactsVersion = "mpqlint-facts-v1"
+
+// Facts is a content-addressed cache of per-package findings. The key
+// hashes everything a package's findings depend on: the analyzer
+// binary itself (so editing an analyzer invalidates the cache), the
+// package's source files, and the export data of every dependency (so
+// an API change upstream re-analyzes the importers). CI persists the
+// facts directory across runs; unchanged packages replay their
+// findings without re-type-checking.
+type Facts struct {
+	dir string
+
+	once    sync.Once
+	exeHash string
+	exeErr  error
+
+	mu     sync.Mutex
+	hashes map[string]string // file path -> content hash
+}
+
+// OpenFacts returns a facts cache rooted at dir, creating it if
+// needed. An empty dir disables caching (every method no-ops).
+func OpenFacts(dir string) (*Facts, error) {
+	if dir == "" {
+		return &Facts{}, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("facts dir: %v", err)
+	}
+	return &Facts{dir: dir, hashes: map[string]string{}}, nil
+}
+
+// fileHash returns the content hash of path, memoized (export data for
+// shared dependencies is hashed once per run, not once per importer).
+func (fc *Facts) fileHash(path string) (string, error) {
+	fc.mu.Lock()
+	h, ok := fc.hashes[path]
+	fc.mu.Unlock()
+	if ok {
+		return h, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	sum := sha256.New()
+	if _, err := io.Copy(sum, f); err != nil {
+		return "", err
+	}
+	h = hex.EncodeToString(sum.Sum(nil))
+	fc.mu.Lock()
+	fc.hashes[path] = h
+	fc.mu.Unlock()
+	return h, nil
+}
+
+// key derives the cache key for one package under one analyzer suite.
+func (fc *Facts) key(pkg *Package, analyzers []*Analyzer) (string, error) {
+	fc.once.Do(func() {
+		exe, err := os.Executable()
+		if err != nil {
+			fc.exeErr = err
+			return
+		}
+		fc.exeHash, fc.exeErr = fc.fileHash(exe)
+	})
+	if fc.exeErr != nil {
+		return "", fc.exeErr
+	}
+	sum := sha256.New()
+	fmt.Fprintln(sum, FactsVersion)
+	fmt.Fprintln(sum, fc.exeHash)
+	fmt.Fprintln(sum, pkg.PkgPath)
+	for _, a := range analyzers {
+		fmt.Fprintln(sum, a.Name)
+	}
+	for _, f := range pkg.GoFiles {
+		h, err := fc.fileHash(f)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintln(sum, f, h)
+	}
+	deps := make([]string, 0, len(pkg.DepExports))
+	for dep := range pkg.DepExports {
+		deps = append(deps, dep)
+	}
+	sort.Strings(deps)
+	for _, dep := range deps {
+		h, err := fc.fileHash(pkg.DepExports[dep])
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintln(sum, dep, h)
+	}
+	return hex.EncodeToString(sum.Sum(nil)), nil
+}
+
+func (fc *Facts) path(key string) string {
+	return filepath.Join(fc.dir, key[:2], key+".json")
+}
+
+// Get returns the cached findings for pkg, if present.
+func (fc *Facts) Get(pkg *Package, analyzers []*Analyzer) ([]Finding, bool) {
+	if fc.dir == "" {
+		return nil, false
+	}
+	key, err := fc.key(pkg, analyzers)
+	if err != nil {
+		return nil, false
+	}
+	b, err := os.ReadFile(fc.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var findings []Finding
+	if err := json.Unmarshal(b, &findings); err != nil {
+		return nil, false
+	}
+	return findings, true
+}
+
+// Put stores findings for pkg. Failures are ignored: the cache is an
+// accelerator, never a correctness dependency.
+func (fc *Facts) Put(pkg *Package, analyzers []*Analyzer, findings []Finding) {
+	if fc.dir == "" {
+		return
+	}
+	key, err := fc.key(pkg, analyzers)
+	if err != nil {
+		return
+	}
+	if findings == nil {
+		findings = []Finding{}
+	}
+	b, err := json.Marshal(findings)
+	if err != nil {
+		return
+	}
+	path := fc.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return
+	}
+	os.Rename(tmp, path)
+}

@@ -1,0 +1,104 @@
+// Package pqo is the lockorder regression fixture: it reproduces the
+// pre-fix PR 8 shape of internal/pqo's CellCache, where Stats held the
+// cache mutex while taking entry mutexes and BestAt held an entry mutex
+// while taking the cache mutex — the AB-BA deadlock the concurrency
+// canary caught at runtime under -race. The analyzer must flag both
+// directions of that cycle statically.
+package pqo
+
+import "sync"
+
+type cellEntry struct {
+	mu   sync.Mutex
+	hits int
+	best float64
+}
+
+// CellCache is the pre-fix cache: per-cell entries with their own
+// mutexes under a map guarded by the cache mutex.
+type CellCache struct {
+	mu      sync.Mutex
+	entries map[string]*cellEntry
+}
+
+// Stats aggregates per-entry counters while still holding the cache
+// mutex: the CellCache.mu -> cellEntry.mu direction of the deadlock.
+func (c *CellCache) Stats() int {
+	total := 0
+	c.mu.Lock()
+	for _, e := range c.entries {
+		e.mu.Lock() // want "Stats acquires cellEntry.mu while holding CellCache.mu.*AB-BA deadlock"
+		total += e.hits
+		e.mu.Unlock()
+	}
+	c.mu.Unlock()
+	return total
+}
+
+// BestAt reads an entry under its mutex, then touches the cache map —
+// the cellEntry.mu -> CellCache.mu direction that closes the cycle.
+func (c *CellCache) BestAt(key string) float64 {
+	c.mu.Lock()
+	e := c.entries[key]
+	c.mu.Unlock()
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.hits++
+	c.mu.Lock() // want "BestAt acquires CellCache.mu while holding cellEntry.mu.*AB-BA deadlock"
+	delete(c.entries, key)
+	c.mu.Unlock()
+	return e.best
+}
+
+// StatsFixed is the post-fix shape: snapshot the entry pointers under
+// the cache mutex, release it, then visit the entries. The two mutex
+// classes never overlap, so no edge and no report.
+func (c *CellCache) StatsFixed() int {
+	c.mu.Lock()
+	snap := make([]*cellEntry, 0, len(c.entries))
+	for _, e := range c.entries {
+		snap = append(snap, e)
+	}
+	c.mu.Unlock()
+	total := 0
+	for _, e := range snap {
+		e.mu.Lock()
+		total += e.hits
+		e.mu.Unlock()
+	}
+	return total
+}
+
+// journal/index demonstrate a reasoned exception: compact orders
+// journal.mu before index.mu while reindex orders them the other way —
+// the same AB-BA shape as above, but deliberate here (the fixture's
+// stand-in for a documented protocol that makes it safe), so both
+// edges carry allow directives and neither is reported.
+type journal struct {
+	mu      sync.Mutex
+	records int
+}
+
+type index struct {
+	mu   sync.Mutex
+	keys int
+}
+
+func compact(j *journal, idx *index) {
+	j.mu.Lock()
+	idx.mu.Lock() //lint:allow lockorder fixture: compact/reindex follow a documented tie-break protocol
+	idx.keys = j.records
+	idx.mu.Unlock()
+	j.mu.Unlock()
+}
+
+func reindex(j *journal, idx *index) {
+	idx.mu.Lock()
+	j.mu.Lock() //lint:allow lockorder fixture: compact/reindex follow a documented tie-break protocol
+	j.records = idx.keys
+	j.mu.Unlock()
+	idx.mu.Unlock()
+}

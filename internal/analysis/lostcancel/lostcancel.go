@@ -1,0 +1,102 @@
+// Package lostcancel is a stdlib-only port of the upstream
+// go/analysis "lostcancel" pass (the build environment is offline, so
+// golang.org/x/tools cannot be vendored): the CancelFunc returned by
+// context.WithCancel, WithTimeout, WithDeadline or WithCancelCause
+// must not be discarded — an unreleased context leaks its timer and
+// its parent's cancellation registration.
+package lostcancel
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mpq/internal/analysis"
+)
+
+// Analyzer is the lostcancel analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lostcancel",
+	Doc: `the cancel function of a derived context must be used
+
+Reports context.WithCancel/WithTimeout/WithDeadline/WithCancelCause
+calls whose returned cancel function is assigned to the blank
+identifier or never referenced again: call it (usually with defer) on
+every path, or the derived context leaks.`,
+	Run: run,
+}
+
+// deriving are the context constructors returning a CancelFunc.
+var deriving = map[string]bool{
+	"WithCancel": true, "WithTimeout": true,
+	"WithDeadline": true, "WithCancelCause": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != 2 || len(asg.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(asg.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || !analysis.PkgNameIs(fn.Pkg(), "context") || !deriving[fn.Name()] {
+			return true
+		}
+		cancelIdent, ok := ast.Unparen(asg.Lhs[1]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if cancelIdent.Name == "_" {
+			pass.Reportf(cancelIdent.Pos(),
+				"the cancel function returned by context.%s is discarded; the derived context can never be released", fn.Name())
+			return true
+		}
+		obj := pass.TypesInfo.Defs[cancelIdent]
+		if obj == nil {
+			// Re-assignment into an existing variable: its other uses
+			// are the caller's responsibility.
+			return true
+		}
+		if !usedElsewhere(pass, fd.Body, obj, cancelIdent) {
+			pass.Reportf(cancelIdent.Pos(),
+				"the cancel function returned by context.%s is never used; call it (usually: defer %s()) or the derived context leaks", fn.Name(), cancelIdent.Name)
+		}
+		return true
+	})
+}
+
+// usedElsewhere reports whether obj is referenced anywhere in body
+// other than its defining identifier.
+func usedElsewhere(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object, def *ast.Ident) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id == def {
+			return true
+		}
+		if pass.TypesInfo.Uses[id] == obj {
+			used = true
+			return false
+		}
+		return true
+	})
+	return used
+}

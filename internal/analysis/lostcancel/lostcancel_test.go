@@ -1,0 +1,12 @@
+package lostcancel_test
+
+import (
+	"testing"
+
+	"mpq/internal/analysis/analysistest"
+	"mpq/internal/analysis/lostcancel"
+)
+
+func TestLostCancel(t *testing.T) {
+	analysistest.Run(t, "testdata", lostcancel.Analyzer, "cancels")
+}

@@ -1,0 +1,44 @@
+// Package cancels exercises the lostcancel analyzer: the CancelFunc
+// returned by a deriving context constructor must be used.
+package cancels
+
+import (
+	"context"
+	"time"
+)
+
+// discarded assigns the cancel function to the blank identifier:
+// flagged.
+func discarded(parent context.Context) context.Context {
+	ctx, _ := context.WithCancel(parent) // want "the cancel function returned by context.WithCancel is discarded"
+	return ctx
+}
+
+// unused names the cancel function but never references it: flagged.
+func unused(parent context.Context) error {
+	ctx, cancel := context.WithTimeout(parent, time.Second) // want "the cancel function returned by context.WithTimeout is never used"
+	return ctx.Err()
+}
+
+// deferred releases the context on every path: compliant.
+func deferred(parent context.Context) error {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	return ctx.Err()
+}
+
+// handedOff passes the cancel function along; the receiver owns the
+// release. Compliant.
+func handedOff(parent context.Context, sink func(context.CancelFunc)) context.Context {
+	ctx, cancel := context.WithDeadline(parent, time.Now().Add(time.Second))
+	sink(cancel)
+	return ctx
+}
+
+// allowedLeak is the reasoned exception: the derived context lives for
+// the whole process (the fixture's stand-in for a root pinned by a
+// daemon), so the unused cancel carries an allow directive.
+func allowedLeak(parent context.Context) context.Context {
+	ctx, cancel := context.WithCancel(parent) //lint:allow lostcancel fixture: process-lifetime context, released only at exit
+	return ctx
+}

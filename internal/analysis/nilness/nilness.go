@@ -1,0 +1,193 @@
+// Package nilness is a stdlib-only, syntactic approximation of the
+// upstream go/analysis "nilness" pass (the build environment is
+// offline, so golang.org/x/tools and its SSA-based analysis cannot be
+// vendored): it reports pointer dereferences on paths where a nil
+// check proves the pointer is nil.
+package nilness
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mpq/internal/analysis"
+)
+
+// Analyzer is the nilness analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "nilness",
+	Doc: `no dereference of a pointer proven nil
+
+Reports two shapes: a field access or dereference of p inside
+"if p == nil { ... }", and a field access or dereference of p after
+"if p != nil { return ... }" terminated the non-nil path. Both are
+guaranteed nil dereferences. Method calls are not flagged (many types
+document nil-receiver behavior).`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	pass.Inspect(func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		obj, op := nilCheckedObj(pass, ifs.Cond)
+		if obj == nil {
+			return true
+		}
+		if op == token.EQL {
+			// if p == nil { ... p.f ... }
+			reportNilUses(pass, ifs.Body, obj)
+		}
+		return true
+	})
+
+	// if p != nil { return } followed by p.f in the same block.
+	pass.Inspect(func(n ast.Node) bool {
+		block, ok := blockOf(n)
+		if !ok {
+			return true
+		}
+		for i, stmt := range block {
+			ifs, ok := stmt.(*ast.IfStmt)
+			if !ok || ifs.Else != nil {
+				continue
+			}
+			obj, op := nilCheckedObj(pass, ifs.Cond)
+			if obj == nil || op != token.NEQ || !terminates(ifs.Body.List) {
+				continue
+			}
+			// After this statement, obj is provably nil until reassigned.
+			for _, later := range block[i+1:] {
+				if reassigns(pass, later, obj) {
+					break
+				}
+				reportNilUses(pass, later, obj)
+			}
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// nilCheckedObj matches "x == nil" / "x != nil" (either side) where x
+// is a pointer-typed identifier, returning its object and the operator.
+func nilCheckedObj(pass *analysis.Pass, cond ast.Expr) (types.Object, token.Token) {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return nil, 0
+	}
+	x, y := ast.Unparen(bin.X), ast.Unparen(bin.Y)
+	if isNil(pass, x) {
+		x, y = y, x
+	} else if !isNil(pass, y) {
+		return nil, 0
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil, 0
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil, 0
+	}
+	if _, isPtr := obj.Type().Underlying().(*types.Pointer); !isPtr {
+		return nil, 0
+	}
+	return obj, bin.Op
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}
+
+// reportNilUses flags field accesses and dereferences of obj within n,
+// stopping at reassignments and closures (which may run later, after
+// obj changed).
+func reportNilUses(pass *analysis.Pass, n ast.Node, obj types.Object) {
+	stop := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if stop {
+			return false
+		}
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					stop = true
+					return false
+				}
+			}
+		case *ast.SelectorExpr:
+			id, ok := ast.Unparen(x.X).(*ast.Ident)
+			if !ok || pass.TypesInfo.Uses[id] != obj {
+				return true
+			}
+			// Only guaranteed-panic shapes: struct field access through
+			// the nil pointer. Method values/calls are excluded.
+			if sel, ok := pass.TypesInfo.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				pass.Reportf(x.Pos(), "field access %s.%s dereferences a pointer proven nil by the enclosing check", id.Name, x.Sel.Name)
+			}
+		case *ast.StarExpr:
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				pass.Reportf(x.Pos(), "dereference of %s, which the enclosing check proves is nil", id.Name)
+			}
+		}
+		return true
+	})
+}
+
+// reassigns reports whether stmt assigns to obj.
+func reassigns(pass *analysis.Pass, stmt ast.Stmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range asg.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func blockOf(n ast.Node) ([]ast.Stmt, bool) {
+	switch b := n.(type) {
+	case *ast.BlockStmt:
+		return b.List, true
+	case *ast.CaseClause:
+		return b.Body, true
+	case *ast.CommClause:
+		return b.Body, true
+	}
+	return nil, false
+}
+
+// terminates reports whether the statement list always leaves the
+// enclosing function (return or panic).
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch s := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				return id.Name == "panic"
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(s.List)
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package nilness_test
+
+import (
+	"testing"
+
+	"mpq/internal/analysis/analysistest"
+	"mpq/internal/analysis/nilness"
+)
+
+func TestNilness(t *testing.T) {
+	analysistest.Run(t, "testdata", nilness.Analyzer, "nilcheck")
+}

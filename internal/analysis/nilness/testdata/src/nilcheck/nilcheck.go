@@ -1,0 +1,77 @@
+// Package nilcheck exercises the nilness analyzer: no dereference of a
+// pointer a dominating check proves nil.
+package nilcheck
+
+type node struct {
+	next *node
+	val  int
+}
+
+// insideNilBranch dereferences p inside its own nil branch: flagged.
+func insideNilBranch(p *node) int {
+	if p == nil {
+		return p.val // want "field access p.val dereferences a pointer proven nil"
+	}
+	return p.val
+}
+
+// starDeref dereferences through * in the nil branch: flagged.
+func starDeref(p *node) node {
+	if nil == p {
+		return *p // want "dereference of p, which the enclosing check proves is nil"
+	}
+	return *p
+}
+
+// afterTerminatingCheck uses p after "if p != nil { return }" removed
+// every non-nil path: flagged.
+func afterTerminatingCheck(p *node) int {
+	if p != nil {
+		return p.val
+	}
+	return p.val // want "field access p.val dereferences a pointer proven nil"
+}
+
+// reassigned gives p a new value inside the nil branch before the use:
+// compliant.
+func reassigned(p *node) int {
+	if p == nil {
+		p = &node{}
+		return p.val
+	}
+	return p.val
+}
+
+// reassignedAfter gives p a new value after the terminating check:
+// compliant.
+func reassignedAfter(p *node) int {
+	if p != nil {
+		return p.val
+	}
+	p = &node{val: 1}
+	return p.val
+}
+
+// closureUse defers the dereference to a closure that runs after p may
+// have changed: out of scope, compliant.
+func closureUse(p *node) func() int {
+	if p == nil {
+		return func() int {
+			if p == nil {
+				return 0
+			}
+			return p.val
+		}
+	}
+	return func() int { return p.val }
+}
+
+// allowedProbe dereferences a proven-nil pointer on purpose (the
+// fixture's stand-in for a crash-on-corruption probe), so it carries an
+// allow directive.
+func allowedProbe(p *node) int {
+	if p == nil {
+		return p.val //lint:allow nilness fixture: deliberate crash probe on corrupted state
+	}
+	return p.val
+}

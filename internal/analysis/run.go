@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// A Finding is one diagnostic resolved to a file position, attributed
+// to the analyzer that produced it.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+}
+
+// DirectiveAnalyzer is the pseudo-analyzer name attributed to findings
+// about the //lint:allow directives themselves (malformed, unknown
+// analyzer, suppressing nothing). Directive hygiene findings cannot be
+// suppressed.
+const DirectiveAnalyzer = "directive"
+
+// directive is one parsed //lint:allow comment.
+type directive struct {
+	analyzer  string
+	reason    string
+	file      string
+	line      int
+	finding   Finding // position info for hygiene reports
+	malformed string  // non-empty if the directive does not parse
+	used      bool
+}
+
+// allowPrefix is the comment form the driver honors:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The directive suppresses that analyzer's findings on its own line
+// (trailing comment) and on the immediately following line (comment on
+// its own line above the code). The reason is mandatory: an exception
+// without a recorded justification is itself a finding.
+const allowPrefix = "//lint:allow"
+
+// parseDirectives extracts every //lint:allow directive in the package.
+func parseDirectives(pkg *Package) []*directive {
+	var ds []*directive
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				d := &directive{
+					file: pos.Filename,
+					line: pos.Line,
+					finding: Finding{
+						Analyzer: DirectiveAnalyzer,
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+					},
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:allowance — not our directive
+				}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					d.malformed = "malformed directive: want //lint:allow <analyzer> <reason>"
+				case len(fields) == 1:
+					d.malformed = fmt.Sprintf("//lint:allow %s is missing its reason: every exception must say why it is safe", fields[0])
+				default:
+					d.analyzer = fields[0]
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				ds = append(ds, d)
+			}
+		}
+	}
+	return ds
+}
+
+// runOne applies one analyzer to one package and returns its raw
+// findings (before suppression).
+func runOne(pkg *Package, a *Analyzer) ([]Finding, error) {
+	var out []Finding
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		report: func(d Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			out = append(out, Finding{
+				Analyzer: a.Name,
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Message:  d.Message,
+			})
+		},
+	}
+	if _, err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.PkgPath, err)
+	}
+	return out, nil
+}
+
+// suppress drops findings covered by a matching allow directive,
+// marking the directives it honors as used.
+func suppress(findings []Finding, ds []*directive) []Finding {
+	kept := findings[:0]
+	for _, f := range findings {
+		allowed := false
+		for _, d := range ds {
+			if d.malformed != "" || d.analyzer != f.Analyzer || d.file != f.File {
+				continue
+			}
+			if d.line == f.Line || d.line == f.Line-1 {
+				d.used = true
+				allowed = true
+			}
+		}
+		if !allowed {
+			kept = append(kept, f)
+		}
+	}
+	return kept
+}
+
+// RunAnalyzer runs a single analyzer over pkg, honoring //lint:allow
+// directives for that analyzer. This is the entry point analysistest
+// uses, so fixtures exercise the same suppression path production runs
+// do.
+func RunAnalyzer(pkg *Package, a *Analyzer) ([]Finding, error) {
+	findings, err := runOne(pkg, a)
+	if err != nil {
+		return nil, err
+	}
+	findings = suppress(findings, parseDirectives(pkg))
+	sortFindings(findings)
+	return findings, nil
+}
+
+// RunSuite runs every analyzer over pkg, applies suppression, and
+// appends directive-hygiene findings: malformed directives, directives
+// naming an analyzer the suite does not contain, and directives that
+// suppressed nothing (stale exceptions must be deleted, not
+// accumulated).
+func RunSuite(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	known := map[string]bool{}
+	var all []Finding
+	ds := parseDirectives(pkg)
+	for _, a := range analyzers {
+		known[a.Name] = true
+		findings, err := runOne(pkg, a)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, suppress(findings, ds)...)
+	}
+	for _, d := range ds {
+		f := d.finding
+		switch {
+		case d.malformed != "":
+			f.Message = d.malformed
+		case !known[d.analyzer]:
+			f.Message = fmt.Sprintf("//lint:allow names unknown analyzer %q", d.analyzer)
+		case !d.used:
+			f.Message = fmt.Sprintf("//lint:allow %s suppresses nothing here; delete the stale exception", d.analyzer)
+		default:
+			continue
+		}
+		all = append(all, f)
+	}
+	sortFindings(all)
+	return all, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Inspect walks every file in the pass, calling fn for each node; fn
+// returning false prunes the subtree. It is the lightweight stand-in
+// for x/tools' inspect pass.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}

@@ -1,0 +1,167 @@
+// Package tagswitch enforces the repository's frame-dispatch
+// invariant: every switch on a wire.Tag value must either cover all
+// exported tag constants or carry a default clause that returns (or
+// panics). PR 8 added the CancelRequest frame by hand-auditing every
+// dispatch switch in the tree; this analyzer makes that audit
+// mechanical, so a new tag constant cannot leave a transport silently
+// mishandling the new frame kind.
+package tagswitch
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"mpq/internal/analysis"
+)
+
+// Analyzer is the tagswitch analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "tagswitch",
+	Doc: `switches on wire.Tag must handle every exported tag or return by default
+
+A dispatch switch on a wire.Tag-typed value must either list every
+exported tag constant of the wire package or carry a default clause
+whose body terminates (return or panic): an unknown frame must be an
+explicit error path, never a silent fall-through.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	pass.Inspect(func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok || sw.Tag == nil {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[sw.Tag]
+		if !ok {
+			return true
+		}
+		named, ok := analysis.NamedTypeIn(tv.Type, "wire", "Tag")
+		if !ok {
+			return true
+		}
+		checkSwitch(pass, sw, named)
+		return true
+	})
+	return nil, nil
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt, tag *types.Named) {
+	// Every exported constant of the tag type, from its package scope.
+	all := map[string]string{} // constant value -> name
+	scope := tag.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() || !types.Identical(c.Type(), tag) {
+			continue
+		}
+		all[c.Val().ExactString()] = name
+	}
+	if len(all) == 0 {
+		return
+	}
+
+	covered := map[string]bool{}
+	var deflt *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			deflt = cc
+			continue
+		}
+		for _, e := range cc.List {
+			if etv, ok := pass.TypesInfo.Types[e]; ok && etv.Value != nil {
+				covered[etv.Value.ExactString()] = true
+			}
+		}
+	}
+
+	var missing []string
+	for val, name := range all {
+		if !covered[val] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+
+	if deflt == nil {
+		pass.Reportf(sw.Switch,
+			"switch on %s does not handle %s and has no default clause; handle every tag or add a default that returns",
+			tagName(tag), strings.Join(missing, ", "))
+		return
+	}
+	if !terminates(deflt.Body) {
+		pass.Reportf(deflt.Case,
+			"default clause of a switch on %s falls through; unhandled tags (%s) must be an explicit error path that returns",
+			tagName(tag), strings.Join(missing, ", "))
+	}
+}
+
+func tagName(tag *types.Named) string {
+	return tag.Obj().Pkg().Name() + "." + tag.Obj().Name()
+}
+
+// terminates reports whether the statement list always transfers
+// control out of the switch's enclosing function: it ends in a return,
+// a panic (or another recognized no-return call), or an if/else whose
+// branches both terminate.
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch s := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BlockStmt:
+		return terminates(s.List)
+	case *ast.IfStmt:
+		if !terminates(s.Body.List) {
+			return false
+		}
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			return terminates(e.List)
+		case *ast.IfStmt:
+			return terminates([]ast.Stmt{e})
+		}
+		return false
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		return noReturnCall(call)
+	case *ast.LabeledStmt:
+		return terminates([]ast.Stmt{s.Stmt})
+	}
+	return false
+}
+
+// noReturnCall recognizes calls that never return: panic, os.Exit,
+// log.Fatal*, (*testing.common).Fatal*.
+func noReturnCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if pkg, ok := fun.X.(*ast.Ident); ok {
+			if pkg.Name == "os" && name == "Exit" {
+				return true
+			}
+			if pkg.Name == "log" && strings.HasPrefix(name, "Fatal") {
+				return true
+			}
+		}
+		return strings.HasPrefix(name, "Fatal")
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package tagswitch_test
+
+import (
+	"testing"
+
+	"mpq/internal/analysis/analysistest"
+	"mpq/internal/analysis/tagswitch"
+)
+
+func TestTagSwitch(t *testing.T) {
+	analysistest.Run(t, "testdata", tagswitch.Analyzer, "dispatch")
+}

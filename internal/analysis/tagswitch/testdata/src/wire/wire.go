@@ -1,0 +1,16 @@
+// Package wire is a fixture stub of the repository's internal/wire:
+// just the Tag type and its exported constants, which is all the
+// tagswitch analyzer consults.
+package wire
+
+// Tag identifies a frame kind.
+type Tag uint8
+
+const (
+	TagQuery      Tag = 1
+	TagPlan       Tag = 2
+	TagJobRequest Tag = 3
+)
+
+// tagInternal is unexported and must not count toward exhaustiveness.
+const tagInternal Tag = 250

@@ -325,7 +325,7 @@ type Result struct {
 // real constrained DP, and serialize their partition-optimal plans back;
 // the master decodes and FinalPrunes. One round, no worker↔worker
 // traffic.
-func RunMPQ(model Model, q *query.Query, spec core.JobSpec) (*Result, error) {
+func RunMPQ(model Model, q *query.Query, spec core.JobSpec) (*Result, error) { //lint:allow ctxflow deprecated no-ctx wrapper, frozen by api_compat_test; use RunMPQContext
 	return RunMPQWithFaultsContext(context.Background(), model, q, spec, Faults{})
 }
 
@@ -344,7 +344,7 @@ func RunMPQContext(ctx context.Context, model Model, q *query.Query, spec core.J
 // to the failure-free run — partitions are disjoint and workers
 // stateless — while VirtualTime, traffic, and Redispatches expose the
 // recovery overhead.
-func RunMPQWithFaults(model Model, q *query.Query, spec core.JobSpec, faults Faults) (*Result, error) {
+func RunMPQWithFaults(model Model, q *query.Query, spec core.JobSpec, faults Faults) (*Result, error) { //lint:allow ctxflow deprecated no-ctx wrapper, frozen by api_compat_test; use RunMPQWithFaultsContext
 	return RunMPQWithFaultsContext(context.Background(), model, q, spec, faults)
 }
 

@@ -556,7 +556,7 @@ func (st *connState) ownerOf(seq uint32, fallback int) int {
 // failure model. Whenever at least one worker survives and the retry
 // budget suffices, the returned plan is bit-identical to a failure-free
 // run, because responses are aggregated in partition-ID order.
-func (ms *Master) Optimize(q *query.Query, spec core.JobSpec) (*Answer, error) {
+func (ms *Master) Optimize(q *query.Query, spec core.JobSpec) (*Answer, error) { //lint:allow ctxflow deprecated no-ctx wrapper, frozen by api_compat_test; use OptimizeContext
 	return ms.OptimizeContext(context.Background(), q, spec)
 }
 

@@ -82,7 +82,7 @@ func (w *Worker) serveConn(conn net.Conn) {
 		w.mu.Unlock()
 		conn.Close()
 	}()
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(context.Background()) //lint:allow ctxflow connection-lifetime root; the reader goroutine cancels it on disconnect and Close closes every conn
 	defer cancel()
 	jobs := &seqCancels{canceled: map[uint32]bool{}}
 	frames := make(chan []byte)

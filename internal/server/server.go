@@ -499,7 +499,9 @@ func (s *Server) drain(ctx context.Context) error {
 
 	// Stop accepting on both fronts. http.Server.Shutdown waits for
 	// active handlers, which in turn wait for their requests' responses
-	// — the queue drain below is what unblocks them.
+	// — the queue drain below is what unblocks them. It inherits the
+	// drain deadline: past it, Shutdown gives up waiting and the
+	// unconditional httpSrv.Close() below force-closes the stragglers.
 	s.closeListeners()
 	// Half-close wire connections: the read side stops (no new
 	// requests), the write side stays up so in-flight responses still
@@ -515,7 +517,7 @@ func (s *Server) drain(ctx context.Context) error {
 	if s.httpSrv != nil {
 		go func() {
 			defer close(httpDone)
-			s.httpSrv.Shutdown(context.Background())
+			s.httpSrv.Shutdown(ctx)
 		}()
 	} else {
 		close(httpDone)
@@ -583,7 +585,9 @@ func (s *Server) Run(ctx context.Context, grace time.Duration) error {
 	if grace <= 0 {
 		grace = DefaultDrainWait
 	}
-	drainCtx, cancel := context.WithTimeout(context.Background(), grace)
+	// Run's ctx is already canceled by the time the drain begins — that
+	// is what triggered it — so the grace window must be a fresh root.
+	drainCtx, cancel := context.WithTimeout(context.Background(), grace) //lint:allow ctxflow the parent ctx is already canceled when the drain starts; the grace window must outlive it
 	defer cancel()
 	return s.Shutdown(drainCtx)
 }

@@ -680,6 +680,75 @@ func TestBadRequests(t *testing.T) {
 	}
 }
 
+// TestWireRejectsNonRequestTags: a well-framed message whose tag is not
+// TagJobRequest gets a classified ErrBadRequest reply (the
+// rejectWireTag dispatch), and the rejection is per-frame — the same
+// connection still serves a valid request afterward.
+func TestWireRejectsNonRequestTags(t *testing.T) {
+	s := startServer(t, Config{})
+	q := testQuery(t, 5, 1)
+
+	conn, err := net.DialTimeout("tcp", s.WireAddr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+
+	readWorkerError := func(frameName string) *wire.WorkerError {
+		t.Helper()
+		payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			t.Fatalf("%s: reading reply: %v", frameName, err)
+		}
+		we, err := wire.DecodeWorkerError(payload)
+		if err != nil {
+			t.Fatalf("%s: reply is not a WorkerError: %v", frameName, err)
+		}
+		if we.Code != wire.ErrBadRequest {
+			t.Fatalf("%s: code %v, want ErrBadRequest", frameName, we.Code)
+		}
+		return we
+	}
+
+	// A bare Query frame is a serialization record, not a request.
+	if err := wire.WriteFrame(conn, wire.EncodeQuery(q)); err != nil {
+		t.Fatal(err)
+	}
+	if we := readWorkerError("query frame"); !strings.Contains(we.Msg, "serialization records") {
+		t.Errorf("query frame: message %q does not classify the tag", we.Msg)
+	}
+
+	// A cancel frame belongs to the worker protocol, not the daemon's.
+	if err := wire.WriteFrame(conn, wire.EncodeCancelRequest(&wire.CancelRequest{Seq: 7})); err != nil {
+		t.Fatal(err)
+	}
+	if we := readWorkerError("cancel frame"); !strings.Contains(we.Msg, "worker protocol") {
+		t.Errorf("cancel frame: message %q does not classify the tag", we.Msg)
+	}
+
+	// The connection survives both rejections: a valid JobRequest on
+	// the same conn gets a real JobResponse.
+	req := &wire.JobRequest{Seq: 42, Spec: mpq.JobSpec{Space: partition.Linear, Workers: 1}, Query: q}
+	if err := wire.WriteFrame(conn, wire.EncodeJobRequest(req)); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatalf("job request after rejections: %v", err)
+	}
+	resp, err := wire.DecodeJobResponse(payload)
+	if err != nil {
+		t.Fatalf("job request after rejections: reply is not a JobResponse: %v", err)
+	}
+	if resp.Seq != 42 {
+		t.Errorf("response Seq %d, want 42", resp.Seq)
+	}
+	if len(resp.Plans) == 0 || resp.Plans[0] == nil {
+		t.Fatal("response carries no plan")
+	}
+}
+
 // waitFor polls cond until it holds or the test times out.
 func waitFor(t *testing.T, cond func() bool) {
 	t.Helper()

@@ -62,7 +62,7 @@ func (s *Server) serveWireConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	connCtx, cancel := context.WithCancel(context.Background())
+	connCtx, cancel := context.WithCancel(context.Background()) //lint:allow ctxflow connection-lifetime root; teardown is cancel/conn.Close, and Shutdown closes every tracked conn
 	defer cancel()
 	// Canceling connCtx is a full teardown: closing the conn unblocks a
 	// reader waiting on a silent peer and a writer stuck mid-frame, so
@@ -132,6 +132,21 @@ func (s *Server) serveWireConn(conn net.Conn) {
 		if err != nil {
 			return // EOF, peer reset, drain half-close, or oversized frame
 		}
+		tag, err := wire.MessageTag(payload)
+		if err != nil {
+			reply(wire.EncodeWorkerError(&wire.WorkerError{
+				Seq: wire.PeekJobRequestSeq(payload), Code: wire.ErrBadRequest,
+				Msg: fmt.Sprintf("header: %v", err),
+			}))
+			continue
+		}
+		if reason := rejectWireTag(tag); reason != "" {
+			reply(wire.EncodeWorkerError(&wire.WorkerError{
+				Seq: wire.PeekJobRequestSeq(payload), Code: wire.ErrBadRequest,
+				Msg: reason,
+			}))
+			continue
+		}
 		jr, err := wire.DecodeJobRequest(payload)
 		if err != nil {
 			reply(wire.EncodeWorkerError(&wire.WorkerError{
@@ -177,6 +192,26 @@ func (s *Server) serveWireConn(conn net.Conn) {
 				return
 			}
 		}
+	}
+}
+
+// rejectWireTag classifies an incoming frame's tag: an empty reason
+// accepts it, anything else becomes the ErrBadRequest message. The
+// switch is deliberately exhaustive over wire.Tag — the tagswitch
+// analyzer fails the lint when a new tag constant is added without a
+// serving-path decision here.
+func rejectWireTag(tag wire.Tag) (reason string) {
+	switch tag {
+	case wire.TagJobRequest:
+		return ""
+	case wire.TagCancelRequest:
+		return "cancel frames belong to the worker protocol; the daemon cancels work by connection teardown"
+	case wire.TagQuery, wire.TagPlan:
+		return "bare query/plan frames are serialization records, not requests"
+	case wire.TagJobResponse, wire.TagWorkerError:
+		return "response frames flow server-to-client only"
+	default:
+		return "unknown message tag"
 	}
 }
 

@@ -96,7 +96,7 @@ func TestMessageTag(t *testing.T) {
 	q := genQuery(t, 5, 0)
 	cases := []struct {
 		b    []byte
-		want uint8
+		want Tag
 	}{
 		{EncodeQuery(q), TagQuery},
 		{EncodeJobRequest(&JobRequest{Spec: core.JobSpec{Space: partition.Linear, Workers: 2}, Query: q}), TagJobRequest},

@@ -33,21 +33,29 @@ const Version = 2
 
 const magic = 0x4D50 // "MP"
 
+// Tag identifies a message type. It is a named type (not a bare uint8)
+// so that dispatch switches over it are checkable: the tagswitch
+// analyzer in internal/analysis requires every switch on a Tag to
+// either cover all exported tag constants or carry a default clause
+// that returns, so adding a tag here cannot leave a dispatch path
+// silently dropping the new frame.
+type Tag uint8
+
 // Message type tags. They are exported so transports can classify a
 // frame (MessageTag) without decoding the body — the master needs this
 // to tell a worker-error frame from a job response.
 const (
-	TagQuery         uint8 = 1
-	TagPlan          uint8 = 2
-	TagJobRequest    uint8 = 3
-	TagJobResponse   uint8 = 4
-	TagWorkerError   uint8 = 5
-	TagCancelRequest uint8 = 6
+	TagQuery         Tag = 1
+	TagPlan          Tag = 2
+	TagJobRequest    Tag = 3
+	TagJobResponse   Tag = 4
+	TagWorkerError   Tag = 5
+	TagCancelRequest Tag = 6
 )
 
 // MessageTag reports the message type tag of an encoded message after
 // checking the magic and version, without decoding the body.
-func MessageTag(b []byte) (uint8, error) {
+func MessageTag(b []byte) (Tag, error) {
 	if len(b) < 4 {
 		return 0, fmt.Errorf("wire: message of %d bytes has no header", len(b))
 	}
@@ -57,7 +65,7 @@ func MessageTag(b []byte) (uint8, error) {
 	if v := b[2]; v != Version {
 		return 0, fmt.Errorf("wire: unsupported version %d", v)
 	}
-	return b[3], nil
+	return Tag(b[3]), nil
 }
 
 // encoder appends primitive values to a byte slice.
@@ -88,10 +96,10 @@ func (e *encoder) str(s string) {
 	e.buf = append(e.buf, s...)
 }
 
-func (e *encoder) header(tag uint8) {
+func (e *encoder) header(tag Tag) {
 	e.u16(magic)
 	e.u8(Version)
-	e.u8(tag)
+	e.u8(uint8(tag))
 }
 
 // decoder consumes primitive values from a byte slice, latching the
@@ -169,14 +177,14 @@ func (d *decoder) str() string {
 	return s
 }
 
-func (d *decoder) header(wantTag uint8) {
+func (d *decoder) header(wantTag Tag) {
 	if m := d.u16(); d.err == nil && m != magic {
 		d.fail("bad magic 0x%04x", m)
 	}
 	if v := d.u8(); d.err == nil && v != Version {
 		d.fail("unsupported version %d", v)
 	}
-	if tag := d.u8(); d.err == nil && tag != wantTag {
+	if tag := Tag(d.u8()); d.err == nil && tag != wantTag {
 		d.fail("unexpected message tag %d, want %d", tag, wantTag)
 	}
 }

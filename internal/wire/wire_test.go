@@ -112,7 +112,7 @@ func TestQueryDecodeRejectsCorruption(t *testing.T) {
 		t.Fatal("bad version accepted")
 	}
 	bad = append([]byte{}, good...)
-	bad[3] = TagPlan
+	bad[3] = byte(TagPlan)
 	if _, err := DecodeQuery(bad); err == nil {
 		t.Fatal("wrong tag accepted")
 	}

@@ -1,3 +1,5 @@
+//lint:file-ignore SA1019 this file is the behavioral coverage of the deprecated legacy wrappers; api_compat_test.go only pins that they compile.
+
 package mpq_test
 
 import (

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Unified static-analysis entry point: the one invocation every Go file
+# in the module — root library, cmd/, examples/, internal/ — must pass.
+# CI's verify job runs exactly this script, so a clean local run means
+# the lint gates are green.
+#
+#   sh scripts/lint.sh
+#
+# Set MPQLINT_FACTS to a directory to reuse mpqlint's per-package
+# findings cache across runs (CI does; see .github/workflows/ci.yml).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+out="$(gofmt -l .)"
+if [ -n "$out" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$out" >&2
+	exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> mpqlint ./..."
+go run ./cmd/mpqlint ./...

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	mpqbench -experiment fig1|fig2|fig3|fig4|fig5|table1|speedups|workloads|micro|cache|stragglers|all [flags]
+//	mpqbench -experiment fig1|fig2|fig3|fig4|fig5|table1|speedups|workloads|micro|cache|stragglers|regret|all [flags]
 //
 // Flags:
 //
@@ -36,7 +36,7 @@ func main() {
 }
 
 func run() error {
-	experiment := flag.String("experiment", "all", "which experiment to run (fig1..fig5, table1, speedups, workloads, micro, cache, stragglers, all)")
+	experiment := flag.String("experiment", "all", "which experiment to run (fig1..fig5, table1, speedups, workloads, micro, cache, stragglers, regret, all)")
 	full := flag.Bool("full", false, "paper-scale sizes (slow)")
 	queries := flag.Int("queries", 0, "queries per data point (0 = scale default)")
 	seed := flag.Int64("seed", 0, "base workload seed")
@@ -161,10 +161,18 @@ func run() error {
 			render([]*experiments.Table{experiments.StragglersTable(rows)})
 			return nil
 		},
+		"regret": func() error {
+			rows, err := experiments.Regret(cfg)
+			if err != nil {
+				return err
+			}
+			render([]*experiments.Table{experiments.RegretTable(rows)})
+			return nil
+		},
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "table1", "speedups", "workloads", "micro", "cache", "stragglers"} {
+		for _, name := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "table1", "speedups", "workloads", "micro", "cache", "stragglers", "regret"} {
 			if err := ctx.Err(); err != nil {
 				return interrupted(err)
 			}

@@ -8,9 +8,13 @@
 //	mpqgen -tables 12 -shape Star -seed 7 -out query.json -catalog cat.json
 //	mpqgen -tables 13 -shape Snowflake -branching 3 -correlation 0.8
 //	mpqgen -schema tpch -sf 10 -out query.json
+//	mpqgen -schema tpcds -subgraph 5 -seed 3 -out query.json
 //	mpqgen -schema-file myschema.json -sf 0.1
 //
-// See docs/workloads.md for the full workload guide.
+// -subgraph N cuts a random connected N-table sub-graph out of the
+// schema's foreign-key join graph instead of the full canonical query;
+// -noise E perturbs the spec's selectivities with seeded q-error-style
+// estimation error. See docs/workloads.md for the full workload guide.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"strings"
 
 	"mpq/internal/catalog"
+	"mpq/internal/cliutil"
 	"mpq/internal/query"
 	"mpq/internal/spec"
 	"mpq/internal/workload"
@@ -50,6 +55,9 @@ func run() error {
 			strings.Join(catalog.SchemaNames(), ", ")+") instead of a random workload")
 	schemaFile := flag.String("schema-file", "", "like -schema, but load the schema definition from a JSON file")
 	sf := flag.Float64("sf", 1, "scale factor for -schema/-schema-file")
+	subgraph := flag.Int("subgraph", 0,
+		"with -schema/-schema-file: cut a random connected sub-graph with this many tables out of the foreign-key join graph (uses -seed)")
+	nf := cliutil.RegisterNoise(flag.CommandLine)
 	flag.Parse()
 
 	var (
@@ -62,10 +70,14 @@ func run() error {
 		return fmt.Errorf("-schema and -schema-file are mutually exclusive")
 	case *schemaName != "" || *schemaFile != "":
 		// Schema queries are fixed: reject random-workload flags rather
-		// than silently ignoring them.
+		// than silently ignoring them. -subgraph is the exception that
+		// re-introduces randomness, so it claims -seed for itself.
 		randomFlags := map[string]bool{
 			"tables": true, "shape": true, "seed": true,
 			"min-card": true, "max-card": true, "branching": true, "correlation": true,
+		}
+		if *subgraph > 0 {
+			delete(randomFlags, "seed")
 		}
 		var conflict error
 		flag.Visit(func(f *flag.Flag) {
@@ -80,12 +92,23 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		if *subgraph > 0 {
+			cat, q, err = workload.SubgraphFromSchema(sch, *sf, *subgraph, *seed)
+			if err != nil {
+				return err
+			}
+			summary = fmt.Sprintf("generated %d-table %s sub-graph query at scale factor %g (seed %d, %d predicates)",
+				q.N(), sch.Name, *sf, *seed, len(q.Preds))
+			break
+		}
 		cat, q, err = workload.FromSchema(sch, *sf)
 		if err != nil {
 			return err
 		}
 		summary = fmt.Sprintf("generated %d-table %s query at scale factor %g (%d predicates)",
 			q.N(), sch.Name, *sf, len(q.Preds))
+	case *subgraph > 0:
+		return fmt.Errorf("-subgraph requires -schema or -schema-file")
 	default:
 		sh, err := workload.ParseShape(*shape)
 		if err != nil {
@@ -108,6 +131,14 @@ func run() error {
 		}
 		summary = fmt.Sprintf("generated %d-table %v query (seed %d, %d predicates)",
 			*tables, sh, *seed, len(q.Preds))
+	}
+
+	if nf.Magnitude != 0 {
+		var err error
+		if q, err = nf.Apply(q); err != nil {
+			return err
+		}
+		summary += fmt.Sprintf("; selectivity noise ε=%g (seed %d)", nf.Magnitude, nf.Seed)
 	}
 
 	if err := withWriter(*out, func(w io.Writer) error {

@@ -87,6 +87,10 @@ func runMaster(args []string) error {
 	partitions := fs.Int("partitions", 0, "plan-space partitions (default: number of workers rounded down to a power of two)")
 	multi := fs.Bool("mo", false, "multi-objective optimization")
 	alpha := fs.Float64("alpha", 10, "approximation factor for -mo")
+	robust := fs.Bool("robust", false, "robust optimization: minimize worst-case cost over a selectivity uncertainty band")
+	robustBand := fs.Float64("robust-band", 0,
+		fmt.Sprintf("uncertainty band B for -robust (0 = default %g)", mpq.DefaultRobustBand))
+	nf := cliutil.RegisterNoise(fs)
 	timeout := fs.Duration("timeout", 2*time.Minute, "per-job deadline (dial + send + compute + receive)")
 	retries := fs.Int("retries", netrun.DefaultMaxAttempts, "attempts per partition before giving up")
 	workerFailures := fs.Int("max-worker-failures", netrun.DefaultMaxWorkerFailures,
@@ -126,9 +130,16 @@ func runMaster(args []string) error {
 		}
 	}
 	jspec := mpq.JobSpec{Space: jobSpace, Workers: m}
+	if *multi && *robust {
+		return fmt.Errorf("-mo and -robust are mutually exclusive")
+	}
 	if *multi {
 		jspec.Objective = mpq.MultiObjective
 		jspec.Alpha = *alpha
+	}
+	if *robust {
+		jspec.Objective = mpq.RobustObjective
+		jspec.RobustBand = *robustBand
 	}
 
 	eng, err := mpq.NewTCPEngine(addrs, mpq.WithMasterOptions(mpq.MasterOptions{
@@ -150,11 +161,14 @@ func runMaster(args []string) error {
 		if *queryFile != "" || *tables != 0 {
 			return fmt.Errorf("positional query files are exclusive with -query/-tables")
 		}
-		return runBatch(ctx, eng, files, jspec, len(addrs))
+		return runBatch(ctx, eng, files, jspec, len(addrs), nf)
 	}
 
 	q, err := loadQuery(*queryFile, *tables, *shape, *seed)
 	if err != nil {
+		return err
+	}
+	if q, err = nf.Apply(q); err != nil {
 		return err
 	}
 	start := time.Now()
@@ -168,7 +182,10 @@ func runMaster(args []string) error {
 	fmt.Printf("optimized %d-table query over %d workers (%d partitions) in %v\n",
 		q.N(), len(addrs), m, time.Since(start).Round(time.Millisecond))
 	fmt.Println(cliutil.Describe(ans))
-	if ans.Frontier != nil {
+	if ans.Frontier != nil && *robust {
+		fmt.Printf("robust frontier: %d plans; best worst-case cost %.4g (nominal %.4g)\n",
+			len(ans.Frontier), ans.Best.Buffer, ans.Best.Cost)
+	} else if ans.Frontier != nil {
 		fmt.Printf("Pareto frontier: %d plans\n", len(ans.Frontier))
 	}
 	fmt.Println("best plan:")
@@ -176,7 +193,7 @@ func runMaster(args []string) error {
 	return nil
 }
 
-func runBatch(ctx context.Context, eng *mpq.TCPEngine, files []string, jspec mpq.JobSpec, numWorkers int) error {
+func runBatch(ctx context.Context, eng *mpq.TCPEngine, files []string, jspec mpq.JobSpec, numWorkers int, nf *cliutil.NoiseFlags) error {
 	jobs := make([]mpq.Job, 0, len(files))
 	for _, file := range files {
 		f, err := os.Open(file)
@@ -186,6 +203,9 @@ func runBatch(ctx context.Context, eng *mpq.TCPEngine, files []string, jspec mpq
 		q, err := spec.Read(f)
 		f.Close()
 		if err != nil {
+			return fmt.Errorf("%s: %w", file, err)
+		}
+		if q, err = nf.Apply(q); err != nil {
 			return fmt.Errorf("%s: %w", file, err)
 		}
 		jobs = append(jobs, mpq.Job{Query: q, Spec: jspec})

@@ -17,6 +17,9 @@
 //	-workers N             plan-space partitions, power of two (default 1)
 //	-mo                    multi-objective (time + buffer) optimization
 //	-alpha A               approximation factor for -mo (default 10)
+//	-robust                robust optimization against selectivity error
+//	-robust-band B         uncertainty band for -robust (default 2)
+//	-noise E -noise-seed S seeded q-error-style selectivity noise
 //	-orders                track interesting orders
 //	-engine serial|local|sim|tcp|daemon
 //	                       execution engine (default local); tcp needs
@@ -60,10 +63,14 @@ func run() error {
 	workers := flag.Int("workers", 1, "number of plan-space partitions (power of two)")
 	multi := flag.Bool("mo", false, "multi-objective optimization (time + buffer)")
 	alpha := flag.Float64("alpha", 10, "approximation factor for -mo")
+	robust := flag.Bool("robust", false, "robust optimization: minimize worst-case cost over a selectivity uncertainty band")
+	robustBand := flag.Float64("robust-band", 0,
+		fmt.Sprintf("uncertainty band B for -robust: true selectivities may exceed estimates by up to B (0 = default %g)", mpq.DefaultRobustBand))
 	orders := flag.Bool("orders", false, "track interesting orders")
 	dot := flag.Bool("dot", false, "emit the best plan as a Graphviz digraph instead of a tree")
 	fingerprint := flag.Bool("fingerprint", false, "print the best plan's fingerprint (identical across engines for the same job)")
 	ef := cliutil.Register(flag.CommandLine, "local")
+	nf := cliutil.RegisterNoise(flag.CommandLine)
 	flag.Parse()
 
 	// Ctrl-C cancels the context; the engines abort the dynamic program
@@ -75,6 +82,9 @@ func run() error {
 
 	q, err := loadQuery(*queryFile, *tables, *shape, *seed, *schemaName, *sf)
 	if err != nil {
+		return err
+	}
+	if q, err = nf.Apply(q); err != nil {
 		return err
 	}
 
@@ -92,9 +102,16 @@ func run() error {
 		Workers:           *workers,
 		InterestingOrders: *orders,
 	}
+	if *multi && *robust {
+		return fmt.Errorf("-mo and -robust are mutually exclusive")
+	}
 	if *multi {
 		jspec.Objective = mpq.MultiObjective
 		jspec.Alpha = *alpha
+	}
+	if *robust {
+		jspec.Objective = mpq.RobustObjective
+		jspec.RobustBand = *robustBand
 	}
 
 	eng, err := ef.Build(*workers)
@@ -122,7 +139,7 @@ func run() error {
 	if *dot {
 		render = ans.Best.DOT("plan")
 	}
-	printAnswer(render, ans, cliutil.Describe(ans))
+	printAnswer(render, ans, cliutil.Describe(ans), *robust)
 	if *fingerprint {
 		fmt.Printf("fingerprint: %s\n", mpq.PlanFingerprint(ans.Best))
 	}
@@ -167,15 +184,27 @@ func loadQuery(file string, tables int, shape string, seed int64, schemaName str
 	}
 }
 
-func printAnswer(planTree string, ans *mpq.Answer, engineLine string) {
+func printAnswer(planTree string, ans *mpq.Answer, engineLine string, robust bool) {
 	fmt.Printf("work: %d units; %s\n\n", ans.Stats.WorkUnits(), engineLine)
-	if ans.Frontier != nil {
+	if ans.Frontier != nil && robust {
+		// Under a robust job the second metric is the plan's worst-case
+		// cost at the high endpoint of the uncertainty band.
+		fmt.Printf("robust frontier (%d plans, nominal vs worst-case cost):\n", len(ans.Frontier))
+		for i, p := range ans.Frontier {
+			fmt.Printf("  #%d (cost=%.4g, worst=%.4g)  %s\n", i+1, p.Cost, p.Buffer, p)
+		}
+		fmt.Println()
+	} else if ans.Frontier != nil {
 		fmt.Printf("Pareto frontier (%d plans):\n", len(ans.Frontier))
 		for i, p := range ans.Frontier {
 			fmt.Printf("  #%d (t=%.4g, b=%.4g)  %s\n", i+1, p.Cost, p.Buffer, p)
 		}
 		fmt.Println()
 	}
-	fmt.Println("best plan (time metric):")
+	if robust {
+		fmt.Printf("best plan (min worst-case cost %.4g, nominal %.4g):\n", ans.Best.Buffer, ans.Best.Cost)
+	} else {
+		fmt.Println("best plan (time metric):")
+	}
 	fmt.Print(planTree)
 }

@@ -58,6 +58,8 @@ func TestKeyOfSensitivity(t *testing.T) {
 	add("orders", func(s *core.JobSpec) { s.InterestingOrders = true })
 	add("crossproducts", func(s *core.JobSpec) { s.DisableCrossProducts = true })
 	add("costmodel", func(s *core.JobSpec) { s.CostModel.HashFactor = 99 })
+	add("robust", func(s *core.JobSpec) { s.Objective = core.RobustObjective })
+	add("robustband", func(s *core.JobSpec) { s.Objective = core.RobustObjective; s.RobustBand = 3 })
 	for _, v := range variants {
 		if c.KeyOf(q, v.spec).Bytes == baseKey.Bytes {
 			t.Errorf("%s: spec change did not change the key", v.name)

@@ -1,0 +1,43 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+
+	"mpq"
+)
+
+// NoiseFlags collects the shared estimation-noise flags after parsing.
+// Every tool that optimizes a query offers the same -noise/-noise-seed
+// pair with the same semantics: multiplicative q-error-style noise on
+// predicate selectivities, applied before optimization.
+type NoiseFlags struct {
+	// Magnitude is the -noise value ε ≥ 0: each selectivity is
+	// multiplied by (1+ε)^u with u uniform on [-1, 1]. Zero disables
+	// noise entirely (no random draws, bit-identical plans).
+	Magnitude float64
+	// Seed is the -noise-seed value; same (query, ε, seed) — same
+	// perturbed query.
+	Seed int64
+}
+
+// RegisterNoise installs the shared noise flags on fs and returns the
+// destination struct; call Apply after parsing.
+func RegisterNoise(fs *flag.FlagSet) *NoiseFlags {
+	nf := &NoiseFlags{}
+	fs.Float64Var(&nf.Magnitude, "noise", 0,
+		"q-error-style estimation noise ε: multiply each predicate selectivity by (1+ε)^u, u uniform on [-1,1] (0 = off)")
+	fs.Int64Var(&nf.Seed, "noise-seed", 1,
+		"seed of the -noise perturbation (same query, noise, and seed give the same noisy estimates)")
+	return nf
+}
+
+// Apply perturbs q under the parsed flags. With -noise 0 it returns q
+// itself, so unconditional use preserves bit-identical plans.
+func (nf *NoiseFlags) Apply(q *mpq.Query) (*mpq.Query, error) {
+	out, err := mpq.PerturbQuery(q, nf.Magnitude, nf.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("-noise: %w", err)
+	}
+	return out, nil
+}

@@ -37,6 +37,14 @@ const (
 	// MultiObjective approximates the Pareto frontier over (time, buffer)
 	// with the α-pruning of [22, 23] (second series).
 	MultiObjective
+	// RobustObjective searches for the plan minimizing worst-case cost
+	// over a selectivity-uncertainty band (JobSpec.RobustBand): the DP
+	// runs the multi-objective machinery over (nominal cost, cost with
+	// every selectivity inflated to the band's high endpoint) and Best
+	// is the frontier member with the smallest worst-case cost. The
+	// frontier itself — the nominal-vs-worst-case trade-off — is
+	// returned like a multi-objective frontier.
+	RobustObjective
 )
 
 // String names the objective mode.
@@ -46,10 +54,26 @@ func (o Objective) String() string {
 		return "single-objective"
 	case MultiObjective:
 		return "multi-objective"
+	case RobustObjective:
+		return "robust"
 	default:
 		return fmt.Sprintf("Objective(%d)", int(o))
 	}
 }
+
+// HasFrontier reports whether answers for this objective carry a plan
+// frontier beyond Best — true for the frontier-producing modes
+// (MultiObjective and RobustObjective). Serving paths use this to
+// decide whether Plans[1:] of a wire response is a frontier.
+func (o Objective) HasFrontier() bool {
+	return o == MultiObjective || o == RobustObjective
+}
+
+// DefaultRobustBand is the selectivity-uncertainty band a
+// RobustObjective job assumes when JobSpec.RobustBand is zero: the
+// worst case guards against every selectivity estimate being low by up
+// to a factor of two (q-error 2).
+const DefaultRobustBand = 2.0
 
 // JobSpec is the complete, serializable description of one optimization
 // job. The master sends (JobSpec, partition ID, query) to each worker;
@@ -63,7 +87,15 @@ type JobSpec struct {
 	Objective Objective
 	// Alpha is the approximation factor for multi-objective pruning
 	// (ignored for single-objective jobs; the paper's default is 10).
+	// Robust jobs honor it too — α > 1 trades frontier precision for
+	// speed; the default 1 keeps robust answers exact and
+	// engine-identical.
 	Alpha float64
+	// RobustBand is the selectivity-uncertainty band for
+	// RobustObjective jobs: the worst case inflates every predicate
+	// selectivity by this factor (clamped to 1). Must be ≥ 1; zero
+	// means DefaultRobustBand. Ignored by the other objectives.
+	RobustBand float64
 	// InterestingOrders enables sort-order tracking in the DP.
 	InterestingOrders bool
 	// DisableCrossProducts is an ablation switch (off in the paper).
@@ -87,12 +119,20 @@ func (s JobSpec) Validate(n int) error {
 			s.Workers, max, s.Space, n)
 	}
 	switch s.Objective {
-	case SingleObjective, MultiObjective:
+	case SingleObjective, MultiObjective, RobustObjective:
 	default:
 		return fmt.Errorf("core: invalid objective %d", int(s.Objective))
 	}
-	if s.Objective == MultiObjective && s.Alpha != 0 && s.Alpha < 1 {
+	if s.Objective.HasFrontier() && s.Alpha != 0 && s.Alpha < 1 {
 		return fmt.Errorf("core: approximation factor α=%g must be ≥ 1", s.Alpha)
+	}
+	if s.Objective == RobustObjective {
+		if s.RobustBand != 0 && !(s.RobustBand >= 1) {
+			return fmt.Errorf("core: robust band %g must be ≥ 1 (0 = default %g)", s.RobustBand, DefaultRobustBand)
+		}
+		if s.CostModel.Second != cost.BufferFootprint {
+			return fmt.Errorf("core: robust jobs derive their own second metric; CostModel.Second must be left at the default")
+		}
 	}
 	if s.CostModel != (cost.Model{}) {
 		if err := s.CostModel.Validate(); err != nil {
@@ -107,7 +147,10 @@ func (s JobSpec) Validate(n int) error {
 // families implement dp's two-phase cost-first contract: a scalar
 // Admits check per candidate, node materialization only for survivors.
 func (s JobSpec) Pruner() dp.Pruner {
-	if s.Objective == MultiObjective {
+	if s.Objective.HasFrontier() {
+		// Robust jobs reuse the Pareto pruner unchanged: with the Buffer
+		// slot carrying worst-case band cost, dominance over (Cost,
+		// Buffer) is exactly "never better at either endpoint".
 		alpha := s.Alpha
 		if alpha < 1 {
 			alpha = 1
@@ -120,10 +163,30 @@ func (s JobSpec) Pruner() dp.Pruner {
 	return dp.SingleBest{}
 }
 
+// EffectiveModel is the cost model the DP actually runs under: the
+// spec's CostModel (zero value = cost.Default()), with the RobustCost
+// second metric and band substituted in for RobustObjective jobs.
+// Plan validation must use this model, not CostModel, for robust
+// answers — their Buffer annotations are worst-case band costs.
+func (s JobSpec) EffectiveModel() cost.Model {
+	m := s.CostModel
+	if s.Objective == RobustObjective {
+		if m == (cost.Model{}) {
+			m = cost.Default()
+		}
+		m.Second = cost.RobustCost
+		m.RobustBand = s.RobustBand
+		if m.RobustBand == 0 {
+			m.RobustBand = DefaultRobustBand
+		}
+	}
+	return m
+}
+
 // DPOptions assembles the DP engine options for this spec.
 func (s JobSpec) DPOptions() dp.Options {
 	return dp.Options{
-		Model:                s.CostModel,
+		Model:                s.EffectiveModel(),
 		Pruner:               s.Pruner(),
 		InterestingOrders:    s.InterestingOrders,
 		DisableCrossProducts: s.DisableCrossProducts,
@@ -180,10 +243,12 @@ type WorkerReport struct {
 // Answer is the master's final result.
 type Answer struct {
 	// Best is the cost-optimal plan (time metric). For multi-objective
-	// jobs it is the minimum-time member of the frontier.
+	// jobs it is the minimum-time member of the frontier; for robust
+	// jobs it is the member with the smallest worst-case band cost
+	// (carried in its Buffer annotation).
 	Best *plan.Node
 	// Frontier is the merged α-approximate Pareto frontier
-	// (multi-objective jobs only; nil otherwise).
+	// (multi-objective and robust jobs only; nil otherwise).
 	Frontier []*plan.Node
 	// Stats aggregates worker stats: work counters are summed,
 	// MemoEntries is the per-worker maximum (the paper's memory metric).
@@ -212,18 +277,23 @@ type Answer struct {
 // FinalPrune implements the master's second phase (Algorithm 1, lines
 // 8-11): compare the partition-optimal plans returned by the workers and
 // keep the global optimum — the single cheapest plan, or the merged
-// α-approximate frontier for multi-objective jobs (in which case Best is
-// the frontier's minimum-time member).
+// α-approximate frontier for multi-objective and robust jobs. Best is
+// the frontier's minimum-time member, except for robust jobs, where it
+// is the member minimizing worst-case band cost (mo.MinWorstCase).
 func FinalPrune(spec JobSpec, frontiers [][]*plan.Node) (best *plan.Node, frontier []*plan.Node, err error) {
-	if spec.Objective == MultiObjective {
+	if spec.Objective.HasFrontier() {
 		alpha := spec.Alpha
 		if alpha < 1 {
 			alpha = 1
 		}
 		frontier = mo.Merge(frontiers, alpha)
-		for _, p := range frontier {
-			if best == nil || p.Cost < best.Cost {
-				best = p
+		if spec.Objective == RobustObjective {
+			best = mo.MinWorstCase(frontier)
+		} else {
+			for _, p := range frontier {
+				if best == nil || p.Cost < best.Cost {
+					best = p
+				}
 			}
 		}
 	} else {

@@ -66,6 +66,15 @@ const (
 	// exact parametric query optimization — the [7, 13] variant the
 	// paper's §2 says the partitioning covers.
 	ParametricCost
+	// RobustCost makes the second annotation the plan's execution cost
+	// at the high endpoint of a multiplicative selectivity-uncertainty
+	// band (every selectivity inflated by RobustBand, clamped to 1),
+	// combined additively. Cost is monotone in every selectivity, so
+	// the high corner is the worst case over the whole band and Pareto
+	// pruning over (nominal cost, worst-case cost) is exact robust plan
+	// search. The DP supplies the inflated operand cardinalities; the
+	// formulas themselves are unchanged.
+	RobustCost
 )
 
 // Model parameterizes the cost formulas. The zero value is not valid;
@@ -83,6 +92,10 @@ type Model struct {
 	// HashSpillFactor is the θ=1 hash-join cost multiplier for
 	// ParametricCost (ignored otherwise; must be ≥ 1).
 	HashSpillFactor float64
+	// RobustBand is the selectivity-uncertainty band for RobustCost:
+	// the high endpoint inflates every predicate selectivity by this
+	// factor (clamped to 1). Ignored by the other metrics; must be ≥ 1.
+	RobustBand float64
 }
 
 // Default returns the model used throughout the experiments.
@@ -100,6 +113,16 @@ func Parametric(spill float64) Model {
 	return m
 }
 
+// Robust returns the model for robust plan search: the second metric
+// is the plan cost at the high endpoint of a selectivity-uncertainty
+// band of the given width (≥ 1).
+func Robust(band float64) Model {
+	m := Default()
+	m.Second = RobustCost
+	m.RobustBand = band
+	return m
+}
+
 // Validate reports whether the model parameters are usable.
 func (m Model) Validate() error {
 	if !(m.HashFactor > 0) || !(m.SortFactor > 0) || !(m.NLBlock > 0) {
@@ -110,6 +133,10 @@ func (m Model) Validate() error {
 	case ParametricCost:
 		if !(m.HashSpillFactor >= 1) {
 			return fmt.Errorf("cost: HashSpillFactor %g must be >= 1 for ParametricCost", m.HashSpillFactor)
+		}
+	case RobustCost:
+		if !(m.RobustBand >= 1) || math.IsInf(m.RobustBand, 0) {
+			return fmt.Errorf("cost: RobustBand %g must be finite and >= 1 for RobustCost", m.RobustBand)
 		}
 	default:
 		return fmt.Errorf("cost: invalid second metric %d", int(m.Second))
@@ -179,33 +206,42 @@ func (m Model) JoinBuffer(alg JoinAlg, l, r float64, leftSorted, rightSorted boo
 	}
 }
 
-// ScanSecond returns a scan's second-metric value.
+// ScanSecond returns a scan's second-metric value. Scan cost does not
+// depend on selectivities, so for RobustCost it equals the nominal scan
+// cost.
 func (m Model) ScanSecond(card float64) float64 {
-	if m.Second == ParametricCost {
+	if m.Second == ParametricCost || m.Second == RobustCost {
 		return m.ScanCost(card)
 	}
 	return m.ScanBuffer(card)
 }
 
 // JoinSecond returns the operator's second-metric value: buffer
-// footprint, or the θ=1 operator cost for ParametricCost.
+// footprint, the θ=1 operator cost for ParametricCost, or the
+// worst-case operator cost for RobustCost. For RobustCost the caller
+// must pass the operands' high-endpoint (band-inflated) cardinalities
+// as l and r — the DP tracks them per relation set (see
+// plan.JoinScalarsRobust).
 func (m Model) JoinSecond(alg JoinAlg, l, r float64, leftSorted, rightSorted bool) float64 {
-	if m.Second == ParametricCost {
+	switch m.Second {
+	case ParametricCost:
 		c := m.JoinCost(alg, l, r, leftSorted, rightSorted)
 		if alg == Hash {
 			c *= m.HashSpillFactor
 		}
 		return c
+	case RobustCost:
+		return m.JoinCost(alg, l, r, leftSorted, rightSorted)
 	}
 	return m.JoinBuffer(alg, l, r, leftSorted, rightSorted)
 }
 
 // CombineSecond folds operand second-metric values with the operator's:
 // max for buffer footprints (concurrent pipeline peak), sum for
-// parametric costs (total work). Both are monotone, preserving the DP's
-// principle of optimality.
+// parametric and robust costs (total work). All are monotone,
+// preserving the DP's principle of optimality.
 func (m Model) CombineSecond(left, right, op float64) float64 {
-	if m.Second == ParametricCost {
+	if m.Second == ParametricCost || m.Second == RobustCost {
 		return left + right + op
 	}
 	b := op

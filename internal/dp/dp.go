@@ -211,7 +211,12 @@ func (r *Result) Best() *plan.Node {
 // chasing an entry pointer and a slice header.
 type entry struct {
 	card float64
-	f    Frontier
+	// cardHi is the set's cardinality at the high endpoint of the
+	// selectivity-uncertainty band (RobustCost models); equal to card
+	// otherwise. Tracked once per set, like card, so robust candidate
+	// evaluation stays pure float arithmetic per split.
+	cardHi float64
+	f      Frontier
 }
 
 // Run searches the plan-space partition cs of query q and returns the
@@ -323,10 +328,11 @@ func NewEngine(q *query.Query, cs *partition.ConstraintSet, opts Options) (*Engi
 		} else {
 			sp = plan.Scan(opts.Model, q, t)
 		}
-		memo.Put(sp.Tables, entry{card: sp.Card, f: FrontierOf(sp)})
+		memo.Put(sp.Tables, entry{card: sp.Card, cardHi: sp.Card, f: FrontierOf(sp)})
 		res.Stats.PlansKept++
 	}
-	w := &worker{q: q, cs: cs, opts: opts, memo: memo, arena: arena, spills: spills, res: res}
+	w := &worker{q: q, cs: cs, opts: opts, memo: memo, arena: arena, spills: spills, res: res,
+		robust: opts.Model.Second == cost.RobustCost}
 	if cs.Space == partition.Bushy {
 		w.splitter = cs.NewSplitter()
 	}
@@ -420,6 +426,10 @@ type worker struct {
 	res      *Result
 	splitter *partition.Splitter
 	predBuf  []int
+	// robust caches Model.Second == cost.RobustCost: candidate scalars
+	// then come from plan.JoinScalarsRobust over the operands'
+	// high-endpoint cardinalities.
+	robust bool
 	// scratch is the entry under construction. It lives in the worker —
 	// not on trySplits' stack — because its frontier's address crosses
 	// the Pruner interface, which would force a per-set heap escape.
@@ -482,6 +492,11 @@ func (w *worker) combine(e *entry, u, left, right bitset.Set, le, re *entry) {
 	w.res.Stats.SplitsTried++
 	if e.card < 0 {
 		e.card = le.card * re.card * w.q.SelBetween(left, right)
+		e.cardHi = e.card
+		if w.robust {
+			e.cardHi = le.cardHi * re.cardHi *
+				w.q.SelBetweenInflated(left, right, w.opts.Model.RobustBand)
+		}
 	}
 	w.predBuf = w.q.ConnectingPreds(w.predBuf[:0], left, right)
 	preds := w.predBuf
@@ -492,11 +507,11 @@ func (w *worker) combine(e *entry, u, left, right bitset.Set, le, re *entry) {
 		for ri, rn := 0, re.f.Len(); ri < rn; ri++ {
 			rp := re.f.At(ri)
 			// Nested-loop join: preserves the outer order.
-			w.offer(e, lp, rp, plan.JoinSpec{
+			w.offer(e, lp, rp, le, re, plan.JoinSpec{
 				Alg: cost.NestedLoop, OutCard: e.card, Pred: plan.NoPred, Order: lp.Order,
 			})
 			// Hash join: order destroyed.
-			w.offer(e, lp, rp, plan.JoinSpec{
+			w.offer(e, lp, rp, le, re, plan.JoinSpec{
 				Alg: cost.Hash, OutCard: e.card, Pred: plan.NoPred, Order: query.NoOrder,
 			})
 			// Sort-merge join: needs a merge predicate.
@@ -504,7 +519,7 @@ func (w *worker) combine(e *entry, u, left, right bitset.Set, le, re *entry) {
 				continue
 			}
 			if !w.opts.InterestingOrders {
-				w.offer(e, lp, rp, plan.JoinSpec{
+				w.offer(e, lp, rp, le, re, plan.JoinSpec{
 					Alg: cost.SortMerge, OutCard: e.card, Pred: plan.NoPred, Order: query.NoOrder,
 				})
 				continue
@@ -513,7 +528,7 @@ func (w *worker) combine(e *entry, u, left, right bitset.Set, le, re *entry) {
 				p := w.q.Preds[pi]
 				la, ra := plan.MergeAttrs(p, left)
 				order := plan.CanonicalMergeOrder(p)
-				w.offer(e, lp, rp, plan.JoinSpec{
+				w.offer(e, lp, rp, le, re, plan.JoinSpec{
 					Alg: cost.SortMerge, OutCard: e.card, Pred: pi, Order: order,
 					LSorted: lp.Order == la, RSorted: rp.Order == ra,
 				})
@@ -527,8 +542,13 @@ func (w *worker) combine(e *entry, u, left, right bitset.Set, le, re *entry) {
 // only admitted candidates are materialized — from the arena's slabs,
 // so survivors cost no individual heap allocation either. Pruned
 // candidates cost zero heap allocations.
-func (w *worker) offer(e *entry, lp, rp *plan.Node, spec plan.JoinSpec) {
-	c, buf := plan.JoinScalars(w.opts.Model, lp, rp, spec)
+func (w *worker) offer(e *entry, lp, rp *plan.Node, le, re *entry, spec plan.JoinSpec) {
+	var c, buf float64
+	if w.robust {
+		c, buf = plan.JoinScalarsRobust(w.opts.Model, lp, rp, spec, le.cardHi, re.cardHi)
+	} else {
+		c, buf = plan.JoinScalars(w.opts.Model, lp, rp, spec)
+	}
 	if !w.opts.Pruner.Admits(&e.f, Candidate{Cost: c, Buffer: buf, Order: spec.Order}) {
 		w.res.Stats.PlansPruned++
 		return

@@ -1,0 +1,122 @@
+// Package estim models cardinality-estimation error. Real optimizers
+// never see true selectivities; they see estimates that are off by a
+// multiplicative factor — the q-error of Moerkotte et al., the metric
+// the robustness literature (Datta et al., "Query Optimization in the
+// Wild") sweeps when it asks how bad chosen plans get as estimates
+// degrade.
+//
+// Perturb injects that error synthetically: each predicate selectivity
+// is multiplied by an independent factor (1+ε)^u with u uniform in
+// [-1, 1], so every perturbed estimate has q-error at most 1+ε against
+// the true value and the magnitude knob ε is the worst-case q-error
+// minus one. Draws are seed-deterministic and Magnitude 0 takes no
+// draws at all, returning the input query unchanged — the bit-identity
+// guarantee the engine-equivalence tests pin.
+//
+// Inflate builds the high endpoint of the uncertainty band the robust
+// planner optimizes against: every selectivity multiplied by the band
+// and clamped to 1, matching query.SelBetweenInflated.
+package estim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mpq/internal/query"
+)
+
+// Noise parameterizes the q-error noise model.
+type Noise struct {
+	// Magnitude is ε: each selectivity is multiplied by (1+ε)^u with u
+	// drawn uniformly from [-1, 1], so the per-predicate q-error is at
+	// most 1+ε. 0 disables the model entirely (no draws).
+	Magnitude float64
+	// Seed drives the per-predicate draws. The same (query, Noise)
+	// always yields the same perturbed query.
+	Seed int64
+	// Underestimate folds every draw to u ≤ 0, so the produced
+	// estimates never exceed the true selectivities — the bias real
+	// cardinality estimators exhibit (join estimates are predominantly
+	// underestimates; Leis et al., VLDB 2015). Under this bias the true
+	// selectivity always lies in the upward band [est, est·(1+ε)] that
+	// a robust job with RobustBand 1+ε plans against.
+	Underestimate bool
+}
+
+// Validate returns the first problem with the noise parameters.
+func (n Noise) Validate() error {
+	if n.Magnitude < 0 || math.IsNaN(n.Magnitude) || math.IsInf(n.Magnitude, 0) {
+		return fmt.Errorf("estim: noise magnitude %g must be finite and non-negative", n.Magnitude)
+	}
+	return nil
+}
+
+// Perturb returns a copy of q whose predicate selectivities carry
+// multiplicative q-error noise: one factor (1+ε)^u per predicate, u
+// uniform in [-1, 1], drawn in predicate index order from a generator
+// seeded with n.Seed, then clamped to (0, 1]. Tables and predicate
+// structure are untouched — only the estimates move. Magnitude 0
+// returns q itself with no random draws, so the zero-noise path is
+// bit-identical to never having called Perturb.
+func Perturb(q *query.Query, n Noise) (*query.Query, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if n.Magnitude == 0 {
+		return q, nil
+	}
+	base := 1 + n.Magnitude
+	rng := rand.New(rand.NewSource(n.Seed))
+	out, err := query.New(q.Tables)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range q.Preds {
+		u := 2*rng.Float64() - 1
+		if n.Underestimate {
+			u = -math.Abs(u)
+		}
+		p.Selectivity = math.Min(1, p.Selectivity*math.Pow(base, u))
+		if err := out.AddPredicate(p); err != nil {
+			return nil, err
+		}
+	}
+	out.Freeze()
+	return out, nil
+}
+
+// Inflate returns a copy of q with every predicate selectivity at the
+// high endpoint of a multiplicative band: min(1, Selectivity·band).
+// Costing a plan under Inflate(q, band) yields its worst-case cost over
+// the band, because plan cost is monotone in every selectivity. band
+// must be ≥ 1; band 1 returns q itself.
+func Inflate(q *query.Query, band float64) (*query.Query, error) {
+	if !(band >= 1) || math.IsInf(band, 0) {
+		return nil, fmt.Errorf("estim: band %g must be finite and ≥ 1", band)
+	}
+	if band == 1 {
+		return q, nil
+	}
+	out, err := query.New(q.Tables)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range q.Preds {
+		p.Selectivity = math.Min(1, p.Selectivity*band)
+		if err := out.AddPredicate(p); err != nil {
+			return nil, err
+		}
+	}
+	out.Freeze()
+	return out, nil
+}
+
+// QError is the symmetric multiplicative error between an estimate and
+// a true value: max(est/truth, truth/est) ≥ 1, the standard q-error.
+func QError(est, truth float64) float64 {
+	if est <= 0 || truth <= 0 {
+		return math.Inf(1)
+	}
+	return math.Max(est/truth, truth/est)
+}

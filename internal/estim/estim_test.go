@@ -1,0 +1,167 @@
+package estim
+
+import (
+	"math"
+	"testing"
+
+	"mpq/internal/query"
+	"mpq/internal/workload"
+)
+
+func genQuery(t *testing.T, n int, seed int64) *query.Query {
+	t.Helper()
+	_, q, err := workload.Generate(workload.NewParams(n, workload.Star), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestPerturbZeroIdentity: Magnitude 0 returns the input query itself —
+// not a copy — so the zero-noise path is bit-identical to never having
+// called Perturb, regardless of seed.
+func TestPerturbZeroIdentity(t *testing.T) {
+	q := genQuery(t, 8, 1)
+	for _, seed := range []int64{0, 1, 99} {
+		out, err := Perturb(q, Noise{Magnitude: 0, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != q {
+			t.Fatalf("seed %d: Magnitude 0 returned a copy, not the input", seed)
+		}
+	}
+}
+
+// TestPerturbDeterminismAndBounds: the same (query, Noise) reproduces
+// the same estimates, a different seed moves them, and every perturbed
+// selectivity stays in (0, 1] with per-predicate q-error at most 1+ε.
+func TestPerturbDeterminismAndBounds(t *testing.T) {
+	q := genQuery(t, 9, 3)
+	const eps = 2.0
+	a, err := Perturb(q, Noise{Magnitude: eps, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Perturb(q, Noise{Magnitude: eps, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Perturb(q, Noise{Magnitude: eps, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == q {
+		t.Fatal("nonzero noise returned the input query")
+	}
+	moved, differ := false, false
+	for i := range q.Preds {
+		sa, sb, sc, st := a.Preds[i].Selectivity, b.Preds[i].Selectivity, c.Preds[i].Selectivity, q.Preds[i].Selectivity
+		if sa != sb {
+			t.Fatalf("pred %d: same seed gave %g and %g", i, sa, sb)
+		}
+		if sa != st {
+			moved = true
+		}
+		if sa != sc {
+			differ = true
+		}
+		if !(sa > 0 && sa <= 1) {
+			t.Fatalf("pred %d: selectivity %g out of (0, 1]", i, sa)
+		}
+		// Clamping to 1 can only shrink an overestimate, so the q-error
+		// bound survives the clamp.
+		if e := QError(sa, st); e > 1+eps+1e-12 {
+			t.Fatalf("pred %d: q-error %g exceeds bound %g", i, e, 1+eps)
+		}
+	}
+	if !moved {
+		t.Fatal("noise did not move any selectivity")
+	}
+	if !differ {
+		t.Fatal("different seeds produced identical estimates")
+	}
+}
+
+// TestPerturbUnderestimate: with the bias folded in, no estimate
+// exceeds its true selectivity and at least one falls strictly below.
+func TestPerturbUnderestimate(t *testing.T) {
+	q := genQuery(t, 9, 3)
+	out, err := Perturb(q, Noise{Magnitude: 2, Seed: 11, Underestimate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	below := false
+	for i := range q.Preds {
+		s, truth := out.Preds[i].Selectivity, q.Preds[i].Selectivity
+		if s > truth {
+			t.Fatalf("pred %d: underestimate mode produced %g > true %g", i, s, truth)
+		}
+		if s < truth {
+			below = true
+		}
+	}
+	if !below {
+		t.Fatal("underestimate mode left every selectivity unchanged")
+	}
+}
+
+func TestNoiseValidate(t *testing.T) {
+	q := genQuery(t, 5, 1)
+	for _, n := range []Noise{
+		{Magnitude: -1},
+		{Magnitude: math.NaN()},
+		{Magnitude: math.Inf(1)},
+	} {
+		if _, err := Perturb(q, n); err == nil {
+			t.Fatalf("noise %+v accepted", n)
+		}
+	}
+}
+
+// TestInflate: band 1 is the identity (same pointer); larger bands
+// multiply every selectivity and clamp at 1; invalid bands error.
+func TestInflate(t *testing.T) {
+	q := genQuery(t, 8, 5)
+	same, err := Inflate(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != q {
+		t.Fatal("band 1 returned a copy, not the input")
+	}
+	const band = 3.0
+	hi, err := Inflate(q, band)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range q.Preds {
+		want := math.Min(1, q.Preds[i].Selectivity*band)
+		if got := hi.Preds[i].Selectivity; got != want {
+			t.Fatalf("pred %d: inflated to %g, want %g", i, got, want)
+		}
+	}
+	for _, bad := range []float64{0.5, 0, -1, math.Inf(1), math.NaN()} {
+		if _, err := Inflate(q, bad); err == nil {
+			t.Fatalf("band %g accepted", bad)
+		}
+	}
+}
+
+func TestQError(t *testing.T) {
+	if got := QError(2, 1); got != 2 {
+		t.Fatalf("QError(2, 1) = %g", got)
+	}
+	if got := QError(1, 4); got != 4 {
+		t.Fatalf("QError(1, 4) = %g", got)
+	}
+	if got := QError(0.25, 0.25); got != 1 {
+		t.Fatalf("QError of equal values = %g", got)
+	}
+	if got := QError(0, 1); !math.IsInf(got, 1) {
+		t.Fatalf("QError(0, 1) = %g, want +Inf", got)
+	}
+	if got := QError(1, -2); !math.IsInf(got, 1) {
+		t.Fatalf("QError(1, -2) = %g, want +Inf", got)
+	}
+}

@@ -1,0 +1,115 @@
+package exec
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"mpq/internal/workload"
+)
+
+// TestGenerateZipfZeroSkewIsGenerate: skew 0 must consume the RNG
+// exactly like Generate and produce byte-identical tables, so callers
+// can thread a skew parameter through unconditionally.
+func TestGenerateZipfZeroSkewIsGenerate(t *testing.T) {
+	cat, _, err := workload.Generate(workload.NewParams(5, workload.Star), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Generate(cat, 7, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zipf, err := GenerateZipf(cat, 7, Limits{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.tables, zipf.tables) {
+		t.Fatal("skew 0 produced different tables than Generate")
+	}
+}
+
+// TestGenerateZipfSkew: the same seed reproduces the same rows, and a
+// positive skew concentrates mass on small values — value 0 must be
+// strictly more frequent than under the uniform draw.
+func TestGenerateZipfSkew(t *testing.T) {
+	p := workload.NewParams(4, workload.Star)
+	p.MinCard, p.MaxCard = 500, 1000
+	cat, _, err := workload.Generate(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := GenerateZipf(cat, 9, Limits{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateZipf(cat, 9, Limits{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.tables, b.tables) {
+		t.Fatal("same seed produced different tables")
+	}
+	uniform, err := Generate(cat, 9, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeros := func(db *DB) (n int) {
+		for _, rows := range db.tables {
+			for _, row := range rows {
+				for _, v := range row {
+					if v == 0 {
+						n++
+					}
+				}
+			}
+		}
+		return n
+	}
+	if zs, zu := zeros(a), zeros(uniform); zs <= zu {
+		t.Fatalf("skew 1 produced %d zero values, uniform %d — no concentration", zs, zu)
+	}
+	for _, bad := range []float64{-1, math.Inf(1), math.NaN()} {
+		if _, err := GenerateZipf(cat, 9, Limits{}, bad); err == nil {
+			t.Fatalf("skew %v accepted", bad)
+		}
+	}
+}
+
+// TestMeasuredSelectivity checks the measured fraction against a
+// hand-counted cross product and the error paths.
+func TestMeasuredSelectivity(t *testing.T) {
+	db := &DB{
+		attrs: 1,
+		tables: [][][]int64{
+			{{0}, {0}, {1}},      // table 0: values 0, 0, 1
+			{{0}, {1}, {1}, {2}}, // table 1: values 0, 1, 1, 2
+		},
+	}
+	// Matches: 2·1 (value 0) + 1·2 (value 1) = 4 of 12 pairs.
+	sel, err := db.MeasuredSelectivity(0, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4.0 / 12.0; sel != want {
+		t.Fatalf("measured selectivity %g, want %g", sel, want)
+	}
+	// Symmetric in the table order.
+	rev, err := db.MeasuredSelectivity(1, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev != sel {
+		t.Fatalf("selectivity not symmetric: %g vs %g", rev, sel)
+	}
+	if _, err := db.MeasuredSelectivity(0, 0, 2, 0); err == nil {
+		t.Fatal("out-of-range table accepted")
+	}
+	if _, err := db.MeasuredSelectivity(0, 1, 1, 0); err == nil {
+		t.Fatal("out-of-range attribute accepted")
+	}
+	empty := &DB{tables: [][][]int64{{}, {{0}}}}
+	if _, err := empty.MeasuredSelectivity(0, 0, 1, 0); err == nil {
+		t.Fatal("empty table accepted")
+	}
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegretSweep runs the regret experiment at the exact scale the CI
+// artifact job uses and pins the behaviors the sweep exists to show:
+// exact estimates cost nothing, regret grows with the error magnitude,
+// and robust mode reduces worst-case regret on at least one
+// underestimation-biased configuration.
+func TestRegretSweep(t *testing.T) {
+	rows, err := Regret(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 shapes × 8 noise sweeps, plus the two measured-execution rows.
+	if len(rows) != 3*8+2 {
+		t.Fatalf("got %d rows, want %d", len(rows), 3*8+2)
+	}
+	robustWin := false
+	for _, r := range rows {
+		if r.QErr < 1 {
+			t.Errorf("%s/%s: q-error %g below 1", r.Workload, r.Source, r.QErr)
+		}
+		for _, v := range []float64{r.PointMed, r.PointMax, r.RobustMed, r.RobustMax} {
+			if !(v >= 1-1e-9) {
+				t.Errorf("%s/%s: regret %g below 1 — beat the true optimum?", r.Workload, r.Source, v)
+			}
+		}
+		if r.PointMed > r.PointMax || r.RobustMed > r.RobustMax {
+			t.Errorf("%s/%s: median exceeds max: %+v", r.Workload, r.Source, r)
+		}
+		// Exact estimates: the chosen plan IS the true-optimal plan, so
+		// regret is exactly 1 — the bit-identity guarantee, measured.
+		if r.Source == "eps=0" {
+			for _, v := range []float64{r.PointMed, r.PointMax, r.RobustMed, r.RobustMax} {
+				if v > 1+1e-9 {
+					t.Errorf("%s: regret %g at eps=0", r.Workload, v)
+				}
+			}
+		}
+		if strings.HasSuffix(r.Source, "under") && r.RobustMax < r.PointMax {
+			robustWin = true
+		}
+	}
+	if !robustWin {
+		t.Error("no underestimation-biased config where robust mode reduced worst-case regret")
+	}
+	// Regret grows with the error magnitude: at eps=4 some shape's point
+	// plan must be measurably worse than optimal.
+	grew := false
+	for _, r := range rows {
+		if r.Source == "eps=4" && r.PointMax > 1.5 {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Error("eps=4 point regret never exceeded 1.5 — noise is not reaching the planner")
+	}
+
+	tab := RegretTable(rows)
+	if len(tab.Rows) != len(rows) || len(tab.Columns) != 8 {
+		t.Fatalf("table shape %dx%d", len(tab.Rows), len(tab.Columns))
+	}
+}

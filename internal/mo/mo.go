@@ -128,6 +128,24 @@ func insertRootPlan(plans []*plan.Node, p *plan.Node, alpha float64) []*plan.Nod
 	return append(out, p)
 }
 
+// MinWorstCase selects the robust winner from a merged frontier: the
+// plan with the smallest Buffer annotation — under a RobustCost model
+// that slot holds the plan's worst-case cost over the selectivity
+// band — breaking ties toward the lower nominal Cost, then toward the
+// earlier frontier position. The tie-breaks keep the choice
+// deterministic across engines, which aggregate partition frontiers in
+// partition-ID order. Returns nil for an empty frontier.
+func MinWorstCase(plans []*plan.Node) *plan.Node {
+	var best *plan.Node
+	for _, p := range plans {
+		if best == nil || p.Buffer < best.Buffer ||
+			(p.Buffer == best.Buffer && p.Cost < best.Cost) {
+			best = p
+		}
+	}
+	return best
+}
+
 // ExactFrontier filters an arbitrary plan list down to its exact Pareto
 // frontier (no α coarsening, orders ignored). Used by tests and by the
 // precision measurement of Table 1.

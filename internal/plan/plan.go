@@ -96,6 +96,19 @@ func JoinScalars(m cost.Model, l, r *Node, spec JoinSpec) (costv, buffer float64
 	return l.Cost + r.Cost + opCost, m.CombineSecond(l.Buffer, r.Buffer, opBuf)
 }
 
+// JoinScalarsRobust is JoinScalars for RobustCost models: the Buffer
+// slot accumulates the plan's worst-case cumulative cost over the
+// selectivity-uncertainty band, which requires the operands'
+// high-endpoint cardinalities lHi and rHi (tracked once per relation
+// set by the DP, like nominal cardinalities). Cost stays the nominal
+// cumulative cost, so Pareto pruning over (Cost, Buffer) explores the
+// nominal-vs-worst-case trade-off.
+func JoinScalarsRobust(m cost.Model, l, r *Node, spec JoinSpec, lHi, rHi float64) (costv, buffer float64) {
+	opCost := m.JoinCost(spec.Alg, l.Card, r.Card, spec.LSorted, spec.RSorted)
+	opHi := m.JoinSecond(spec.Alg, lHi, rHi, spec.LSorted, spec.RSorted)
+	return l.Cost + r.Cost + opCost, m.CombineSecond(l.Buffer, r.Buffer, opHi)
+}
+
 // Join builds a join node over operands l (outer) and r (inner).
 func Join(m cost.Model, l, r *Node, spec JoinSpec) *Node {
 	c, buf := JoinScalars(m, l, r, spec)
@@ -236,40 +249,62 @@ func approxEq(a, b float64) bool {
 // buffer and order annotations recompute to the stored values. It
 // returns the first violation found.
 func (n *Node) Validate(q *query.Query, m cost.Model) error {
-	_, err := n.validate(q, m)
+	_, _, err := n.rebuild(q, m, true)
 	return err
 }
 
-func (n *Node) validate(q *query.Query, m cost.Model) (*Node, error) {
+// Reannotate rebuilds the plan's annotations (cardinality, cost,
+// buffer, order) from its structure under a different query and/or
+// cost model: same tables, join algorithms and merge predicates, fresh
+// estimates. This is how the regret experiments cost a plan chosen
+// under noisy estimates against the true statistics, and how a plan's
+// worst-case band cost is computed by re-annotating under an inflated
+// query (estim.Inflate). n is not modified; q must have the same table
+// count and predicate list as the query the plan was built against.
+// Note the per-set cardinalities are recomputed per tree here, so
+// annotations can differ from the DP's by float association — compare
+// with a relative tolerance, as Validate does.
+func (n *Node) Reannotate(q *query.Query, m cost.Model) (*Node, error) {
+	rebuilt, _, err := n.rebuild(q, m, false)
+	return rebuilt, err
+}
+
+// rebuild recomputes the subtree's annotations from its structure under
+// (q, m) and returns the rebuilt node plus its high-endpoint
+// cardinality (equal to Card for non-robust models). With check set it
+// also compares every recomputed annotation against the stored one —
+// the Validate path; Reannotate skips the comparisons because its whole
+// point is annotating the structure under different statistics.
+func (n *Node) rebuild(q *query.Query, m cost.Model, check bool) (*Node, float64, error) {
 	if n.IsScan {
 		if n.Table < 0 || n.Table >= q.N() {
-			return nil, fmt.Errorf("plan: scan table %d out of range", n.Table)
+			return nil, 0, fmt.Errorf("plan: scan table %d out of range", n.Table)
 		}
 		want := Scan(m, q, n.Table)
-		if n.Tables != want.Tables || !approxEq(n.Card, want.Card) || !approxEq(n.Cost, want.Cost) {
-			return nil, fmt.Errorf("plan: scan T%d annotations inconsistent: %+v", n.Table, n)
+		if check && (n.Tables != want.Tables || !approxEq(n.Card, want.Card) || !approxEq(n.Cost, want.Cost)) {
+			return nil, 0, fmt.Errorf("plan: scan T%d annotations inconsistent: %+v", n.Table, n)
 		}
-		return want, nil
+		return want, want.Card, nil
 	}
 	if n.Left == nil || n.Right == nil {
-		return nil, fmt.Errorf("plan: join with nil operand")
+		return nil, 0, fmt.Errorf("plan: join with nil operand")
 	}
 	if n.Left.Tables.Intersects(n.Right.Tables) {
-		return nil, fmt.Errorf("plan: operands overlap: %v and %v", n.Left.Tables, n.Right.Tables)
+		return nil, 0, fmt.Errorf("plan: operands overlap: %v and %v", n.Left.Tables, n.Right.Tables)
 	}
 	if n.Left.Tables.Union(n.Right.Tables) != n.Tables {
-		return nil, fmt.Errorf("plan: table set %v != union of operands", n.Tables)
+		return nil, 0, fmt.Errorf("plan: table set %v != union of operands", n.Tables)
 	}
-	l, err := n.Left.validate(q, m)
+	l, lHi, err := n.Left.rebuild(q, m, check)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	r, err := n.Right.validate(q, m)
+	r, rHi, err := n.Right.rebuild(q, m, check)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if !n.Alg.Valid() {
-		return nil, fmt.Errorf("plan: invalid join algorithm %d", int(n.Alg))
+		return nil, 0, fmt.Errorf("plan: invalid join algorithm %d", int(n.Alg))
 	}
 	wantCard := l.Card * r.Card * q.SelBetween(n.Left.Tables, n.Right.Tables)
 	lSorted, rSorted := false, false
@@ -277,37 +312,48 @@ func (n *Node) validate(q *query.Query, m cost.Model) (*Node, error) {
 	pred := NoPred
 	if n.Alg == cost.SortMerge && n.Pred != NoPred {
 		if n.Pred < 0 || n.Pred >= len(q.Preds) {
-			return nil, fmt.Errorf("plan: merge predicate %d out of range", n.Pred)
+			return nil, 0, fmt.Errorf("plan: merge predicate %d out of range", n.Pred)
 		}
 		p := q.Preds[n.Pred]
 		la, ra := mergeAttrs(p, n.Left.Tables)
 		if la == query.NoOrder {
-			return nil, fmt.Errorf("plan: merge predicate %d does not straddle operands", n.Pred)
+			return nil, 0, fmt.Errorf("plan: merge predicate %d does not straddle operands", n.Pred)
 		}
-		lSorted = n.Left.Order == la
-		rSorted = n.Right.Order == ra
+		lSorted = l.Order == la
+		rSorted = r.Order == ra
 		order = minOrder(la, ra)
 		pred = n.Pred
 	} else if n.Alg == cost.NestedLoop {
-		order = n.Left.Order // NLJ preserves outer order
+		order = l.Order // NLJ preserves outer order
 	}
-	rebuilt := Join(m, l, r, JoinSpec{
+	spec := JoinSpec{
 		Alg: n.Alg, OutCard: wantCard, Pred: pred, Order: order,
 		LSorted: lSorted, RSorted: rSorted,
-	})
-	if !approxEq(n.Card, rebuilt.Card) {
-		return nil, fmt.Errorf("plan: card %g, recomputed %g for %v", n.Card, rebuilt.Card, n.Tables)
 	}
-	if !approxEq(n.Cost, rebuilt.Cost) {
-		return nil, fmt.Errorf("plan: cost %g, recomputed %g for %v", n.Cost, rebuilt.Cost, n.Tables)
+	hi := wantCard
+	var rebuilt *Node
+	if m.Second == cost.RobustCost {
+		hi = lHi * rHi * q.SelBetweenInflated(n.Left.Tables, n.Right.Tables, m.RobustBand)
+		c, buf := JoinScalarsRobust(m, l, r, spec, lHi, rHi)
+		rebuilt = JoinWithScalars(l, r, spec, c, buf)
+	} else {
+		rebuilt = Join(m, l, r, spec)
 	}
-	if !approxEq(n.Buffer, rebuilt.Buffer) {
-		return nil, fmt.Errorf("plan: buffer %g, recomputed %g for %v", n.Buffer, rebuilt.Buffer, n.Tables)
+	if check {
+		if !approxEq(n.Card, rebuilt.Card) {
+			return nil, 0, fmt.Errorf("plan: card %g, recomputed %g for %v", n.Card, rebuilt.Card, n.Tables)
+		}
+		if !approxEq(n.Cost, rebuilt.Cost) {
+			return nil, 0, fmt.Errorf("plan: cost %g, recomputed %g for %v", n.Cost, rebuilt.Cost, n.Tables)
+		}
+		if !approxEq(n.Buffer, rebuilt.Buffer) {
+			return nil, 0, fmt.Errorf("plan: buffer %g, recomputed %g for %v", n.Buffer, rebuilt.Buffer, n.Tables)
+		}
+		if n.Order != rebuilt.Order {
+			return nil, 0, fmt.Errorf("plan: order %d, recomputed %d for %v", n.Order, rebuilt.Order, n.Tables)
+		}
 	}
-	if n.Order != rebuilt.Order {
-		return nil, fmt.Errorf("plan: order %d, recomputed %d for %v", n.Order, rebuilt.Order, n.Tables)
-	}
-	return rebuilt, nil
+	return rebuilt, hi, nil
 }
 
 // mergeAttrs returns the order (attribute) IDs of predicate p as seen

@@ -145,6 +145,23 @@ func (q *Query) SelBetween(a, b bitset.Set) float64 {
 	return sel
 }
 
+// SelBetweenInflated is SelBetween at the high endpoint of a
+// multiplicative uncertainty band: every straddling predicate
+// contributes min(1, Selectivity·band) instead of its point estimate.
+// band must be ≥ 1. It iterates predicates in the same index order as
+// SelBetween so the two products associate floats identically, which
+// keeps robust annotations reproducible across engines.
+func (q *Query) SelBetweenInflated(a, b bitset.Set, band float64) float64 {
+	sel := 1.0
+	for _, p := range q.Preds {
+		l, r := bitset.Single(p.Left), bitset.Single(p.Right)
+		if (a&l != 0 && b&r != 0) || (a&r != 0 && b&l != 0) {
+			sel *= math.Min(1, p.Selectivity*band)
+		}
+	}
+	return sel
+}
+
 // ConnectingPreds appends to dst the indices of predicates with one
 // endpoint in a and the other in b, and returns the extended slice.
 // It iterates over the adjacency lists of the smaller side.

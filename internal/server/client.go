@@ -9,7 +9,6 @@ import (
 	"time"
 
 	"mpq"
-	"mpq/internal/core"
 	"mpq/internal/wire"
 )
 
@@ -198,7 +197,7 @@ func buildClientAnswer(reply clientReply, spec mpq.JobSpec, elapsed time.Duratio
 		return nil, errors.New("server: remote returned no plans")
 	}
 	ans := &mpq.Answer{Best: resp.Plans[0], Stats: resp.Stats, Elapsed: elapsed}
-	if spec.Objective == core.MultiObjective && len(resp.Plans) > 1 {
+	if spec.Objective.HasFrontier() && len(resp.Plans) > 1 {
 		ans.Frontier = resp.Plans[1:]
 	}
 	return ans, nil

@@ -29,10 +29,13 @@ type OptimizeRequest struct {
 	// Workers is the plan-space partition count m (power of two,
 	// default 1).
 	Workers int `json:"workers,omitempty"`
-	// Objective is "single" (default) or "multi".
+	// Objective is "single" (default), "multi", or "robust".
 	Objective string `json:"objective,omitempty"`
 	// Alpha is the multi-objective approximation factor (default 10).
 	Alpha float64 `json:"alpha,omitempty"`
+	// RobustBand is the selectivity uncertainty band B ≥ 1 for robust
+	// jobs; 0 means the engine default.
+	RobustBand float64 `json:"robustBand,omitempty"`
 	// InterestingOrders enables sort-order tracking.
 	InterestingOrders bool `json:"interestingOrders,omitempty"`
 	// Tenant names the fairness bucket; falls back to the
@@ -117,6 +120,7 @@ func parseJob(or *OptimizeRequest) (*mpq.Query, mpq.JobSpec, error) {
 	js := mpq.JobSpec{
 		Workers:           or.Workers,
 		Alpha:             or.Alpha,
+		RobustBand:        or.RobustBand,
 		InterestingOrders: or.InterestingOrders,
 	}
 	if js.Workers == 0 {
@@ -135,8 +139,10 @@ func parseJob(or *OptimizeRequest) (*mpq.Query, mpq.JobSpec, error) {
 		js.Objective = core.SingleObjective
 	case "multi":
 		js.Objective = core.MultiObjective
+	case "robust":
+		js.Objective = core.RobustObjective
 	default:
-		return nil, mpq.JobSpec{}, fmt.Errorf("unknown objective %q (want single or multi)", or.Objective)
+		return nil, mpq.JobSpec{}, fmt.Errorf("unknown objective %q (want single, multi, or robust)", or.Objective)
 	}
 	if err := js.Validate(q.N()); err != nil {
 		return nil, mpq.JobSpec{}, err

@@ -9,7 +9,6 @@ import (
 	"time"
 
 	"mpq"
-	"mpq/internal/core"
 	"mpq/internal/wire"
 )
 
@@ -162,7 +161,7 @@ func (s *Server) serveWireConn(conn net.Conn) {
 			continue
 		}
 		seq := jr.Seq
-		multi := jr.Spec.Objective == core.MultiObjective
+		multi := jr.Spec.Objective.HasFrontier()
 		ctx, reqCancel := context.WithTimeout(connCtx, s.cfg.DefaultTimeout)
 		req := &request{
 			ctx:    ctx,

@@ -46,6 +46,7 @@ func EncodeJobRequest(r *JobRequest) []byte {
 	e.u32(uint32(r.Spec.Workers))
 	e.u8(uint8(r.Spec.Objective))
 	e.f64(r.Spec.Alpha)
+	e.f64(r.Spec.RobustBand)
 	e.bool(r.Spec.InterestingOrders)
 	e.bool(r.Spec.DisableCrossProducts)
 	e.f64(r.Spec.CostModel.HashFactor)
@@ -53,6 +54,7 @@ func EncodeJobRequest(r *JobRequest) []byte {
 	e.f64(r.Spec.CostModel.NLBlock)
 	e.u8(uint8(r.Spec.CostModel.Second))
 	e.f64(r.Spec.CostModel.HashSpillFactor)
+	e.f64(r.Spec.CostModel.RobustBand)
 	e.u32(uint32(r.PartID))
 	encodeQueryBody(e, r.Query)
 	return e.buf
@@ -68,6 +70,7 @@ func DecodeJobRequest(b []byte) (*JobRequest, error) {
 	r.Spec.Workers = int(d.u32())
 	r.Spec.Objective = core.Objective(d.u8())
 	r.Spec.Alpha = d.f64()
+	r.Spec.RobustBand = d.f64()
 	r.Spec.InterestingOrders = d.bool()
 	r.Spec.DisableCrossProducts = d.bool()
 	r.Spec.CostModel.HashFactor = d.f64()
@@ -75,6 +78,7 @@ func DecodeJobRequest(b []byte) (*JobRequest, error) {
 	r.Spec.CostModel.NLBlock = d.f64()
 	r.Spec.CostModel.Second = cost.SecondMetric(d.u8())
 	r.Spec.CostModel.HashSpillFactor = d.f64()
+	r.Spec.CostModel.RobustBand = d.f64()
 	r.PartID = int(d.u32())
 	r.Query = decodeQueryBody(d)
 	if err := d.finish(); err != nil {

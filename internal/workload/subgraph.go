@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mpq/internal/catalog"
+	"mpq/internal/query"
+)
+
+// SubgraphFromSchema builds the catalog and join query of a random
+// connected sub-graph of a TPC-style schema's foreign-key join graph.
+// It picks `tables` relations by seeded random connected growth — start
+// at a random relation, repeatedly absorb a random foreign-key neighbor
+// of the chosen set — and joins them with every schema join whose two
+// relations were both chosen, so a star schema yields star-ish queries
+// and a snowflake schema yields chain-ish ones. Relations keep the
+// schema's declaration order in the result (the query shape depends on
+// the seed, the table numbering does not). Same (schema, sf, tables,
+// seed) — same catalog and query.
+func SubgraphFromSchema(s *catalog.Schema, sf float64, tables int, seed int64) (*catalog.Catalog, *query.Query, error) {
+	if s == nil {
+		return nil, nil, fmt.Errorf("workload: nil schema")
+	}
+	if tables < 2 || tables > len(s.Tables) {
+		return nil, nil, fmt.Errorf("workload: subgraph of schema %q wants 2..%d tables, got %d",
+			s.Name, len(s.Tables), tables)
+	}
+	full, err := s.Build(sf)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Adjacency over schema table indices. Schema joins reference tables
+	// by name; Build has already verified every name resolves.
+	idx := make(map[string]int, len(s.Tables))
+	for i, t := range s.Tables {
+		idx[t.Name] = i
+	}
+	adj := make([][]int, len(s.Tables))
+	for _, j := range s.Joins {
+		l, r := idx[j.Left], idx[j.Right]
+		adj[l] = append(adj[l], r)
+		adj[r] = append(adj[r], l)
+	}
+
+	// Only a start whose connected component holds enough relations can
+	// grow to the requested size.
+	eligible := componentsAtLeast(adj, tables)
+	if len(eligible) == 0 {
+		return nil, nil, fmt.Errorf("workload: schema %q has no connected component with %d tables",
+			s.Name, tables)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	chosen := make([]bool, len(s.Tables))
+	chosen[eligible[rng.Intn(len(eligible))]] = true
+	for picked := 1; picked < tables; picked++ {
+		// Candidates are the unchosen neighbors of the chosen set, in
+		// ascending schema order — the draw is over a deterministic list.
+		var cands []int
+		seen := make([]bool, len(s.Tables))
+		for t, in := range chosen {
+			if !in {
+				continue
+			}
+			for _, n := range adj[t] {
+				if !chosen[n] && !seen[n] {
+					seen[n] = true
+					cands = append(cands, n)
+				}
+			}
+		}
+		sort.Ints(cands)
+		chosen[cands[rng.Intn(len(cands))]] = true
+	}
+
+	// Renumber: chosen relations keep schema declaration order.
+	cat := catalog.New()
+	for i, t := range s.Tables {
+		if !chosen[i] {
+			continue
+		}
+		fi, _ := full.Lookup(t.Name)
+		if _, err := cat.AddTable(full.Table(fi)); err != nil {
+			return nil, nil, err
+		}
+	}
+	qts := make([]query.Table, cat.Len())
+	for i := range qts {
+		t := cat.Table(i)
+		qts[i] = query.Table{Name: t.Name, Cardinality: t.Cardinality}
+	}
+	q, err := query.New(qts)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, j := range s.Joins {
+		if !chosen[idx[j.Left]] || !chosen[idx[j.Right]] {
+			continue
+		}
+		li, lai, err := resolveAttr(cat, j.Left, j.LeftAttr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("workload: schema %q join %d: %w", s.Name, i, err)
+		}
+		ri, rai, err := resolveAttr(cat, j.Right, j.RightAttr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("workload: schema %q join %d: %w", s.Name, i, err)
+		}
+		sel, err := cat.EqSelectivity(li, lai, ri, rai)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := q.AddPredicate(query.Predicate{
+			Left: li, Right: ri, LeftAttr: lai, RightAttr: rai, Selectivity: sel,
+		}); err != nil {
+			return nil, nil, fmt.Errorf("workload: schema %q join %d: %w", s.Name, i, err)
+		}
+	}
+	q.Freeze()
+	return cat, q, nil
+}
+
+// componentsAtLeast returns, in ascending order, every node whose
+// connected component has at least k nodes.
+func componentsAtLeast(adj [][]int, k int) []int {
+	comp := make([]int, len(adj))
+	for i := range comp {
+		comp[i] = -1
+	}
+	var sizes []int
+	for i := range adj {
+		if comp[i] >= 0 {
+			continue
+		}
+		id := len(sizes)
+		size := 0
+		stack := []int{i}
+		comp[i] = id
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			size++
+			for _, m := range adj[n] {
+				if comp[m] < 0 {
+					comp[m] = id
+					stack = append(stack, m)
+				}
+			}
+		}
+		sizes = append(sizes, size)
+	}
+	var out []int
+	for i, c := range comp {
+		if sizes[c] >= k {
+			out = append(out, i)
+		}
+	}
+	return out
+}

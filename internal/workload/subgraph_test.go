@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"testing"
+
+	"mpq/internal/bitset"
+	"mpq/internal/catalog"
+)
+
+func TestSubgraphFromSchema(t *testing.T) {
+	sch := catalog.TPCDS()
+	for _, tables := range []int{2, 4, len(sch.Tables)} {
+		for seed := int64(0); seed < 5; seed++ {
+			cat, q, err := SubgraphFromSchema(sch, 1, tables, seed)
+			if err != nil {
+				t.Fatalf("tables=%d seed=%d: %v", tables, seed, err)
+			}
+			if cat.Len() != tables || q.N() != tables {
+				t.Fatalf("tables=%d seed=%d: got %d relations, query over %d", tables, seed, cat.Len(), q.N())
+			}
+			if err := q.Validate(); err != nil {
+				t.Fatalf("tables=%d seed=%d: invalid query: %v", tables, seed, err)
+			}
+			// Connected growth must yield a connected join graph: the
+			// planner would otherwise need cross products.
+			if !q.Connected(bitset.Range(q.N())) {
+				t.Fatalf("tables=%d seed=%d: disconnected join graph", tables, seed)
+			}
+			// Relations keep schema declaration order regardless of the
+			// order the random growth picked them in.
+			pos := -1
+			for i := 0; i < cat.Len(); i++ {
+				j := schemaIndex(t, sch, cat.Table(i).Name)
+				if j <= pos {
+					t.Fatalf("tables=%d seed=%d: relation order violates schema order", tables, seed)
+				}
+				pos = j
+			}
+		}
+	}
+}
+
+func schemaIndex(t *testing.T, s *catalog.Schema, name string) int {
+	t.Helper()
+	for i, tb := range s.Tables {
+		if tb.Name == name {
+			return i
+		}
+	}
+	t.Fatalf("relation %q not in schema %q", name, s.Name)
+	return -1
+}
+
+// TestSubgraphDeterminismAndVariety: the same seed reproduces the same
+// subquery; across seeds the picks actually vary.
+func TestSubgraphDeterminismAndVariety(t *testing.T) {
+	sch := catalog.TPCH()
+	names := func(seed int64) string {
+		cat, _, err := SubgraphFromSchema(sch, 1, 4, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := ""
+		for i := 0; i < cat.Len(); i++ {
+			out += cat.Table(i).Name + ","
+		}
+		return out
+	}
+	if names(3) != names(3) {
+		t.Fatal("same seed picked different relations")
+	}
+	varied := false
+	for seed := int64(0); seed < 10 && !varied; seed++ {
+		varied = names(seed) != names(0)
+	}
+	if !varied {
+		t.Fatal("ten seeds all picked the same relations")
+	}
+}
+
+func TestSubgraphErrors(t *testing.T) {
+	sch := catalog.TPCH()
+	if _, _, err := SubgraphFromSchema(nil, 1, 3, 1); err == nil {
+		t.Fatal("nil schema accepted")
+	}
+	for _, tables := range []int{0, 1, len(sch.Tables) + 1} {
+		if _, _, err := SubgraphFromSchema(sch, 1, tables, 1); err == nil {
+			t.Fatalf("%d tables accepted", tables)
+		}
+	}
+	// A schema with an isolated relation cannot grow a subgraph larger
+	// than its biggest connected component.
+	iso := &catalog.Schema{
+		Name: "iso",
+		Tables: []catalog.SchemaTable{
+			{Name: "a", Cardinality: 10, Attributes: []catalog.SchemaAttribute{{Name: "k", Domain: 10}}},
+			{Name: "b", Cardinality: 10, Attributes: []catalog.SchemaAttribute{{Name: "k", Domain: 10}}},
+			{Name: "c", Cardinality: 10, Attributes: []catalog.SchemaAttribute{{Name: "k", Domain: 10}}},
+		},
+		Joins: []catalog.SchemaJoin{{Left: "a", LeftAttr: "k", Right: "b", RightAttr: "k"}},
+	}
+	if _, _, err := SubgraphFromSchema(iso, 1, 3, 1); err == nil {
+		t.Fatal("subgraph across disconnected components accepted")
+	}
+	if _, q, err := SubgraphFromSchema(iso, 1, 2, 1); err != nil || q.N() != 2 {
+		t.Fatalf("2-table subgraph of the connected component: q=%v err=%v", q, err)
+	}
+}

@@ -58,6 +58,19 @@
 // Set JobSpec.Objective to MultiObjective to approximate the Pareto
 // frontier over (time, buffer space) with the α-approximate pruning of
 // Trummer & Koch; Alpha = 1 yields the exact frontier.
+//
+// # Robust plans under estimation error
+//
+// Set JobSpec.Objective to RobustObjective to optimize against a
+// selectivity uncertainty band instead of point estimates: every
+// predicate selectivity s may really be anywhere in [s, min(1, s·B)]
+// with B = JobSpec.RobustBand (default DefaultRobustBand). The engine
+// tracks each candidate plan's nominal cost and its worst-case cost at
+// the high endpoint of the band, keeps the Pareto frontier over the
+// pair, and picks the plan minimizing the worst case as Answer.Best
+// (the frontier is in Answer.Frontier; worst-case cost is the plan's
+// Buffer annotation). PerturbQuery injects seeded q-error-style noise
+// into selectivities for regret experiments; see docs/workloads.md.
 package mpq
 
 import (
@@ -68,6 +81,7 @@ import (
 	"mpq/internal/core"
 	"mpq/internal/cost"
 	"mpq/internal/dp"
+	"mpq/internal/estim"
 	"mpq/internal/exec"
 	"mpq/internal/mo"
 	"mpq/internal/netrun"
@@ -177,7 +191,13 @@ const (
 const (
 	SingleObjective = core.SingleObjective
 	MultiObjective  = core.MultiObjective
+	RobustObjective = core.RobustObjective
 )
+
+// DefaultRobustBand is the selectivity uncertainty band a robust job
+// uses when JobSpec.RobustBand is zero: each predicate selectivity s is
+// assumed to really lie in [s, min(1, 2s)].
+const DefaultRobustBand = core.DefaultRobustBand
 
 // Join-graph shapes.
 const (
@@ -279,6 +299,15 @@ func SchemaWorkload(s *Schema, sf float64) (*Catalog, *Query, error) {
 	return workload.FromSchema(s, sf)
 }
 
+// SubgraphWorkload builds the catalog and join query of a random
+// connected sub-graph of a TPC-style schema's foreign-key join graph:
+// tables relations chosen by seeded random connected growth, joined by
+// every schema join between chosen relations. Same (schema, sf, tables,
+// seed) — same query.
+func SubgraphWorkload(s *Schema, sf float64, tables int, seed int64) (*Catalog, *Query, error) {
+	return workload.SubgraphFromSchema(s, sf, tables, seed)
+}
+
 // ListenWorker starts a TCP optimization worker on addr (host:port;
 // use ":0" for an ephemeral port).
 func ListenWorker(addr string) (*TCPWorker, error) { return netrun.ListenWorker(addr) }
@@ -347,6 +376,39 @@ func ExactFrontier(plans []*Plan) []*Plan { return mo.ExactFrontier(plans) }
 // cost model and reports the first inconsistency.
 func ValidatePlan(p *Plan, q *Query, m CostModel) error { return p.Validate(q, m) }
 
+// --- Estimation error and robustness (see internal/estim) ---
+
+// PerturbQuery returns a copy of q whose predicate selectivities carry
+// seeded multiplicative q-error-style noise: each selectivity is
+// multiplied by (1+magnitude)^u with u uniform on [-1, 1], clamped to
+// (0, 1]. magnitude 0 returns q itself — bit-identical plans, no random
+// draws. Same (query, magnitude, seed) — same perturbed query.
+func PerturbQuery(q *Query, magnitude float64, seed int64) (*Query, error) {
+	return estim.Perturb(q, estim.Noise{Magnitude: magnitude, Seed: seed})
+}
+
+// InflateQuery returns a copy of q with every predicate selectivity s
+// replaced by min(1, s·band) — the high endpoint of the uncertainty
+// band a robust job plans against. band 1 returns q itself.
+func InflateQuery(q *Query, band float64) (*Query, error) {
+	return estim.Inflate(q, band)
+}
+
+// QError returns the q-error between an estimated and a true value:
+// max(est/truth, truth/est), the standard multiplicative estimation-
+// error metric (Moerkotte et al., VLDB 2009). +Inf if either is
+// nonpositive.
+func QError(est, truth float64) float64 { return estim.QError(est, truth) }
+
+// ReannotatePlan recomputes a plan's cardinality and cost annotations
+// bottom-up under a (possibly different) query's selectivities, keeping
+// the join order and algorithms fixed — the "what does this plan really
+// cost" primitive of the regret experiment. The input plan is not
+// modified.
+func ReannotatePlan(p *Plan, q *Query, m CostModel) (*Plan, error) {
+	return p.Reannotate(q, m)
+}
+
 // --- Parametric query optimization (see internal/pqo) ---
 
 // OptimizeParametric runs parametric MPQ: plan costs are linear in a
@@ -409,6 +471,15 @@ type Relation = exec.Relation
 // (uniform attribute values over their domains; deterministic per seed).
 func GenerateData(cat *Catalog, seed int64, lim ExecLimits) (*Database, error) {
 	return exec.Generate(cat, seed, lim)
+}
+
+// GenerateDataZipf is GenerateData with Zipf-skewed attribute values:
+// value v of a domain of size d is drawn with probability proportional
+// to 1/(v+1)^s. Skew 0 is exactly GenerateData (uniform, identical draw
+// sequence); larger s concentrates rows on few values, making true join
+// selectivities diverge from the catalog's uniformity assumption.
+func GenerateDataZipf(cat *Catalog, seed int64, lim ExecLimits, skew float64) (*Database, error) {
+	return exec.GenerateZipf(cat, seed, lim, skew)
 }
 
 // ExecutePlan runs a plan over a database with real join operators and
